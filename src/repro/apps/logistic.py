@@ -1,0 +1,200 @@
+"""Logistic regression with a proof of convergence (Section IV-E-1).
+
+The source dataset S holds labelled points [(x_ij), y_i]; the derived
+asset D is the trained parameter vector beta.  Following the paper, the
+proof shows the training *converged*: the circuit re-derives beta^(k+1)
+from the committed beta^(k) with one batch gradient-descent step and
+enforces
+
+    || J(beta^(k+1)) - J(beta^(k)) || <= epsilon
+
+with the cross-entropy loss J evaluated in-circuit (sigmoid and log via
+the fixed-point polynomial gadgets).
+
+Witness/circuit consistency trick: the *same* ``_forward_pass`` /
+``_gd_step`` code builds both the native computation (on a throwaway
+builder used as a calculator) and the predicate circuit, so the
+fixed-point rounding agrees bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+from repro.field.fr import MODULUS as R
+from repro.gadgets.fixedpoint import (
+    FixedPointSpec,
+    fp_abs,
+    fp_assert_le,
+    fp_mul,
+    fp_poly,
+    log_coefficients,
+    sigmoid_coefficients,
+)
+from repro.plonk.circuit import CircuitBuilder, Wire
+from repro.core.transformations import Processing
+
+#: Fixed-point format for the regression circuits: products of features,
+#: weights and probabilities stay well inside 2**10.
+LR_SPEC = FixedPointSpec(frac_bits=12, int_bits=10)
+
+
+@dataclass
+class LogisticRegressionTask:
+    """A training task: points, labels, learning rate, tolerance."""
+
+    xs: list  # list of feature vectors (floats)
+    ys: list  # list of 0/1 labels
+    learning_rate: float = 0.5
+    epsilon: float = 0.05
+    spec: FixedPointSpec = field(default_factory=lambda: LR_SPEC)
+
+    def __post_init__(self):
+        if not self.xs or len(self.xs) != len(self.ys):
+            raise ProtocolError("points and labels must align and be non-empty")
+        k = len(self.xs[0])
+        if any(len(x) != k for x in self.xs):
+            raise ProtocolError("all feature vectors must share a dimension")
+
+    @property
+    def num_features(self) -> int:
+        return len(self.xs[0])
+
+    @property
+    def num_points(self) -> int:
+        return len(self.xs)
+
+    # ----- dataset encoding ------------------------------------------------------
+
+    def encode_dataset(self) -> list[int]:
+        """Flatten (x_ij, y_i) rows into one field-element dataset S."""
+        out = []
+        for x, y in zip(self.xs, self.ys):
+            out.extend(self.spec.encode(v) for v in x)
+            out.append(self.spec.encode(float(y)))
+        return out
+
+    # ----- the shared forward/step code (native AND in-circuit) -------------------
+
+    def _forward_loss(self, b: CircuitBuilder, points: list, beta: list) -> Wire:
+        """Cross-entropy loss J(beta) over the points (wires)."""
+        spec = self.spec
+        sig = sigmoid_coefficients(spec)
+        log = log_coefficients(spec)
+        n = len(points)
+        inv_n = spec.encode(1.0 / n)
+        terms = []
+        for x_wires, y_wire in points:
+            z = b.constant(0)
+            for xw, bw in zip(x_wires, beta[1:]):
+                z = b.add(z, fp_mul(b, xw, bw, spec))
+            z = b.add(z, beta[0])  # intercept
+            h = fp_poly(b, sig, z, spec)
+            log_h = fp_poly(b, log, h, spec)
+            one_minus_h = b.linear_combination([(-1, h)], constant=spec.encode(1.0))
+            log_1mh = fp_poly(b, log, one_minus_h, spec)
+            one_minus_y = b.linear_combination([(-1, y_wire)], constant=spec.encode(1.0))
+            t1 = fp_mul(b, y_wire, log_h, spec)
+            t2 = fp_mul(b, one_minus_y, log_1mh, spec)
+            terms.append(b.add(t1, t2))
+        total = b.linear_combination([(1, t) for t in terms])
+        scaled = fp_mul(b, total, b.constant(inv_n), spec)
+        return b.scale(scaled, -1)
+
+    def _gd_step(self, b: CircuitBuilder, points: list, beta: list) -> list:
+        """One batch gradient step: beta' = beta - (alpha/n) sum (h-y) x."""
+        spec = self.spec
+        sig = sigmoid_coefficients(spec)
+        n = len(points)
+        step = spec.encode(self.learning_rate / n)
+        residuals = []
+        for x_wires, y_wire in points:
+            z = b.constant(0)
+            for xw, bw in zip(x_wires, beta[1:]):
+                z = b.add(z, fp_mul(b, xw, bw, spec))
+            z = b.add(z, beta[0])
+            h = fp_poly(b, sig, z, spec)
+            residuals.append((b.sub(h, y_wire), x_wires))
+        new_beta = []
+        # Intercept gradient: sum of residuals.
+        grad0 = b.linear_combination([(1, r) for r, _ in residuals])
+        new_beta.append(b.sub(beta[0], fp_mul(b, grad0, b.constant(step), spec)))
+        for j in range(self.num_features):
+            contribs = [fp_mul(b, r, x_wires[j], spec) for r, x_wires in residuals]
+            grad = b.linear_combination([(1, c) for c in contribs])
+            new_beta.append(b.sub(beta[j + 1], fp_mul(b, grad, b.constant(step), spec)))
+        return new_beta
+
+    def _alloc_points(self, b: CircuitBuilder, flat: list) -> list:
+        """Group wires [x_i1..x_ik, y_i]* into (x_wires, y_wire) rows."""
+        k = self.num_features
+        rows = []
+        for i in range(0, len(flat), k + 1):
+            rows.append((flat[i : i + k], flat[i + k]))
+        return rows
+
+    # ----- native training (builder as calculator) ----------------------------------
+
+    def train(self, iterations: int = 25) -> list[int]:
+        """Run fixed-point gradient descent; returns beta (field encoded)."""
+        b = CircuitBuilder()
+        flat_wires = [b.var(v) for v in self.encode_dataset()]
+        points = self._alloc_points(b, flat_wires)
+        beta = [b.constant(0) for _ in range(self.num_features + 1)]
+        for _ in range(iterations):
+            beta = self._gd_step(b, points, beta)
+        return [b.value(w) for w in beta]
+
+    def loss_of(self, beta: list[int]) -> float:
+        """Native fixed-point loss for an encoded beta (diagnostics)."""
+        b = CircuitBuilder()
+        flat = [b.var(v) for v in self.encode_dataset()]
+        points = self._alloc_points(b, flat)
+        beta_wires = [b.var(v) for v in beta]
+        return self.spec.decode(b.value(self._forward_loss(b, points, beta_wires)))
+
+    def converged(self, beta: list[int]) -> bool:
+        """Native check of the convergence predicate (what the circuit
+        will enforce)."""
+        b = CircuitBuilder()
+        flat = [b.var(v) for v in self.encode_dataset()]
+        points = self._alloc_points(b, flat)
+        beta_wires = [b.var(v) for v in beta]
+        j_now = b.value(self._forward_loss(b, points, beta_wires))
+        nxt = self._gd_step(b, points, beta_wires)
+        j_next = b.value(self._forward_loss(b, points, nxt))
+        diff = abs(self.spec.to_signed(j_next) - self.spec.to_signed(j_now))
+        return diff <= self.spec.to_signed(self.spec.encode(self.epsilon))
+
+    # ----- predicate circuit -----------------------------------------------------------
+
+    def constrain(self, b: CircuitBuilder, sources: list, derived: list) -> None:
+        """The pi_t predicate: derived beta satisfies the convergence bound."""
+        (flat,) = sources
+        (beta,) = derived
+        if len(beta) != self.num_features + 1:
+            raise ProtocolError("derived dataset must hold k+1 parameters")
+        points = self._alloc_points(b, flat)
+        j_now = self._forward_loss(b, points, beta)
+        beta_next = self._gd_step(b, points, beta)
+        j_next = self._forward_loss(b, points, beta_next)
+        diff = fp_abs(b, b.sub(j_next, j_now), self.spec)
+        fp_assert_le(b, diff, b.constant(self.spec.encode(self.epsilon)), self.spec)
+
+
+def logistic_processing(task: LogisticRegressionTask, iterations: int = 25) -> Processing:
+    """Wrap a task as a ZKDET Processing transformation (S -> beta)."""
+
+    def apply_fn(sources):
+        return [task.train(iterations)]
+
+    def out_sizes_fn(sizes):
+        return [task.num_features + 1]
+
+    return Processing(
+        apply_fn=apply_fn,
+        constrain_fn=task.constrain,
+        out_sizes_fn=out_sizes_fn,
+        tag="logistic-regression-n%d-k%d" % (task.num_points, task.num_features),
+    )

@@ -1,0 +1,237 @@
+"""The simulated blockchain: accounts, transactions, blocks.
+
+Implements the standard assumptions of the paper's threat model
+(Section IV-A): the chain is tamper-resistant (blocks are hash-chained and
+:meth:`Blockchain.verify_chain` detects modification) and consistent (one
+world state; every transaction either commits atomically or reverts).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ChainError, ContractError, OutOfGasError
+from repro.chain.contract import Contract, ExecutionContext
+from repro.chain.events import Event
+from repro.chain.gas import DEFAULT_SCHEDULE, GasSchedule
+
+
+def encode_calldata(method: str, args: tuple) -> bytes:
+    """Deterministic ABI-style encoding used for calldata gas metering."""
+    out = bytearray(hashlib.sha256(method.encode()).digest()[:4])
+
+    def enc(value):
+        if isinstance(value, bool):
+            out.extend(int(value).to_bytes(32, "big"))
+        elif isinstance(value, int):
+            out.extend((value % (1 << 256)).to_bytes(32, "big"))
+        elif isinstance(value, str):
+            out.extend(len(value).to_bytes(32, "big"))
+            out.extend(value.encode())
+        elif isinstance(value, bytes):
+            out.extend(len(value).to_bytes(32, "big"))
+            out.extend(value)
+        elif isinstance(value, (list, tuple)):
+            out.extend(len(value).to_bytes(32, "big"))
+            for item in value:
+                enc(item)
+        elif value is None:
+            out.extend(b"\x00" * 32)
+        else:  # objects with a canonical byte form
+            to_bytes = getattr(value, "to_bytes", None)
+            if callable(to_bytes):
+                data = value.to_bytes()
+                out.extend(len(data).to_bytes(32, "big"))
+                out.extend(data)
+            else:
+                raise ChainError("cannot encode calldata value %r" % (value,))
+
+    for a in args:
+        enc(a)
+    return bytes(out)
+
+
+@dataclass
+class TransactionReceipt:
+    """Outcome of a transaction."""
+
+    tx_hash: str
+    sender: str
+    to: str
+    method: str
+    gas_used: int
+    status: bool
+    events: list
+    return_value: object = None
+    error: str | None = None
+    block_number: int | None = None
+
+
+@dataclass(frozen=True)
+class Block:
+    number: int
+    parent_hash: str
+    tx_hashes: tuple
+
+    @property
+    def hash(self) -> str:
+        payload = "%d:%s:%s" % (self.number, self.parent_hash, ",".join(self.tx_hashes))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class Blockchain:
+    """A single-node simulated chain with deterministic gas metering."""
+
+    def __init__(self, schedule: GasSchedule = DEFAULT_SCHEDULE):
+        self.schedule = schedule
+        self._balances: dict[str, int] = {}
+        self._nonces: dict[str, int] = {}
+        self.contracts: dict[str, Contract] = {}
+        self.receipts: list[TransactionReceipt] = []
+        self.blocks: list[Block] = []
+        self._pending: list[str] = []
+        self._counter = itertools.count(1)
+        self._genesis()
+
+    def _genesis(self) -> None:
+        self.blocks.append(Block(0, "0" * 64, ()))
+
+    # ----- accounts -----------------------------------------------------------
+
+    def create_account(self, funded: int = 0) -> str:
+        """Create an externally owned account with an optional balance."""
+        address = "0x" + hashlib.sha256(b"account:%d" % next(self._counter)).hexdigest()[:40]
+        self._balances[address] = funded
+        self._nonces[address] = 0
+        return address
+
+    def balance_of(self, address: str) -> int:
+        return self._balances.get(address, 0)
+
+    def faucet(self, address: str, amount: int) -> None:
+        """Credit an account (test/benchmark convenience)."""
+        self._balances[address] = self.balance_of(address) + amount
+
+    def _move_balance(self, sender: str, to: str, amount: int) -> None:
+        if amount < 0:
+            raise ChainError("negative transfer")
+        if self.balance_of(sender) < amount:
+            raise ContractError("insufficient balance in %s" % sender)
+        self._balances[sender] = self.balance_of(sender) - amount
+        self._balances[to] = self.balance_of(to) + amount
+
+    # ----- deployment -----------------------------------------------------------
+
+    def deploy(self, contract: Contract, sender: str) -> TransactionReceipt:
+        """Deploy a contract instance; gas follows the code-deposit rule."""
+        address = "0x" + hashlib.sha256(
+            b"contract:%s:%d" % (type(contract).__name__.encode(), next(self._counter))
+        ).hexdigest()[:40]
+        contract._bind(self, address)
+        self.contracts[address] = contract
+        self._balances[address] = 0
+        gas = self.schedule.deployment_cost(contract.code_size())
+        receipt = self._record(
+            sender, address, "<deploy:%s>" % type(contract).__name__, gas, True, [], address
+        )
+        return receipt
+
+    # ----- transactions -----------------------------------------------------------
+
+    def transact(
+        self,
+        sender: str,
+        contract: Contract,
+        method: str,
+        *args,
+        value: int = 0,
+        gas_limit: int = 30_000_000,
+    ) -> TransactionReceipt:
+        """Execute a state-changing contract call as one atomic transaction."""
+        if contract.address not in self.contracts:
+            raise ChainError("contract is not deployed on this chain")
+        fn = getattr(contract, method, None)
+        if fn is None or not getattr(fn, "_is_external", False):
+            raise ChainError("method %r is not an external entry point" % method)
+        calldata = encode_calldata(method, args)
+        ctx = ExecutionContext(self, sender, value, gas_limit)
+        self._nonces[sender] = self._nonces.get(sender, 0) + 1
+
+        balance_snapshot = dict(self._balances)
+        contract._ctx = ctx
+        status, ret, error = True, None, None
+        try:
+            ctx.burn(self.schedule.tx_base + self.schedule.calldata_cost(calldata))
+            if value:
+                self._move_balance(sender, contract.address, value)
+            ret = fn(*args)
+        except (ContractError, OutOfGasError) as exc:
+            status, error = False, str(exc)
+            ctx.revert_writes()
+            self._balances = balance_snapshot
+        finally:
+            contract._ctx = None
+
+        return self._record(
+            sender,
+            contract.address,
+            method,
+            ctx.gas_used,
+            status,
+            ctx.events if status else [],
+            ret,
+            error,
+        )
+
+    def call_view(self, contract: Contract, method: str, *args):
+        """Free read-only call."""
+        fn = getattr(contract, method, None)
+        if fn is None or not getattr(fn, "_is_view", False):
+            raise ChainError("method %r is not a view" % method)
+        return fn(*args)
+
+    def _record(self, sender, to, method, gas, status, events, ret, error=None):
+        tx_hash = hashlib.sha256(
+            b"%s:%s:%s:%d" % (sender.encode(), to.encode(), method.encode(), len(self.receipts))
+        ).hexdigest()
+        receipt = TransactionReceipt(
+            tx_hash, sender, to, method, gas, status, list(events), ret, error
+        )
+        self.receipts.append(receipt)
+        self._pending.append(tx_hash)
+        return receipt
+
+    # ----- blocks -----------------------------------------------------------------
+
+    def seal_block(self) -> Block:
+        """Group pending transactions into a new block."""
+        block = Block(len(self.blocks), self.blocks[-1].hash, tuple(self._pending))
+        for r in self.receipts:
+            if r.tx_hash in self._pending and r.block_number is None:
+                r.block_number = block.number
+        self._pending = []
+        self.blocks.append(block)
+        return block
+
+    def verify_chain(self) -> bool:
+        """Check block hash linkage (the tamper-resistance assumption)."""
+        for prev, cur in zip(self.blocks, self.blocks[1:]):
+            if cur.parent_hash != prev.hash:
+                return False
+        return True
+
+    # ----- queries ------------------------------------------------------------------
+
+    def events(self, name: str | None = None, address: str | None = None) -> list[Event]:
+        """All events across successful transactions, optionally filtered."""
+        out = []
+        for receipt in self.receipts:
+            for event in receipt.events:
+                if name is not None and event.name != name:
+                    continue
+                if address is not None and event.address != address:
+                    continue
+                out.append(event)
+        return out

@@ -1,0 +1,224 @@
+"""Contract runtime: metered storage, events, and call contexts.
+
+Contracts are Python classes deriving from :class:`Contract`.  State lives
+in a per-contract key/value store accessed through ``self._sload`` /
+``self._sstore``, which meter gas exactly like EVM storage opcodes (cold
+and warm access, set vs. reset) and journal writes so a revert restores
+the pre-transaction state.  ``@external`` methods mutate state and must be
+invoked through :meth:`repro.chain.blockchain.Blockchain.transact`;
+``@view`` methods are free reads.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.errors import ChainError, ContractError, OutOfGasError
+from repro.chain.events import Event
+from repro.chain.gas import GasSchedule
+
+#: Gas charged for an internal contract-to-contract call (cold account).
+INTERNAL_CALL_GAS = 2600
+
+
+class ExecutionContext:
+    """Per-transaction execution state: gas, journal, events, sender."""
+
+    def __init__(self, chain, sender: str, value: int, gas_limit: int):
+        self.chain = chain
+        self.sender = sender
+        self.value = value
+        self.gas_limit = gas_limit
+        self.gas_used = 0
+        self.events: list[Event] = []
+        self.journal: list[tuple] = []  # (storage_dict, key, old_value, existed)
+        self.accessed: set = set()
+        self.written: set = set()
+
+    def burn(self, amount: int) -> None:
+        """Charge gas, aborting the transaction when the limit is exceeded."""
+        self.gas_used += amount
+        if self.gas_used > self.gas_limit:
+            raise OutOfGasError(
+                "gas limit %d exceeded (used %d)" % (self.gas_limit, self.gas_used)
+            )
+
+    def revert_writes(self) -> None:
+        """Undo every journaled storage write (LIFO)."""
+        for storage, key, old, existed in reversed(self.journal):
+            if existed:
+                storage[key] = old
+            else:
+                storage.pop(key, None)
+        self.journal.clear()
+
+
+def external(method):
+    """Mark a state-changing contract entry point."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        if self._ctx is None:
+            raise ContractError(
+                "external method %s must be invoked via Blockchain.transact"
+                % method.__name__
+            )
+        return method(self, *args, **kwargs)
+
+    wrapper._is_external = True
+    return wrapper
+
+
+def view(method):
+    """Mark a read-only method (free, callable without a transaction)."""
+
+    @functools.wraps(method)
+    def wrapper(self, *args, **kwargs):
+        return method(self, *args, **kwargs)
+
+    wrapper._is_view = True
+    return wrapper
+
+
+class Contract:
+    """Base class for all on-chain contracts."""
+
+    #: Extra constant data embedded in the deployed code (e.g. a hardcoded
+    #: verification key), counted toward the code-deposit gas.
+    extra_code_bytes = 0
+
+    def __init__(self):
+        self.address: str | None = None
+        self._chain = None
+        self._storage: dict = {}
+        self._ctx: ExecutionContext | None = None
+
+    # ----- runtime plumbing -----------------------------------------------------
+
+    def _bind(self, chain, address: str) -> None:
+        self._chain = chain
+        self.address = address
+
+    @property
+    def msg_sender(self) -> str:
+        """Sender of the current transaction."""
+        if self._ctx is None:
+            raise ContractError("no active transaction")
+        return self._ctx.sender
+
+    @property
+    def msg_value(self) -> int:
+        """Value attached to the current transaction."""
+        if self._ctx is None:
+            raise ContractError("no active transaction")
+        return self._ctx.value
+
+    @property
+    def schedule(self) -> GasSchedule:
+        return self._chain.schedule
+
+    # ----- metered storage --------------------------------------------------------
+
+    def _sload(self, key):
+        """Read a storage slot (charges cold/warm SLOAD gas)."""
+        ctx = self._ctx
+        if ctx is not None:
+            slot = (self.address, key)
+            if slot in ctx.accessed or slot in ctx.written:
+                ctx.burn(self.schedule.sload_warm)
+            else:
+                ctx.burn(self.schedule.sload_cold)
+                ctx.accessed.add(slot)
+        return self._storage.get(key)
+
+    def _sstore(self, key, value) -> None:
+        """Write a storage slot (charges SSTORE gas, journals the write)."""
+        ctx = self._ctx
+        if ctx is None:
+            raise ContractError("storage writes require an active transaction")
+        slot = (self.address, key)
+        existed = key in self._storage
+        old = self._storage.get(key)
+        if slot in ctx.written:
+            ctx.burn(self.schedule.sstore_warm)
+        elif value is None:
+            # Clearing: a real delete if the slot held data, else a no-op
+            # write (EVM charges only the warm access for zero -> zero).
+            ctx.burn(
+                self.schedule.sstore_clear
+                if existed and old is not None
+                else self.schedule.sstore_warm
+            )
+        elif not existed or old is None:
+            ctx.burn(self.schedule.sstore_set)
+        else:
+            ctx.burn(self.schedule.sstore_reset)
+        ctx.written.add(slot)
+        ctx.journal.append((self._storage, key, old, existed))
+        self._storage[key] = value
+
+    # ----- events and funds -------------------------------------------------------
+
+    def emit(self, name: str, **fields) -> None:
+        """Emit an event (charges LOG gas)."""
+        ctx = self._ctx
+        if ctx is None:
+            raise ContractError("events require an active transaction")
+        data_len = sum(len(repr(v).encode()) for v in fields.values())
+        ctx.burn(
+            self.schedule.log_base
+            + self.schedule.log_topic * (1 + len(fields))
+            + self.schedule.log_data_per_byte * data_len
+        )
+        ctx.events.append(Event(self.address, name, tuple(fields.items())))
+
+    def transfer_out(self, to: str, amount: int) -> None:
+        """Send funds held by this contract to ``to``."""
+        ctx = self._ctx
+        if ctx is None:
+            raise ContractError("transfers require an active transaction")
+        ctx.burn(self.schedule.value_transfer_stipend)
+        self._chain._move_balance(self.address, to, amount)
+
+    def call_contract(self, other: "Contract", method: str, *args):
+        """Internal call into another contract, sharing this transaction."""
+        ctx = self._ctx
+        if ctx is None:
+            raise ContractError("internal calls require an active transaction")
+        ctx.burn(INTERNAL_CALL_GAS)
+        fn = getattr(other, method)
+        # msg.sender follows EVM CALL semantics: the immediate caller.
+        prev_sender = ctx.sender
+        ctx.sender = self.address
+        other._ctx = ctx
+        try:
+            return fn(*args)
+        finally:
+            other._ctx = None
+            ctx.sender = prev_sender
+
+    def require(self, condition: bool, message: str) -> None:
+        """Solidity-style require: revert the transaction when False."""
+        if not condition:
+            raise ContractError(message)
+
+    # ----- code-size model ----------------------------------------------------------
+
+    def code_size(self) -> int:
+        """Approximate deployed byte-code size.
+
+        Sums the CPython bytecode of every method — a stable, structural
+        proxy for compiled contract size (CPython and EVM bytecode have
+        comparable densities for this kind of bookkeeping code) — plus
+        any embedded constants declared via ``extra_code_bytes`` (e.g. a
+        hardcoded verification key and pairing library).
+        """
+        cls = type(self)
+        total = 0
+        for name in dir(cls):
+            attr = getattr(cls, name)
+            fn = getattr(attr, "__wrapped__", attr)
+            code = getattr(fn, "__code__", None)
+            if code is not None:
+                total += len(code.co_code)
+        return total + self.extra_code_bytes

@@ -1,0 +1,24 @@
+"""Contract event logs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """An emitted log entry, indexed by contract address and event name."""
+
+    address: str
+    name: str
+    fields: tuple  # of (key, value) pairs, insertion-ordered
+
+    def get(self, key: str, default=None):
+        """Look up a field by name."""
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def as_dict(self) -> dict:
+        return dict(self.fields)

@@ -1,0 +1,55 @@
+"""Ethereum-style gas schedule.
+
+Costs follow the mainnet schedule (post-Berlin, without refunds): this is
+what makes the Table II reproduction principled — we meter the same
+operations (storage writes, cold/warm reads, logs, calldata, code deposit,
+precompiles) at the same prices, rather than hard-coding the paper's
+totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Per-operation gas prices."""
+
+    tx_base: int = 21000
+    contract_creation: int = 32000
+    code_deposit_per_byte: int = 200
+    calldata_zero_byte: int = 4
+    calldata_nonzero_byte: int = 16
+    sstore_set: int = 20000  # zero -> nonzero
+    sstore_reset: int = 2900  # nonzero -> nonzero (cold, post-Berlin: 5000-2100)
+    sstore_clear: int = 2900  # nonzero -> zero (refunds ignored)
+    sstore_warm: int = 100  # rewrite of an already-written slot this tx
+    sload_cold: int = 2100
+    sload_warm: int = 100
+    log_base: int = 375
+    log_topic: int = 375
+    log_data_per_byte: int = 8
+    ecadd: int = 150
+    ecmul: int = 6000
+    pairing_base: int = 45000
+    pairing_per_pair: int = 34000
+    sha_base: int = 60
+    sha_per_word: int = 12
+    value_transfer_stipend: int = 9000
+
+    def calldata_cost(self, data: bytes) -> int:
+        """Intrinsic cost of a transaction's input data."""
+        zeros = data.count(0)
+        return zeros * self.calldata_zero_byte + (len(data) - zeros) * self.calldata_nonzero_byte
+
+    def deployment_cost(self, code_size: int) -> int:
+        """Cost of deploying ``code_size`` bytes of contract code."""
+        return self.tx_base + self.contract_creation + code_size * self.code_deposit_per_byte
+
+    def pairing_cost(self, num_pairs: int) -> int:
+        """Cost of the BN254 pairing-check precompile."""
+        return self.pairing_base + num_pairs * self.pairing_per_pair
+
+
+DEFAULT_SCHEDULE = GasSchedule()

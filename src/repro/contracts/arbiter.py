@@ -1,0 +1,142 @@
+"""Exchange arbiter contracts (the J of the exchange protocols).
+
+Two arbiters are provided:
+
+- :class:`ZKCPArbiterContract` — the classic hash-locked ZKCP arbiter of
+  Section III-C.  Its *Open* phase stores the decryption key **in public
+  contract storage**, which is exactly the vulnerability ZKDET fixes
+  (Challenge 3): anyone can read the key and decrypt the publicly stored
+  ciphertext.
+
+- :class:`KeySecureArbiterContract` — ZKDET's key-secure arbiter
+  (Section IV-F).  The chain only ever sees the masked key k_c = k + k_v
+  plus a proof pi_k that the masking is consistent with the key
+  commitment c and the buyer's hash h_v; the key itself never appears.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, view
+from repro.contracts.verifier import PlonkVerifierContract
+from repro.primitives.hashing import field_hash
+
+
+class ZKCPArbiterContract(Contract):
+    """Hash-locked payments: pay whoever reveals the preimage of h."""
+
+    def _next_id(self) -> int:
+        counter = self._sload("next_id") or 1
+        self._sstore("next_id", counter + 1)
+        return counter
+
+    @external
+    def lock(self, seller: str, key_hash: int) -> int:
+        """Buyer escrows msg.value against H(k) == key_hash."""
+        self.require(self.msg_value > 0, "payment required")
+        deal_id = self._next_id()
+        self._sstore(("deal", deal_id), (self.msg_sender, seller, key_hash, self.msg_value))
+        self.emit("Locked", deal_id=deal_id, buyer=self.msg_sender, amount=self.msg_value)
+        return deal_id
+
+    @external
+    def open(self, deal_id: int, key: int) -> None:
+        """Seller reveals k; contract checks H(k) and pays.
+
+        NOTE: ``key`` becomes permanent public chain data — the flaw the
+        key-secure protocol removes.
+        """
+        deal = self._sload(("deal", deal_id))
+        self.require(deal is not None, "no such deal")
+        buyer, seller, key_hash, amount = deal
+        self.require(self.msg_sender == seller, "only the seller can open")
+        self.require(field_hash(key) == key_hash, "key does not match the hash lock")
+        self._sstore(("revealed_key", deal_id), key)  # the privacy leak
+        self._sstore(("deal", deal_id), None)
+        self.transfer_out(seller, amount)
+        self.emit("Opened", deal_id=deal_id, key=key)
+
+    @external
+    def refund(self, deal_id: int) -> None:
+        """Buyer reclaims an unopened escrow."""
+        deal = self._sload(("deal", deal_id))
+        self.require(deal is not None, "no such deal")
+        buyer, _seller, _h, amount = deal
+        self.require(self.msg_sender == buyer, "only the buyer can refund")
+        self._sstore(("deal", deal_id), None)
+        self.transfer_out(buyer, amount)
+        self.emit("Refunded", deal_id=deal_id)
+
+    @view
+    def revealed_key(self, deal_id: int):
+        """Anyone can read the revealed key — demonstrating the leak."""
+        return self._storage.get(("revealed_key", deal_id))
+
+
+class KeySecureArbiterContract(Contract):
+    """ZKDET's arbiter: verifies pi_k instead of learning k."""
+
+    def __init__(self, verifier: PlonkVerifierContract):
+        super().__init__()
+        self._verifier = verifier
+
+    def _next_id(self) -> int:
+        counter = self._sload("next_id") or 1
+        self._sstore("next_id", counter + 1)
+        return counter
+
+    @external
+    def lock_payment(self, seller: str, key_commitment: int, h_v: int) -> int:
+        """Buyer escrows payment against the key commitment c and her h_v."""
+        self.require(self.msg_value > 0, "payment required")
+        exchange_id = self._next_id()
+        self._sstore(
+            ("exchange", exchange_id),
+            (self.msg_sender, seller, key_commitment, h_v, self.msg_value),
+        )
+        self.emit(
+            "PaymentLocked",
+            exchange_id=exchange_id,
+            buyer=self.msg_sender,
+            h_v=h_v,
+            amount=self.msg_value,
+        )
+        return exchange_id
+
+    @external
+    def submit_key(self, exchange_id: int, k_c: int, proof_bytes: bytes) -> None:
+        """Seller submits the masked key k_c with pi_k; payment released
+        iff Verify(vk, (k_c, c, h_v), pi_k) = 1."""
+        record = self._sload(("exchange", exchange_id))
+        self.require(record is not None, "no such exchange")
+        buyer, seller, key_commitment, h_v, amount = record
+        self.require(self.msg_sender == seller, "only the seller can submit")
+        ok = self.call_contract(
+            self._verifier, "verify", (k_c, key_commitment, h_v), proof_bytes
+        )
+        self.require(ok, "pi_k verification failed")
+        self._sstore(("masked_key", exchange_id), k_c)
+        self._sstore(("exchange", exchange_id), None)
+        self.transfer_out(seller, amount)
+        self.emit("KeyDelivered", exchange_id=exchange_id, k_c=k_c)
+
+    @external
+    def refund(self, exchange_id: int) -> None:
+        """Buyer reclaims escrow before the seller has delivered."""
+        record = self._sload(("exchange", exchange_id))
+        self.require(record is not None, "no such exchange")
+        buyer, _seller, _c, _h, amount = record
+        self.require(self.msg_sender == buyer, "only the buyer can refund")
+        self._sstore(("exchange", exchange_id), None)
+        self.transfer_out(buyer, amount)
+        self.emit("Refunded", exchange_id=exchange_id)
+
+    @view
+    def masked_key(self, exchange_id: int):
+        """The only key material ever visible on chain: k_c = k + k_v."""
+        return self._storage.get(("masked_key", exchange_id))
+
+    @view
+    def exchange_info(self, exchange_id: int):
+        """Public record of an open exchange:
+        (buyer, seller, key_commitment, h_v, amount)."""
+        return self._storage.get(("exchange", exchange_id))

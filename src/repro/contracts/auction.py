@@ -1,0 +1,103 @@
+"""Clock (descending-price) auction for data tokens.
+
+The seller escrows a token at a start price that decays every block down
+to a floor; the first bidder meeting the current price wins.  This is the
+auction primitive ZKDET's exchange interactions hang off (Section III-C:
+"S launches a clock auction which locks its token for sale").
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, view
+from repro.contracts.erc721 import DataTokenContract
+
+
+class ClockAuctionContract(Contract):
+    """Escrowed descending-price auctions over a DataTokenContract."""
+
+    def __init__(self, token_contract: DataTokenContract):
+        super().__init__()
+        self._token = token_contract
+
+    def _next_id(self) -> int:
+        counter = self._sload("next_auction") or 1
+        self._sstore("next_auction", counter + 1)
+        return counter
+
+    @external
+    def create_auction(
+        self,
+        token_id: int,
+        start_price: int,
+        floor_price: int,
+        decay_per_block: int,
+        predicate: str = "",
+    ) -> int:
+        """List a token; requires prior approval of this contract."""
+        self.require(start_price >= floor_price >= 0, "invalid price range")
+        seller = self.msg_sender
+        self.call_contract(self._token, "transfer_from", seller, self.address, token_id)
+        auction_id = self._next_id()
+        start_block = len(self._chain.blocks)
+        self._sstore(
+            ("auction", auction_id),
+            (token_id, seller, start_price, floor_price, decay_per_block, start_block, predicate),
+        )
+        self.emit("AuctionCreated", auction_id=auction_id, token_id=token_id, seller=seller)
+        return auction_id
+
+    def _price_at(self, record, block_number: int) -> int:
+        _tid, _seller, start, floor, decay, start_block, _pred = record
+        elapsed = max(0, block_number - start_block)
+        return max(floor, start - decay * elapsed)
+
+    @view
+    def current_price(self, auction_id: int):
+        record = self._storage.get(("auction", auction_id))
+        if record is None:
+            return None
+        return self._price_at(record, len(self._chain.blocks))
+
+    @view
+    def predicate_of(self, auction_id: int):
+        record = self._storage.get(("auction", auction_id))
+        return record[6] if record else None
+
+    @view
+    def token_of(self, auction_id: int):
+        record = self._storage.get(("auction", auction_id))
+        return record[0] if record else None
+
+    @view
+    def seller_of(self, auction_id: int):
+        record = self._storage.get(("auction", auction_id))
+        return record[1] if record else None
+
+    @external
+    def bid(self, auction_id: int) -> int:
+        """Buy at the current clock price; excess value is refunded."""
+        record = self._sload(("auction", auction_id))
+        self.require(record is not None, "no such auction")
+        token_id, seller, *_ = record
+        price = self._price_at(record, len(self._chain.blocks))
+        self.require(self.msg_value >= price, "bid below the clock price")
+        buyer = self.msg_sender
+        self._sstore(("auction", auction_id), None)
+        self.call_contract(self._token, "transfer_from", self.address, buyer, token_id)
+        self.transfer_out(seller, price)
+        excess = self.msg_value - price
+        if excess:
+            self.transfer_out(buyer, excess)
+        self.emit("AuctionSettled", auction_id=auction_id, buyer=buyer, price=price)
+        return price
+
+    @external
+    def cancel(self, auction_id: int) -> None:
+        """Seller withdraws an unsold token."""
+        record = self._sload(("auction", auction_id))
+        self.require(record is not None, "no such auction")
+        token_id, seller, *_ = record
+        self.require(self.msg_sender == seller, "only the seller can cancel")
+        self._sstore(("auction", auction_id), None)
+        self.call_contract(self._token, "transfer_from", self.address, seller, token_id)
+        self.emit("AuctionCancelled", auction_id=auction_id)

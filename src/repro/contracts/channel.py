@@ -1,0 +1,97 @@
+"""Unidirectional payment channels (the Layer-2 scaling hook).
+
+The paper's introduction points at payment channels and other Layer-2
+solutions to "increase throughput and reduce transaction fees, thereby
+shrinking the expense for data exchanges".  This contract implements the
+classic unidirectional channel: a buyer locks collateral once, streams
+off-chain payment *vouchers* (amount + Schnorr signature over Baby
+Jubjub) to a data seller across many purchases, and the seller settles
+the highest voucher in a single on-chain transaction.
+
+Off-chain voucher format: sign(channel_id, cumulative_amount) under the
+buyer's registered Baby Jubjub key — the same signature scheme the
+gadget library can verify inside circuits.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, view
+from repro.primitives.babyjubjub import JubjubPoint, SchnorrSignature, schnorr_verify
+from repro.primitives.hashing import field_hash
+
+
+def voucher_message(channel_id: int, cumulative_amount: int) -> int:
+    """The field element a voucher signs."""
+    return field_hash(channel_id, cumulative_amount)
+
+
+class PaymentChannelContract(Contract):
+    """Open / pay-off-chain / close unidirectional channels."""
+
+    def _next_id(self) -> int:
+        counter = self._sload("next_id") or 1
+        self._sstore("next_id", counter + 1)
+        return counter
+
+    @external
+    def open_channel(self, payee: str, payer_key_x: int, payer_key_y: int, timeout_blocks: int = 100) -> int:
+        """Payer locks msg.value and registers their voucher key."""
+        self.require(self.msg_value > 0, "collateral required")
+        channel_id = self._next_id()
+        expiry = len(self._chain.blocks) + timeout_blocks
+        self._sstore(
+            ("channel", channel_id),
+            (self.msg_sender, payee, payer_key_x, payer_key_y, self.msg_value, expiry),
+        )
+        self.emit(
+            "ChannelOpened",
+            channel_id=channel_id,
+            payer=self.msg_sender,
+            payee=payee,
+            collateral=self.msg_value,
+        )
+        return channel_id
+
+    @external
+    def close(self, channel_id: int, cumulative_amount: int, sig_r_x: int, sig_r_y: int, sig_s: int) -> None:
+        """Payee settles with the best voucher; remainder refunds the payer.
+
+        The voucher signature is checked on chain against the key
+        registered at open time.
+        """
+        record = self._sload(("channel", channel_id))
+        self.require(record is not None, "no such channel")
+        payer, payee, key_x, key_y, collateral, _expiry = record
+        self.require(self.msg_sender == payee, "only the payee settles")
+        self.require(0 < cumulative_amount <= collateral, "voucher exceeds collateral")
+        # Gas model: one EC signature check (2 scalar muls worth of ECMUL).
+        self._ctx.burn(2 * self.schedule.ecmul + 4 * self.schedule.ecadd)
+        try:
+            pk = JubjubPoint(key_x, key_y)
+            r_point = JubjubPoint(sig_r_x, sig_r_y)
+        except Exception:
+            self.require(False, "malformed key or signature point")
+        sig = SchnorrSignature(r_point, sig_s)
+        ok = schnorr_verify(pk, voucher_message(channel_id, cumulative_amount), sig)
+        self.require(ok, "invalid voucher signature")
+        self._sstore(("channel", channel_id), None)
+        self.transfer_out(payee, cumulative_amount)
+        if collateral > cumulative_amount:
+            self.transfer_out(payer, collateral - cumulative_amount)
+        self.emit("ChannelClosed", channel_id=channel_id, paid=cumulative_amount)
+
+    @external
+    def reclaim(self, channel_id: int) -> None:
+        """Payer reclaims collateral after the timeout (payee went silent)."""
+        record = self._sload(("channel", channel_id))
+        self.require(record is not None, "no such channel")
+        payer, _payee, _kx, _ky, collateral, expiry = record
+        self.require(self.msg_sender == payer, "only the payer reclaims")
+        self.require(len(self._chain.blocks) >= expiry, "channel not expired yet")
+        self._sstore(("channel", channel_id), None)
+        self.transfer_out(payer, collateral)
+        self.emit("ChannelReclaimed", channel_id=channel_id)
+
+    @view
+    def channel_info(self, channel_id: int):
+        return self._storage.get(("channel", channel_id))

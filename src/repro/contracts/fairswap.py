@@ -1,0 +1,166 @@
+"""FairSwap: the authenticated-data-structure baseline (Section VII-B).
+
+FairSwap (Dziembowski, Eckey, Faust — CCS'18) trades zero-knowledge for
+Merkle proofs: the seller commits to the encrypted blocks' Merkle root
+and a hash lock on the key; after the key is revealed, a cheated buyer
+submits a *proof of misbehaviour* — a Merkle path to the offending
+ciphertext block — and the contract re-derives the block's decryption
+and compares it with the advertised plaintext tree.
+
+The paper's criticism, reproduced by this implementation's gas metering:
+"in the event of a dispute, the transaction cost for proof verification
+increases with data size" — each complaint pays for O(log n) on-chain
+hash evaluations plus an on-chain MiMC block decryption, where ZKDET
+verifies any dataset with a flat 2-pairing check.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, view
+from repro.gadgets.merkle import MerkleProof, MerkleTree
+from repro.primitives.hashing import field_hash
+from repro.primitives.mimc import MiMC
+
+#: Metered cost of one on-chain Poseidon compression (per Merkle level).
+HASH_GAS = 5000
+
+#: Metered cost of one on-chain MiMC block derivation (91 rounds).
+MIMC_GAS = 18000
+
+
+class FairSwapContract(Contract):
+    """Escrowed sale of a Merkle-committed encrypted file with disputes."""
+
+    def _next_id(self) -> int:
+        counter = self._sload("next_id") or 1
+        self._sstore("next_id", counter + 1)
+        return counter
+
+    @external
+    def offer(
+        self,
+        ciphertext_root: int,
+        plaintext_root: int,
+        key_hash: int,
+        nonce: int,
+        num_blocks: int,
+        price: int,
+        dispute_window: int = 5,
+    ) -> int:
+        """Seller lists a file: roots of the encrypted and plain trees,
+        the hash lock on the key, and the CTR nonce."""
+        self.require(num_blocks > 0 and price > 0, "invalid offer")
+        sale_id = self._next_id()
+        self._sstore(
+            ("offer", sale_id),
+            (self.msg_sender, ciphertext_root, plaintext_root, key_hash,
+             nonce, num_blocks, price, dispute_window),
+        )
+        self.emit("Offered", sale_id=sale_id, seller=self.msg_sender, price=price)
+        return sale_id
+
+    @external
+    def accept(self, sale_id: int) -> None:
+        """Buyer escrows the price."""
+        offer = self._sload(("offer", sale_id))
+        self.require(offer is not None, "no such offer")
+        self.require(self.msg_value == offer[6], "wrong payment amount")
+        self.require(self._sload(("buyer", sale_id)) is None, "already accepted")
+        self._sstore(("buyer", sale_id), self.msg_sender)
+        self.emit("Accepted", sale_id=sale_id, buyer=self.msg_sender)
+
+    @external
+    def reveal_key(self, sale_id: int, key: int) -> None:
+        """Seller reveals k (hash-checked); the dispute window opens.
+
+        Like ZKCP — and unlike ZKDET — the key becomes public chain data.
+        """
+        offer = self._sload(("offer", sale_id))
+        self.require(offer is not None, "no such offer")
+        seller = offer[0]
+        self.require(self.msg_sender == seller, "only the seller reveals")
+        self.require(self._sload(("buyer", sale_id)) is not None, "not yet accepted")
+        self.require(field_hash(key) == offer[3], "key does not match the lock")
+        self._sstore(("key", sale_id), key)
+        self._sstore(("deadline", sale_id), len(self._chain.blocks) + offer[7])
+        self.emit("KeyRevealed", sale_id=sale_id, key=key)
+
+    @external
+    def complain(
+        self,
+        sale_id: int,
+        index: int,
+        cipher_block: int,
+        cipher_siblings: tuple,
+        cipher_bits: tuple,
+        expected_block: int,
+        plain_siblings: tuple,
+        plain_bits: tuple,
+    ) -> None:
+        """Proof of misbehaviour: block ``index`` decrypts to something
+        other than the advertised plaintext leaf.  Refunds the buyer.
+
+        On-chain work — and therefore gas — is O(log n) hashes plus one
+        MiMC evaluation: the cost that grows with data size.
+        """
+        offer = self._sload(("offer", sale_id))
+        self.require(offer is not None, "no such offer")
+        key = self._sload(("key", sale_id))
+        self.require(key is not None, "key not revealed yet")
+        deadline = self._sload(("deadline", sale_id))
+        self.require(len(self._chain.blocks) <= deadline, "dispute window closed")
+        buyer = self._sload(("buyer", sale_id))
+        self.require(self.msg_sender == buyer, "only the buyer complains")
+        _seller, c_root, p_root, _h, nonce, num_blocks, price, _w = offer
+        self.require(0 <= index < num_blocks, "block index out of range")
+
+        # 1. The ciphertext block is genuine (path under the committed root).
+        self._ctx.burn(HASH_GAS * len(cipher_siblings))
+        c_proof = MerkleProof(index, tuple(cipher_siblings), tuple(cipher_bits))
+        self.require(
+            MerkleTree.verify(c_root, cipher_block, c_proof),
+            "ciphertext path invalid",
+        )
+        # 2. The advertised plaintext leaf at the same index.
+        self._ctx.burn(HASH_GAS * len(plain_siblings))
+        p_proof = MerkleProof(index, tuple(plain_siblings), tuple(plain_bits))
+        self.require(
+            MerkleTree.verify(p_root, expected_block, p_proof),
+            "plaintext path invalid",
+        )
+        # 3. Re-derive the decryption on chain and compare.
+        self._ctx.burn(MIMC_GAS)
+        from repro.field.fr import MODULUS as R
+
+        keystream = MiMC().encrypt_block(key, (nonce + index) % R)
+        decrypted = (cipher_block - keystream) % R
+        self.require(decrypted != expected_block, "decryption matches; no misbehaviour")
+
+        self._sstore(("offer", sale_id), None)
+        self._sstore(("resolved", sale_id), "refunded")
+        self.transfer_out(buyer, price)
+        self.emit("Refunded", sale_id=sale_id, index=index)
+
+    @external
+    def finalize(self, sale_id: int) -> None:
+        """Seller collects after an undisputed window."""
+        offer = self._sload(("offer", sale_id))
+        self.require(offer is not None, "no such offer")
+        price = offer[6]
+        self.require(self.msg_sender == offer[0], "only the seller finalizes")
+        deadline = self._sload(("deadline", sale_id))
+        self.require(deadline is not None, "key not revealed yet")
+        self.require(len(self._chain.blocks) > deadline, "dispute window still open")
+        self._sstore(("offer", sale_id), None)
+        self._sstore(("resolved", sale_id), "paid")
+        self.transfer_out(offer[0], price)
+        self.emit("Finalized", sale_id=sale_id)
+
+    @view
+    def revealed_key(self, sale_id: int):
+        """The leaked key — FairSwap shares ZKCP's public-storage flaw."""
+        return self._storage.get(("key", sale_id))
+
+    @view
+    def resolution(self, sale_id: int):
+        return self._storage.get(("resolved", sale_id))

@@ -1,0 +1,91 @@
+"""Source-attestation oracle committee (the DECO hook of Section IV-F).
+
+For *source* datasets there is no pi_t chain to anchor trust; the paper
+points at decentralized oracles (DECO) to attest where data came from.
+We model the on-chain half: a committee of registered oracles
+countersigns (source URI, data commitment, origin tag) claims; once a
+threshold of distinct oracles attests, the claim becomes `attested` and
+markets can require it before listing a source token.
+
+Signatures are Schnorr over Baby Jubjub so the attestations are also
+provable in-circuit if a predicate ever needs them.
+"""
+
+from __future__ import annotations
+
+from repro.chain.contract import Contract, external, view
+from repro.primitives.babyjubjub import JubjubPoint, SchnorrSignature, schnorr_verify
+from repro.primitives.hashing import field_hash
+
+
+def attestation_message(commitment: int, origin_tag: int) -> int:
+    """The field element an oracle signs for one claim."""
+    return field_hash(commitment, origin_tag)
+
+
+class OracleCommitteeContract(Contract):
+    """Threshold attestation registry."""
+
+    def __init__(self, threshold: int = 2):
+        super().__init__()
+        self._threshold = threshold
+
+    @external
+    def register_oracle(self, key_x: int, key_y: int) -> None:
+        """An oracle registers its attestation key (one per account)."""
+        self.require(
+            self._sload(("oracle", self.msg_sender)) is None,
+            "oracle already registered",
+        )
+        try:
+            JubjubPoint(key_x, key_y)
+        except Exception:
+            self.require(False, "key is not a curve point")
+        self._sstore(("oracle", self.msg_sender), (key_x, key_y))
+        count = (self._sload("oracle_count") or 0) + 1
+        self._sstore("oracle_count", count)
+        self.emit("OracleRegistered", oracle=self.msg_sender)
+
+    @external
+    def attest(self, commitment: int, origin_tag: int, sig_r_x: int, sig_r_y: int, sig_s: int) -> int:
+        """Submit one oracle's signature over a claim; returns the new
+        attestation count for the claim."""
+        key = self._sload(("oracle", self.msg_sender))
+        self.require(key is not None, "caller is not a registered oracle")
+        claim = (commitment, origin_tag)
+        self.require(
+            self._sload(("signed", claim, self.msg_sender)) is None,
+            "oracle already attested this claim",
+        )
+        self._ctx.burn(2 * self.schedule.ecmul + 4 * self.schedule.ecadd)
+        try:
+            pk = JubjubPoint(key[0], key[1])
+            r_point = JubjubPoint(sig_r_x, sig_r_y)
+        except Exception:
+            self.require(False, "malformed signature point")
+        ok = schnorr_verify(
+            pk,
+            attestation_message(commitment, origin_tag),
+            SchnorrSignature(r_point, sig_s),
+        )
+        self.require(ok, "invalid attestation signature")
+        self._sstore(("signed", claim, self.msg_sender), True)
+        count = (self._sload(("attestations", claim)) or 0) + 1
+        self._sstore(("attestations", claim), count)
+        self.emit(
+            "Attested", commitment=commitment, origin_tag=origin_tag, count=count
+        )
+        return count
+
+    @view
+    def attestation_count(self, commitment: int, origin_tag: int) -> int:
+        return self._storage.get(("attestations", (commitment, origin_tag))) or 0
+
+    @view
+    def is_attested(self, commitment: int, origin_tag: int) -> bool:
+        """True once the threshold of distinct oracles has signed."""
+        return self.attestation_count(commitment, origin_tag) >= self._threshold
+
+    @view
+    def num_oracles(self) -> int:
+        return self._storage.get("oracle_count") or 0

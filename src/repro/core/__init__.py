@@ -1,0 +1,60 @@
+"""ZKDET core: the paper's contribution.
+
+- :mod:`repro.core.tokens` — data assets and their on-chain binding;
+- :mod:`repro.core.snark` — shared SNARK context (SRS + circuit key cache);
+- :mod:`repro.core.transformations` — the four transformation predicates;
+- :mod:`repro.core.transform_protocol` — the generic data transformation
+  protocol with decoupled pi_e / pi_t proofs and proof chains (Section IV-B);
+- :mod:`repro.core.exchange` — the key-secure two-phase exchange protocol
+  (Section IV-F);
+- :mod:`repro.core.zkcp` — the classic ZKCP baseline (Section III-C);
+- :mod:`repro.core.provenance` — traceability over the prevIds DAG;
+- :mod:`repro.core.marketplace` — the full-system facade.
+"""
+
+from repro.core.tokens import DataAsset
+from repro.core.snark import SnarkContext
+from repro.core.transformations import (
+    Aggregation,
+    Duplication,
+    Partition,
+    Processing,
+)
+from repro.core.transform_protocol import (
+    EncryptionProof,
+    TransformProof,
+    prove_encryption,
+    prove_transformation,
+    verify_encryption,
+    verify_transformation,
+)
+from repro.core.exchange import Buyer, KeySecureExchange, Seller
+from repro.core.zkcp import ZKCPExchange
+from repro.core.fairswap import FairSwapExchange, FairSwapListing
+from repro.core import predicates
+from repro.core.provenance import ProvenanceGraph
+from repro.core.marketplace import ZKDETMarketplace
+
+__all__ = [
+    "Aggregation",
+    "Buyer",
+    "DataAsset",
+    "Duplication",
+    "EncryptionProof",
+    "FairSwapExchange",
+    "FairSwapListing",
+    "KeySecureExchange",
+    "Partition",
+    "Processing",
+    "ProvenanceGraph",
+    "Seller",
+    "SnarkContext",
+    "TransformProof",
+    "ZKCPExchange",
+    "ZKDETMarketplace",
+    "predicates",
+    "prove_encryption",
+    "prove_transformation",
+    "verify_encryption",
+    "verify_transformation",
+]

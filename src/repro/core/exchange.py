@@ -1,0 +1,213 @@
+"""The key-secure two-phase data exchange protocol (Section IV-F).
+
+Phase 1 (data validation): the seller sends (c_d, pi_p) where pi_p proves
+phi(D) = 1, D_hat = Enc(k, D) and the commitment openings; the buyer
+verifies, picks a fresh k_v, sends it to the seller off-chain, and locks
+payment on the arbiter together with h_v = H(k_v).
+
+Phase 2 (key negotiation): the seller forms the masked key k_c = k + k_v
+and proves, in pi_k, that Open(k, c, o) = 1, h_v = H(k_v) and
+k_c = k + k_v.  The arbiter releases payment iff pi_k verifies; the buyer
+recovers k = k_c - k_v and decrypts.  The chain never sees k — the
+property ZKCP lacks (Challenge 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.field.fr import MODULUS as R, rand_fr
+from repro.gadgets.poseidon import assert_commitment_opens, poseidon_hash_gadget
+from repro.plonk.circuit import CircuitBuilder
+from repro.plonk.prover import prove
+from repro.primitives.hashing import field_hash
+from repro.primitives.mimc import mimc_decrypt_ctr
+from repro.core.snark import SnarkContext
+from repro.core.tokens import DataAsset, PublicAssetView
+from repro.core.transform_protocol import (
+    EncryptionProof,
+    prove_encryption,
+    verify_encryption,
+)
+
+
+def build_key_negotiation_circuit(
+    builder: CircuitBuilder,
+    k_c: int,
+    c_k: int,
+    h_v: int,
+    key: int,
+    o_k: int,
+    k_v: int,
+) -> None:
+    """The pi_k relation: Open(k,c,o) /\\ h_v = H(k_v) /\\ k_c = k + k_v."""
+    k_c_wire = builder.public_input(k_c)
+    c_k_wire = builder.public_input(c_k)
+    h_v_wire = builder.public_input(h_v)
+    key_wire = builder.var(key)
+    o_k_wire = builder.var(o_k)
+    k_v_wire = builder.var(k_v)
+    assert_commitment_opens(builder, [key_wire], c_k_wire, o_k_wire)
+    h_wire = poseidon_hash_gadget(builder, [k_v_wire])
+    builder.assert_equal(h_wire, h_v_wire)
+    masked = builder.add(key_wire, k_v_wire)
+    builder.assert_equal(masked, k_c_wire)
+
+
+def key_negotiation_keys(ctx: SnarkContext):
+    """(Cached) circuit keys for pi_k — shape-independent of the data."""
+    builder = CircuitBuilder()
+    build_key_negotiation_circuit(builder, 0, 0, 0, 0, 0, 0)
+    layout, _ = builder.compile(check=False)
+    return ctx.keys_for(layout)
+
+
+class Seller:
+    """The seller S, initialised by (D, k, D_hat, phi)."""
+
+    def __init__(self, ctx: SnarkContext, asset: DataAsset, address: str):
+        if asset.uri is None:
+            raise ProtocolError("publish the asset to storage before selling")
+        self.ctx = ctx
+        self.asset = asset
+        self.address = address
+
+    def data_validation_message(self, predicate=None) -> tuple[int, EncryptionProof]:
+        """Phase 1: produce (c_d, pi_p)."""
+        pi_p = prove_encryption(self.ctx, self.asset, predicate=predicate)
+        return self.asset.data_commitment.value, pi_p
+
+    def key_negotiation_message(self, k_v: int, h_v_on_chain: int):
+        """Phase 2: check the buyer's h_v, then produce (k_c, pi_k).
+
+        Per the seller-fairness proof, S aborts when the locked h_v does
+        not match the k_v she received off-chain.
+        """
+        if field_hash(k_v) != h_v_on_chain:
+            raise ProtocolError("buyer's h_v does not match the received k_v; aborting")
+        k_c = (self.asset.key + k_v) % R
+        builder = CircuitBuilder()
+        build_key_negotiation_circuit(
+            builder,
+            k_c,
+            self.asset.key_commitment.value,
+            h_v_on_chain,
+            self.asset.key,
+            self.asset.key_blinder,
+            k_v,
+        )
+        layout, assignment = builder.compile()
+        keys = self.ctx.keys_for(layout)
+        pi_k = prove(keys.pk, assignment)
+        return k_c, pi_k
+
+
+class Buyer:
+    """The buyer B, initialised by (D_hat, phi)."""
+
+    def __init__(self, ctx: SnarkContext, view: PublicAssetView, address: str):
+        self.ctx = ctx
+        self.view = view
+        self.address = address
+        self.k_v: int | None = None
+
+    def verify_data(self, c_d: int, pi_p: EncryptionProof, predicate=None) -> bool:
+        """Phase 1 verification of (c_d, pi_p)."""
+        if c_d != self.view.data_commitment:
+            return False
+        return verify_encryption(self.ctx, self.view, pi_p, predicate=predicate)
+
+    def choose_verification_key(self) -> tuple[int, int]:
+        """Pick k_v at random; returns (k_v, h_v)."""
+        self.k_v = rand_fr()
+        return self.k_v, field_hash(self.k_v)
+
+    def recover_plaintext(self, k_c: int) -> list[int]:
+        """Derive k = k_c - k_v and decrypt the public ciphertext."""
+        if self.k_v is None:
+            raise ProtocolError("no k_v chosen yet")
+        key = (k_c - self.k_v) % R
+        return mimc_decrypt_ctr(key, self.view.ciphertext)
+
+
+@dataclass
+class ExchangeResult:
+    success: bool
+    plaintext: list | None
+    reason: str
+    gas_used: int
+    exchange_id: int | None = None
+
+
+class KeySecureExchange:
+    """Orchestrates one exchange between a Seller and a Buyer on chain."""
+
+    def __init__(self, ctx: SnarkContext, chain, arbiter):
+        self.ctx = ctx
+        self.chain = chain
+        self.arbiter = arbiter
+
+    def run(
+        self,
+        seller: Seller,
+        buyer: Buyer,
+        price: int,
+        predicate=None,
+        tamper_k_c: bool = False,
+        tamper_k_v: bool = False,
+    ) -> ExchangeResult:
+        """Execute both phases; the tamper flags inject malicious behaviour
+        (used by the fairness tests and the security benchmarks)."""
+        gas = 0
+        # ----- Phase 1: data validation ---------------------------------
+        c_d, pi_p = seller.data_validation_message(predicate=predicate)
+        if not buyer.verify_data(c_d, pi_p, predicate=predicate):
+            return ExchangeResult(False, None, "pi_p rejected by buyer", gas)
+        k_v, h_v = buyer.choose_verification_key()
+        if tamper_k_v:
+            k_v = (k_v + 1) % R  # buyer lies to the seller off-chain
+        receipt = self.chain.transact(
+            buyer.address,
+            self.arbiter,
+            "lock_payment",
+            seller.address,
+            seller.asset.key_commitment.value,
+            h_v,
+            value=price,
+        )
+        gas += receipt.gas_used
+        if not receipt.status:
+            return ExchangeResult(False, None, "payment lock failed", gas)
+        exchange_id = receipt.return_value
+
+        # ----- Phase 2: key negotiation ---------------------------------
+        info = self.chain.call_view(self.arbiter, "exchange_info", exchange_id)
+        h_v_on_chain = info[3]
+        try:
+            k_c, pi_k = seller.key_negotiation_message(k_v, h_v_on_chain)
+        except ProtocolError as exc:
+            refund = self.chain.transact(buyer.address, self.arbiter, "refund", exchange_id)
+            gas += refund.gas_used
+            return ExchangeResult(False, None, str(exc), gas, exchange_id)
+        if tamper_k_c:
+            k_c = (k_c + 1) % R
+        receipt = self.chain.transact(
+            seller.address,
+            self.arbiter,
+            "submit_key",
+            exchange_id,
+            k_c,
+            pi_k.to_bytes(),
+        )
+        gas += receipt.gas_used
+        if not receipt.status:
+            refund = self.chain.transact(buyer.address, self.arbiter, "refund", exchange_id)
+            gas += refund.gas_used
+            return ExchangeResult(
+                False, None, "pi_k rejected on chain: %s" % receipt.error, gas, exchange_id
+            )
+
+        masked = self.chain.call_view(self.arbiter, "masked_key", exchange_id)
+        plaintext = buyer.recover_plaintext(masked)
+        return ExchangeResult(True, plaintext, "ok", gas, exchange_id)

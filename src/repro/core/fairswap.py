@@ -1,0 +1,150 @@
+"""The FairSwap protocol driver (seller/buyer sides, off-chain logic).
+
+Complements :class:`repro.contracts.fairswap.FairSwapContract` with the
+off-chain machinery: block encryption, Merkle tree construction over the
+plaintext and ciphertext, local re-verification after key reveal, and
+complaint assembly when the seller cheated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.field.fr import MODULUS as R, rand_fr
+from repro.gadgets.merkle import MerkleTree
+from repro.primitives.hashing import field_hash
+from repro.primitives.mimc import MiMC
+
+
+@dataclass
+class FairSwapListing:
+    """Seller-side state of one FairSwap sale."""
+
+    blocks: list[int]
+    key: int
+    nonce: int
+    cipher_blocks: list[int]
+    plain_tree: MerkleTree
+    cipher_tree: MerkleTree
+
+    @staticmethod
+    def create(blocks: list[int], key: int | None = None, nonce: int | None = None) -> "FairSwapListing":
+        if not blocks:
+            raise ProtocolError("a FairSwap listing needs at least one block")
+        blocks = [b % R for b in blocks]
+        key = rand_fr() if key is None else key % R
+        nonce = rand_fr() if nonce is None else nonce % R
+        cipher = MiMC()
+        cipher_blocks = [
+            (b + cipher.encrypt_block(key, (nonce + i) % R)) % R
+            for i, b in enumerate(blocks)
+        ]
+        return FairSwapListing(
+            blocks=blocks,
+            key=key,
+            nonce=nonce,
+            cipher_blocks=cipher_blocks,
+            plain_tree=MerkleTree(blocks),
+            cipher_tree=MerkleTree(cipher_blocks),
+        )
+
+    def tamper_block(self, index: int) -> None:
+        """Adversarial hook: corrupt one ciphertext block after committing
+        the plaintext tree (the misbehaviour FairSwap disputes catch)."""
+        self.cipher_blocks[index] = (self.cipher_blocks[index] + 1) % R
+        self.cipher_tree = MerkleTree(self.cipher_blocks)
+
+
+@dataclass
+class FairSwapResult:
+    success: bool
+    plaintext: list | None
+    reason: str
+    gas_used: int
+    dispute_gas: int = 0
+
+
+class FairSwapExchange:
+    """Orchestrates one FairSwap sale against the arbiter contract."""
+
+    def __init__(self, chain, contract):
+        self.chain = chain
+        self.contract = contract
+
+    def run(
+        self,
+        seller: str,
+        buyer: str,
+        listing: FairSwapListing,
+        price: int,
+        cheat_block: int | None = None,
+    ) -> FairSwapResult:
+        """Execute offer -> accept -> reveal -> (complain | finalize).
+
+        ``cheat_block`` makes the seller corrupt that ciphertext block
+        before listing; the buyer then wins a dispute.
+        """
+        gas = 0
+        if cheat_block is not None:
+            listing.tamper_block(cheat_block)
+
+        receipt = self.chain.transact(
+            seller, self.contract, "offer",
+            listing.cipher_tree.root, listing.plain_tree.root,
+            field_hash(listing.key), listing.nonce,
+            len(listing.blocks), price,
+        )
+        gas += receipt.gas_used
+        sale_id = receipt.return_value
+
+        receipt = self.chain.transact(buyer, self.contract, "accept", sale_id, value=price)
+        gas += receipt.gas_used
+        if not receipt.status:
+            return FairSwapResult(False, None, "accept failed", gas)
+
+        receipt = self.chain.transact(seller, self.contract, "reveal_key", sale_id, listing.key)
+        gas += receipt.gas_used
+        if not receipt.status:
+            return FairSwapResult(False, None, "reveal rejected", gas)
+
+        # Buyer decrypts locally and checks every block against the
+        # advertised plaintext root.
+        key = self.chain.call_view(self.contract, "revealed_key", sale_id)
+        cipher = MiMC()
+        decrypted = [
+            (c - cipher.encrypt_block(key, (listing.nonce + i) % R)) % R
+            for i, c in enumerate(listing.cipher_blocks)
+        ]
+        bad_index = None
+        for i, block in enumerate(decrypted):
+            if not MerkleTree.verify(
+                listing.plain_tree.root, block, listing.plain_tree.prove(i)
+            ):
+                bad_index = i
+                break
+
+        if bad_index is None:
+            self.chain.seal_block()
+            for _ in range(6):
+                self.chain.seal_block()
+            receipt = self.chain.transact(seller, self.contract, "finalize", sale_id)
+            gas += receipt.gas_used
+            return FairSwapResult(True, decrypted, "ok", gas)
+
+        # Dispute: assemble the proof of misbehaviour.
+        c_proof = listing.cipher_tree.prove(bad_index)
+        p_proof = listing.plain_tree.prove(bad_index)
+        receipt = self.chain.transact(
+            buyer, self.contract, "complain", sale_id, bad_index,
+            listing.cipher_blocks[bad_index],
+            tuple(c_proof.siblings), tuple(c_proof.path_bits),
+            listing.blocks[bad_index],
+            tuple(p_proof.siblings), tuple(p_proof.path_bits),
+        )
+        gas += receipt.gas_used
+        if not receipt.status:
+            return FairSwapResult(False, None, "complaint rejected: %s" % receipt.error, gas)
+        return FairSwapResult(
+            False, None, "seller cheated; buyer refunded", gas, dispute_gas=receipt.gas_used
+        )

@@ -1,0 +1,305 @@
+"""The ZKDET marketplace facade: chain + storage + contracts + protocols.
+
+One object wires the full system of Figure 1: a blockchain with the
+ERC-721 data-token, auction, verifier and arbiter contracts deployed, a
+content-addressed storage network, a shared SNARK context, and high-level
+operations for the whole data lifecycle — publish, transform, trade,
+trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+from repro.chain import Blockchain
+from repro.contracts import (
+    ClockAuctionContract,
+    DataTokenContract,
+    KeySecureArbiterContract,
+    PlonkVerifierContract,
+)
+from repro.storage import ContentStore
+from repro.core.exchange import (
+    Buyer,
+    ExchangeResult,
+    KeySecureExchange,
+    Seller,
+    key_negotiation_keys,
+)
+from repro.core.provenance import ProvenanceGraph
+from repro.core.snark import SnarkContext
+from repro.core.tokens import DataAsset
+from repro.core.transform_protocol import (
+    EncryptionProof,
+    TransformProof,
+    prove_encryption,
+    prove_transformation,
+    verify_encryption,
+    verify_transformation,
+)
+from repro.core.transformations import Transformation
+
+
+def _proof_hash(proof) -> str:
+    return hashlib.sha256(proof.to_bytes()).hexdigest()
+
+
+@dataclass
+class PublishedAsset:
+    """An asset together with its on-chain token and pi_e."""
+
+    asset: DataAsset
+    token_id: int
+    encryption_proof: EncryptionProof
+
+
+@dataclass
+class AuditReport:
+    """Outcome of a public provenance audit of one token."""
+
+    token_id: int
+    ok: bool
+    checks: list  # of (description, passed) pairs
+
+    def failed_checks(self) -> list:
+        return [desc for desc, passed in self.checks if not passed]
+
+
+class ZKDETMarketplace:
+    """Full-system facade; see examples/quickstart.py for a tour."""
+
+    def __init__(self, snark: SnarkContext, initial_funds: int = 10**12):
+        self.snark = snark
+        self.chain = Blockchain()
+        self.storage = ContentStore()
+        self.initial_funds = initial_funds
+
+        operator = self.chain.create_account(funded=initial_funds)
+        self.operator = operator
+        self.token = DataTokenContract()
+        self.chain.deploy(self.token, operator)
+        self.auction = ClockAuctionContract(self.token)
+        self.chain.deploy(self.auction, operator)
+        # The pi_k verifier key is circuit-shape fixed, so the verifier
+        # contract is deployed once for the whole marketplace.
+        pik_keys = key_negotiation_keys(snark)
+        self.pik_verifier = PlonkVerifierContract(pik_keys.vk)
+        self.chain.deploy(self.pik_verifier, operator)
+        self.arbiter = KeySecureArbiterContract(self.pik_verifier)
+        self.chain.deploy(self.arbiter, operator)
+        # Public proof registries: full pi_e / pi_t objects keyed by token.
+        # On-chain tokens store only proof hashes; the proofs themselves
+        # live in public storage (here: in-process registries standing in
+        # for IPFS-hosted proof blobs).
+        self._pi_e_registry: dict = {}
+        self._pi_t_registry: dict = {}
+
+    # ----- participants ---------------------------------------------------------
+
+    def register_participant(self) -> str:
+        """Create and fund an account."""
+        return self.chain.create_account(funded=self.initial_funds)
+
+    # ----- data lifecycle ----------------------------------------------------------
+
+    def publish_dataset(self, owner: str, plaintext: list[int]) -> PublishedAsset:
+        """Encrypt, store, prove (pi_e) and mint a dataset.
+
+        The paper's Section III-A flow: encrypt D, upload D_hat, treat the
+        URI as the ciphertext commitment, and mint the NFT credential.
+        """
+        asset = DataAsset.create(plaintext)
+        asset.publish(self.storage, owner=owner)
+        pi_e = prove_encryption(self.snark, asset)
+        if not verify_encryption(self.snark, asset.public_view(), pi_e):
+            raise ProtocolError("freshly generated pi_e failed verification")
+        receipt = self.chain.transact(
+            owner,
+            self.token,
+            "mint",
+            asset.uri,
+            asset.data_commitment.value,
+            _proof_hash(pi_e.proof),
+        )
+        if not receipt.status:
+            raise ProtocolError("mint failed: %s" % receipt.error)
+        token_id = receipt.return_value
+        self._pi_e_registry[token_id] = pi_e
+        return PublishedAsset(asset, token_id, pi_e)
+
+    def transform(
+        self,
+        owner: str,
+        sources: list[PublishedAsset],
+        transformation: Transformation,
+    ) -> tuple[list[PublishedAsset], TransformProof]:
+        """Apply a transformation: prove pi_t, publish the derived assets,
+        prove their pi_e, and mint derived tokens with prevIds lineage."""
+        if not sources:
+            raise ProtocolError("transformation needs source assets")
+        derived_assets, pi_t = prove_transformation(
+            self.snark, [p.asset for p in sources], transformation
+        )
+        if not verify_transformation(self.snark, transformation, pi_t):
+            raise ProtocolError("freshly generated pi_t failed verification")
+        proof_hash = _proof_hash(pi_t.proof)
+        source_ids = tuple(p.token_id for p in sources)
+
+        published = []
+        pending = []
+        for d in derived_assets:
+            d.publish(self.storage, owner=owner)
+            pi_e = prove_encryption(self.snark, d)
+            pending.append((d, pi_e))
+
+        name = transformation.name
+        if name == "aggregation":
+            d, pi_e = pending[0]
+            receipt = self.chain.transact(
+                owner, self.token, "aggregate", source_ids, d.uri,
+                d.data_commitment.value, proof_hash,
+            )
+            token_ids = [receipt.return_value] if receipt.status else []
+        elif name == "partition":
+            parts = tuple((d.uri, d.data_commitment.value) for d, _ in pending)
+            receipt = self.chain.transact(
+                owner, self.token, "partition", source_ids[0], parts, proof_hash
+            )
+            token_ids = list(receipt.return_value) if receipt.status else []
+        elif name == "duplication":
+            d, pi_e = pending[0]
+            receipt = self.chain.transact(
+                owner, self.token, "duplicate", source_ids[0], d.uri,
+                d.data_commitment.value, proof_hash,
+            )
+            token_ids = [receipt.return_value] if receipt.status else []
+        else:  # processing
+            d, pi_e = pending[0]
+            receipt = self.chain.transact(
+                owner, self.token, "process", source_ids, d.uri,
+                d.data_commitment.value, proof_hash,
+            )
+            token_ids = [receipt.return_value] if receipt.status else []
+        if not receipt.status:
+            raise ProtocolError("on-chain transformation failed: %s" % receipt.error)
+
+        for (d, pi_e), tid in zip(pending, token_ids):
+            self._pi_e_registry[tid] = pi_e
+            self._pi_t_registry[tid] = (transformation, pi_t, source_ids)
+            published.append(PublishedAsset(d, tid, pi_e))
+        return published, pi_t
+
+    # ----- trading --------------------------------------------------------------------
+
+    def sell(
+        self,
+        seller_address: str,
+        listing: PublishedAsset,
+        buyer_address: str,
+        price: int,
+        predicate=None,
+        **tamper,
+    ) -> ExchangeResult:
+        """Run the key-secure exchange for a published asset, then move the
+        token to the buyer on success."""
+        seller = Seller(self.snark, listing.asset, seller_address)
+        buyer = Buyer(self.snark, listing.asset.public_view(), buyer_address)
+        protocol = KeySecureExchange(self.snark, self.chain, self.arbiter)
+        result = protocol.run(seller, buyer, price, predicate=predicate, **tamper)
+        if result.success:
+            receipt = self.chain.transact(
+                seller_address, self.token, "transfer_from",
+                seller_address, buyer_address, listing.token_id,
+            )
+            if not receipt.status:
+                raise ProtocolError("token transfer failed: %s" % receipt.error)
+        return result
+
+    # ----- traceability -----------------------------------------------------------------
+
+    def provenance(self) -> ProvenanceGraph:
+        """The current transformation DAG from chain state."""
+        return ProvenanceGraph.from_token_contract(self.chain, self.token)
+
+    def fetch_ciphertext(self, token_id: int) -> bytes:
+        """Resolve a token's URI through the storage network."""
+        uri = self.chain.call_view(self.token, "token_uri", token_id)
+        if uri is None:
+            raise ProtocolError("token %d does not exist" % token_id)
+        return self.storage.get(uri)
+
+    def audit(self, token_id: int) -> AuditReport:
+        """Full public audit of a token: storage integrity, pi_e, and the
+        pi_t lineage back to every root — the buyer-side due-diligence
+        procedure the paper's traceability story enables.
+
+        Uses only public information: chain state, the storage network,
+        and the published proof registries.
+        """
+        checks = []
+        commitment = self.chain.call_view(self.token, "commitment_of", token_id)
+        checks.append(("token exists on chain", commitment is not None))
+        if commitment is None:
+            return AuditReport(token_id, False, checks)
+
+        # 1. Storage integrity: the URI must resolve and self-verify.
+        try:
+            self.fetch_ciphertext(token_id)
+            checks.append(("ciphertext resolves and matches its URI", True))
+        except Exception:
+            checks.append(("ciphertext resolves and matches its URI", False))
+
+        # 2. pi_e: the ciphertext encrypts the committed dataset.
+        pi_e = self._pi_e_registry.get(token_id)
+        if pi_e is None:
+            checks.append(("pi_e published", False))
+        else:
+            checks.append(("pi_e published", True))
+            # Rebuild the public view from pi_e's own statement.
+            from repro.core.tokens import PublicAssetView
+            from repro.primitives.mimc import CtrCiphertext
+
+            view = PublicAssetView(
+                uri=self.chain.call_view(self.token, "token_uri", token_id) or "",
+                ciphertext=CtrCiphertext(pi_e.nonce, pi_e.ciphertext_blocks),
+                data_commitment=pi_e.data_commitment,
+                key_commitment=pi_e.key_commitment,
+                num_entries=len(pi_e.ciphertext_blocks),
+            )
+            ok = pi_e.data_commitment == commitment and verify_encryption(
+                self.snark, view, pi_e
+            )
+            checks.append(("pi_e verifies against the on-chain commitment", ok))
+
+        # 3. pi_t lineage: every transformation edge back to the roots.
+        frontier = [token_id]
+        seen = set()
+        while frontier:
+            tid = frontier.pop()
+            if tid in seen:
+                continue
+            seen.add(tid)
+            parents = self.chain.call_view(self.token, "prev_ids", tid)
+            if not parents:
+                continue
+            record = self._pi_t_registry.get(tid)
+            if record is None:
+                checks.append(("pi_t published for token %d" % tid, False))
+                continue
+            transformation, pi_t, source_ids = record
+            link_ok = verify_transformation(self.snark, transformation, pi_t)
+            # The proof's commitments must match the on-chain metadata.
+            parent_commits = tuple(
+                self.chain.call_view(self.token, "commitment_of", p) for p in source_ids
+            )
+            link_ok = link_ok and parent_commits == pi_t.source_commitments
+            my_commit = self.chain.call_view(self.token, "commitment_of", tid)
+            link_ok = link_ok and my_commit in pi_t.derived_commitments
+            checks.append(
+                ("pi_t (%s) verifies for token %d" % (transformation.name, tid), link_ok)
+            )
+            frontier.extend(parents)
+
+        return AuditReport(token_id, all(ok for _, ok in checks), checks)

@@ -1,0 +1,120 @@
+"""Concrete phi(D) predicates for the exchange protocols.
+
+The ZKCP/key-secure exchanges prove "phi(D) = 1" so buyers can assess a
+dataset's value before paying (Section I: demanders must be able to
+"verify the correctness of the data and evaluate its value").  These are
+ready-made predicates over the plaintext wires, built from the gadget
+library; each is a callable ``predicate(builder, plaintext_wires)``
+suitable for the ``predicate=`` hook of ``prove_encryption`` /
+``Seller.data_validation_message`` / ``ZKCPExchange.run``.
+
+Predicates carry a ``__name__`` so circuit-key caches can distinguish
+them; compose with :func:`all_of`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.gadgets.boolean import num_to_bits
+from repro.gadgets.comparison import less_than
+from repro.gadgets.merkle import MerkleProof, assert_merkle_membership
+from repro.plonk.circuit import CircuitBuilder, Wire
+
+
+def _named(name: str):
+    def wrap(fn):
+        fn.__name__ = name
+        return fn
+
+    return wrap
+
+
+def entries_in_range(max_bits: int):
+    """phi: every entry is a non-negative integer below 2**max_bits.
+
+    The workhorse predicate: bounded sensor readings, prices, counts.
+    """
+
+    @_named("entries_in_range_%d" % max_bits)
+    def predicate(builder: CircuitBuilder, plaintext: list[Wire]) -> None:
+        for wire in plaintext:
+            num_to_bits(builder, wire, max_bits)
+
+    return predicate
+
+
+def sum_in_range(lo: int, hi: int, entry_bits: int = 32):
+    """phi: lo <= sum(D) <= hi (entries range-checked to entry_bits).
+
+    Lets a buyer verify an aggregate statistic — e.g. total volume —
+    without learning any individual entry.
+    """
+    if lo > hi:
+        raise ProtocolError("empty range")
+
+    @_named("sum_in_range_%d_%d_%d" % (lo, hi, entry_bits))
+    def predicate(builder: CircuitBuilder, plaintext: list[Wire]) -> None:
+        for wire in plaintext:
+            num_to_bits(builder, wire, entry_bits)
+        total = builder.linear_combination([(1, w) for w in plaintext])
+        total_bits = entry_bits + max(1, len(plaintext)).bit_length()
+        lo_wire = builder.constant(lo)
+        hi_plus = builder.constant(hi + 1)
+        ge_lo = less_than(builder, lo_wire, builder.add_const(total, 1), total_bits + 1)
+        lt_hi = less_than(builder, total, hi_plus, total_bits + 1)
+        builder.assert_constant(ge_lo, 1)
+        builder.assert_constant(lt_hi, 1)
+
+    return predicate
+
+
+def mean_in_range(lo_scaled: int, hi_scaled: int, entry_bits: int = 32):
+    """phi: lo <= mean(D) <= hi, with bounds pre-scaled by len(D).
+
+    Callers pass ``lo_scaled = lo * n`` and ``hi_scaled = hi * n`` so the
+    circuit avoids division; the helper below does it for you."""
+    return sum_in_range(lo_scaled, hi_scaled, entry_bits)
+
+
+def mean_bounds(lo: float, hi: float, num_entries: int, entry_bits: int = 32):
+    """Convenience wrapper: phi for lo <= mean <= hi over n entries."""
+    return mean_in_range(
+        int(lo * num_entries), int(hi * num_entries), entry_bits
+    )
+
+
+def entry_at_index_equals(index: int, value: int):
+    """phi: D[index] == value (a disclosed sample row — 'previews')."""
+
+    @_named("entry_at_%d_equals" % index)
+    def predicate(builder: CircuitBuilder, plaintext: list[Wire]) -> None:
+        if index >= len(plaintext):
+            raise ProtocolError("sample index out of range")
+        builder.assert_constant(plaintext[index], value)
+
+    return predicate
+
+
+def contains_committed_row(root: int, proof: MerkleProof, index: int):
+    """phi: D[index] is a leaf of the Merkle tree with the given root —
+    e.g. the root published by an oracle-attested registry."""
+
+    @_named("contains_row_%d_%d" % (root % 10**9, index))
+    def predicate(builder: CircuitBuilder, plaintext: list[Wire]) -> None:
+        if index >= len(plaintext):
+            raise ProtocolError("row index out of range")
+        root_wire = builder.constant(root)
+        assert_merkle_membership(builder, root_wire, plaintext[index], proof)
+
+    return predicate
+
+
+def all_of(*predicates):
+    """Conjunction of predicates (phi_1 AND phi_2 AND ...)."""
+
+    @_named("all_of_" + "_".join(p.__name__ for p in predicates))
+    def predicate(builder: CircuitBuilder, plaintext: list[Wire]) -> None:
+        for p in predicates:
+            p(builder, plaintext)
+
+    return predicate

@@ -1,0 +1,93 @@
+"""Traceability queries over the on-chain transformation DAG.
+
+Everything here is computed purely from public chain state: the
+``prevIds[]`` metadata recorded by the DataTokenContract.  This realises
+the paper's Figure 2 — "data assets undergo multiple transformations,
+which can be traced through prevIds[] up to their sources".
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ProtocolError
+
+
+class ProvenanceGraph:
+    """The transformation DAG of every token minted on a contract."""
+
+    def __init__(self, graph: "nx.DiGraph"):
+        self._g = graph
+
+    @staticmethod
+    def from_token_contract(chain, token) -> "ProvenanceGraph":
+        """Build the DAG from chain state (edges parent -> child)."""
+        g = nx.DiGraph()
+        total = chain.call_view(token, "total_minted")
+        for token_id in range(1, total + 1):
+            g.add_node(
+                token_id,
+                kind=chain.call_view(token, "kind_of", token_id),
+                uri=chain.call_view(token, "token_uri", token_id),
+                commitment=chain.call_view(token, "commitment_of", token_id),
+                owner=chain.call_view(token, "owner_of", token_id),
+                burned=chain.call_view(token, "is_burned", token_id),
+                proof_hash=chain.call_view(token, "proof_hash_of", token_id),
+            )
+            for parent in chain.call_view(token, "prev_ids", token_id):
+                g.add_edge(parent, token_id)
+        return ProvenanceGraph(g)
+
+    def to_networkx(self) -> "nx.DiGraph":
+        return self._g
+
+    def _require(self, token_id: int) -> None:
+        if token_id not in self._g:
+            raise ProtocolError("token %d is not in the provenance graph" % token_id)
+
+    def ancestors(self, token_id: int) -> set:
+        """Every token this one (transitively) derives from."""
+        self._require(token_id)
+        return set(nx.ancestors(self._g, token_id))
+
+    def descendants(self, token_id: int) -> set:
+        """Every token (transitively) derived from this one."""
+        self._require(token_id)
+        return set(nx.descendants(self._g, token_id))
+
+    def sources_of(self, token_id: int) -> set:
+        """The original (in-degree zero) datasets this token descends from."""
+        self._require(token_id)
+        lineage = self.ancestors(token_id) | {token_id}
+        return {t for t in lineage if self._g.in_degree(t) == 0}
+
+    def lineage_paths(self, source: int, target: int) -> list[list[int]]:
+        """All transformation paths from one token to another."""
+        self._require(source)
+        self._require(target)
+        return [list(p) for p in nx.all_simple_paths(self._g, source, target)]
+
+    def transformation_history(self, token_id: int) -> list[tuple]:
+        """(token, kind) pairs along the lineage, topologically ordered."""
+        self._require(token_id)
+        lineage = self.ancestors(token_id) | {token_id}
+        sub = self._g.subgraph(lineage)
+        return [(t, self._g.nodes[t]["kind"]) for t in nx.topological_sort(sub)]
+
+    def is_acyclic(self) -> bool:
+        """A healthy provenance graph is a DAG (tokens cannot predate
+        their parents by construction of prevIds)."""
+        return nx.is_directed_acyclic_graph(self._g)
+
+    def commitment_chain(self, source: int, target: int) -> list[int]:
+        """Commitments along the shortest lineage path, for proof-chain
+        verification against pi_t links."""
+        paths = self.lineage_paths(source, target)
+        if not paths:
+            raise ProtocolError("no lineage between %d and %d" % (source, target))
+        path = min(paths, key=len)
+        return [self._g.nodes[t]["commitment"] for t in path]
+
+    @property
+    def num_tokens(self) -> int:
+        return self._g.number_of_nodes()

@@ -1,0 +1,67 @@
+"""Shared SNARK context: one universal SRS, cached circuit keys.
+
+The whole point of ZKDET's Plonk choice is that a *single* universal setup
+serves every circuit (Section VI-B1).  :class:`SnarkContext` owns that SRS
+and memoises ``setup`` results per circuit shape, mirroring how a deployed
+system would reuse preprocessed keys across proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SRSError
+from repro.kzg.srs import SRS
+from repro.plonk.circuit import CircuitBuilder, Layout
+from repro.plonk.keys import DEGREE_MARGIN, ProvingKey, VerifyingKey, setup
+
+
+@dataclass
+class CircuitKeys:
+    layout: Layout
+    pk: ProvingKey
+    vk: VerifyingKey
+
+
+class SnarkContext:
+    """An SRS plus a cache of per-circuit proving/verifying keys."""
+
+    def __init__(self, srs: SRS):
+        self.srs = srs
+        self._cache: dict = {}
+
+    @staticmethod
+    def with_fresh_srs(max_degree: int, tau: int | None = None) -> "SnarkContext":
+        """Convenience constructor running a single-party setup."""
+        return SnarkContext(SRS.generate(max_degree, tau=tau))
+
+    def keys_for(self, layout: Layout) -> CircuitKeys:
+        """Return (cached) keys for a compiled circuit layout."""
+        digest = layout.digest()
+        keys = self._cache.get(digest)
+        if keys is None:
+            if layout.n + DEGREE_MARGIN > self.srs.max_degree:
+                raise SRSError(
+                    "circuit of size %d exceeds this context's SRS (degree %d); "
+                    "run a larger ceremony" % (layout.n, self.srs.max_degree)
+                )
+            pk, vk = setup(self.srs, layout)
+            keys = CircuitKeys(layout, pk, vk)
+            self._cache[digest] = keys
+        return keys
+
+    def compile_and_keys(self, build_fn) -> tuple[CircuitKeys, list[int]]:
+        """Build a circuit with ``build_fn(builder)``, compile, fetch keys.
+
+        Returns the keys plus the assignment's public inputs; the caller
+        keeps the assignment via closure if it needs to prove.
+        """
+        builder = CircuitBuilder()
+        build_fn(builder)
+        layout, assignment = builder.compile()
+        keys = self.keys_for(layout)
+        return keys, assignment  # type: ignore[return-value]
+
+    @property
+    def cached_circuits(self) -> int:
+        return len(self._cache)

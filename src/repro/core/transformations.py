@@ -1,0 +1,184 @@
+"""The four data-transformation predicates (Sections III-B and IV-D).
+
+Every transformation f provides both a native ``apply`` (how the owner
+actually computes D = f(S)) and a ``constrain`` method emitting the
+in-circuit relation for the proof of transformation pi_t.  The circuits
+follow the paper's predicates:
+
+- *Duplication*:  n == m  and  d_i == s_i for all i;
+- *Aggregation*:  m == sum(n_k)  and ordered concatenation equality;
+- *Partition*:    every part non-empty, parts exhaustively and disjointly
+  cover S (realised as the ordered inverse of aggregation);
+- *Processing*:   an arbitrary predicate assembled from the gadget library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.plonk.circuit import CircuitBuilder, Wire
+
+
+class Transformation:
+    """Base interface for transformation predicates."""
+
+    #: short tag recorded in NFT metadata and used for key caching
+    name: str = "abstract"
+
+    def output_sizes(self, input_sizes: list[int]) -> list[int]:
+        """Sizes of the derived datasets given the source sizes."""
+        raise NotImplementedError
+
+    def apply(self, sources: list[list[int]]) -> list[list[int]]:
+        """Compute the derived datasets natively."""
+        raise NotImplementedError
+
+    def constrain(
+        self,
+        builder: CircuitBuilder,
+        sources: list[list[Wire]],
+        derived: list[list[Wire]],
+    ) -> None:
+        """Emit the circuit relation derived == f(sources)."""
+        raise NotImplementedError
+
+    def shape_key(self, input_sizes: list[int]) -> tuple:
+        """Cache key: same transformation + same sizes => same circuit."""
+        return (self.name, tuple(input_sizes))
+
+
+@dataclass(frozen=True)
+class Duplication(Transformation):
+    """Replicate a dataset: d_i == s_i, n == m."""
+
+    name: str = "duplication"
+
+    def output_sizes(self, input_sizes):
+        if len(input_sizes) != 1:
+            raise ProtocolError("duplication takes exactly one source")
+        return [input_sizes[0]]
+
+    def apply(self, sources):
+        (src,) = sources
+        return [list(src)]
+
+    def constrain(self, builder, sources, derived):
+        (src,), (dst,) = sources, derived
+        if len(src) != len(dst):
+            raise ProtocolError("duplication requires equal sizes (n == m)")
+        for s, d in zip(src, dst):
+            builder.assert_equal(d, s)
+
+
+@dataclass(frozen=True)
+class Aggregation(Transformation):
+    """Ordered concatenation of x sources into one derived dataset."""
+
+    name: str = "aggregation"
+
+    def output_sizes(self, input_sizes):
+        if len(input_sizes) < 2:
+            raise ProtocolError("aggregation needs at least two sources")
+        return [sum(input_sizes)]
+
+    def apply(self, sources):
+        merged: list[int] = []
+        for src in sources:
+            merged.extend(src)
+        return [merged]
+
+    def constrain(self, builder, sources, derived):
+        (dst,) = derived
+        if len(dst) != sum(len(s) for s in sources):
+            raise ProtocolError("aggregation size mismatch (m != sum n_k)")
+        offset = 0
+        for src in sources:
+            for j, s in enumerate(src):
+                builder.assert_equal(s, dst[offset + j])
+            offset += len(src)
+
+
+@dataclass(frozen=True)
+class Partition(Transformation):
+    """Ordered split of one source into parts of declared sizes.
+
+    The split is exhaustive (sizes sum to n) and mutually exclusive (each
+    source position feeds exactly one part) by construction of the ordered
+    correspondence; every part must be non-empty, matching the paper's
+    ``n_k != 0`` clause.
+    """
+
+    sizes: tuple = ()
+    name: str = "partition"
+
+    def __post_init__(self):
+        if len(self.sizes) < 2:
+            raise ProtocolError("partition needs at least two parts")
+        if any(s <= 0 for s in self.sizes):
+            raise ProtocolError("partition parts must be non-empty (n_k != 0)")
+
+    def output_sizes(self, input_sizes):
+        if len(input_sizes) != 1:
+            raise ProtocolError("partition takes exactly one source")
+        if sum(self.sizes) != input_sizes[0]:
+            raise ProtocolError("partition is not exhaustive (sizes must sum to n)")
+        return list(self.sizes)
+
+    def apply(self, sources):
+        (src,) = sources
+        if sum(self.sizes) != len(src):
+            raise ProtocolError("partition is not exhaustive (sizes must sum to n)")
+        parts = []
+        offset = 0
+        for size in self.sizes:
+            parts.append(list(src[offset : offset + size]))
+            offset += size
+        return parts
+
+    def constrain(self, builder, sources, derived):
+        (src,) = sources
+        if sum(len(d) for d in derived) != len(src):
+            raise ProtocolError("partition constraint size mismatch")
+        offset = 0
+        for part in derived:
+            for j, d in enumerate(part):
+                builder.assert_equal(d, src[offset + j])
+            offset += len(part)
+
+    def shape_key(self, input_sizes):
+        return (self.name, tuple(input_sizes), tuple(self.sizes))
+
+
+@dataclass(frozen=True)
+class Processing(Transformation):
+    """An arbitrary computation with a caller-supplied predicate circuit.
+
+    ``apply_fn(sources) -> derived_datasets`` computes the result
+    natively; ``constrain_fn(builder, sources, derived)`` emits the
+    predicate from the gadget library.  ``tag`` distinguishes circuits for
+    key caching (e.g. "logistic-regression", "transformer-block").
+    """
+
+    apply_fn: Callable = None
+    constrain_fn: Callable = None
+    out_sizes_fn: Callable = None
+    tag: str = "generic"
+    name: str = "processing"
+
+    def __post_init__(self):
+        if self.apply_fn is None or self.constrain_fn is None or self.out_sizes_fn is None:
+            raise ProtocolError("processing needs apply, constrain and size functions")
+
+    def output_sizes(self, input_sizes):
+        return self.out_sizes_fn(input_sizes)
+
+    def apply(self, sources):
+        return self.apply_fn(sources)
+
+    def constrain(self, builder, sources, derived):
+        self.constrain_fn(builder, sources, derived)
+
+    def shape_key(self, input_sizes):
+        return (self.name, self.tag, tuple(input_sizes))

@@ -1,0 +1,40 @@
+"""Analytic cost model: constraints -> time, gas and proof size.
+
+Bridges the scale gap between a pure-Python prover and the paper's
+testbed: closed-form constraint counts (validated against the real
+circuit builder in tests) plus timing models calibrated from measured
+small-scale runs let the benchmark harness reproduce the paper-scale rows
+of Figures 5-6 and Table I alongside the genuinely measured points.
+"""
+
+from repro.costmodel.model import (
+    CostModel,
+    TimingModel,
+    encryption_circuit_gates,
+    key_negotiation_gates,
+    logistic_circuit_gates,
+    mimc_block_gates,
+    mimc_ctr_element_gates,
+    padded_circuit_size,
+    poseidon_hash_gates,
+    poseidon_permutation_gates,
+    commitment_open_gates,
+    transformation_circuit_gates,
+    transformer_circuit_gates,
+)
+
+__all__ = [
+    "CostModel",
+    "TimingModel",
+    "commitment_open_gates",
+    "encryption_circuit_gates",
+    "key_negotiation_gates",
+    "logistic_circuit_gates",
+    "mimc_block_gates",
+    "mimc_ctr_element_gates",
+    "padded_circuit_size",
+    "poseidon_hash_gates",
+    "poseidon_permutation_gates",
+    "transformation_circuit_gates",
+    "transformer_circuit_gates",
+]

@@ -1,0 +1,196 @@
+"""Constraint-count formulas and calibrated timing models.
+
+The gate-count formulas are exact for the library's gadgets (tests verify
+them against circuits built for real); the timing side fits measured
+(circuit size, seconds) points and extrapolates, under Plonk's known
+complexity (prover ~ O(n log n), dominated in practice by the linear MSM
+term; verification O(1)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.primitives.mimc import ROUNDS as MIMC_ROUNDS
+from repro.primitives.poseidon import FULL_ROUNDS, PARTIAL_ROUNDS
+
+# ----- exact gate counts for the gadget library ---------------------------------
+
+
+def mimc_block_gates(rounds: int = MIMC_ROUNDS) -> int:
+    """One MiMC permutation: per round one linear fold + x^7 in 4 muls,
+    plus the final key addition."""
+    return rounds * 5 + 1
+
+
+def mimc_ctr_element_gates(rounds: int = MIMC_ROUNDS) -> int:
+    """One CTR element: counter offset + block + keystream addition."""
+    return mimc_block_gates(rounds) + 2
+
+
+def poseidon_permutation_gates(width: int = 3) -> int:
+    """One Poseidon permutation of the given width.
+
+    Full round: width add-consts + width x^5 S-boxes (3 muls each) +
+    width mixing rows (width-term linear combinations, width-1 gates).
+    Partial round: the same with a single S-box.
+    """
+    mix = width * (width - 1)
+    full = width + 3 * width + mix
+    partial = width + 3 + mix
+    return FULL_ROUNDS * full + PARTIAL_ROUNDS * partial
+
+
+def poseidon_hash_gates(num_inputs: int, width: int = 3) -> int:
+    """Sponge hash: one absorb-add per input + one permutation per chunk.
+
+    Constants (the length tag and initial zeros) are deduplicated by the
+    builder, costing at most 2 extra gates across a circuit; they are
+    counted once here.
+    """
+    rate = width - 1
+    chunks = max(1, -(-max(num_inputs, 1) // rate))
+    return chunks * poseidon_permutation_gates(width) + num_inputs
+
+
+def commitment_open_gates(message_len: int) -> int:
+    """Open(m, c, o): hash of (blinder || m) plus one equality gate."""
+    return poseidon_hash_gates(message_len + 1) + 1
+
+
+def encryption_circuit_gates(num_entries: int) -> int:
+    """The pi_e circuit: CTR encryption + data opening + key opening."""
+    return (
+        num_entries * (mimc_ctr_element_gates() + 1)  # +1 equality per block
+        + commitment_open_gates(num_entries)
+        + commitment_open_gates(1)
+        + 2  # cached constants
+    )
+
+
+def transformation_circuit_gates(source_sizes: list[int], derived_sizes: list[int]) -> int:
+    """A pi_t circuit for the structural transformations (dup/agg/part):
+    openings for every dataset plus one equality per derived element."""
+    gates = sum(commitment_open_gates(n) for n in source_sizes)
+    gates += sum(commitment_open_gates(n) for n in derived_sizes)
+    gates += sum(derived_sizes)  # element equalities
+    return gates + 2
+
+
+def key_negotiation_gates() -> int:
+    """The pi_k circuit: key opening + H(k_v) + the masking equation."""
+    return commitment_open_gates(1) + poseidon_hash_gates(1) + 4
+
+
+def logistic_circuit_gates(num_points: int, num_features: int, fp_mul_gates: int = 95) -> int:
+    """Approximate pi_t size for the LR convergence predicate.
+
+    Two loss evaluations + one gradient step; each sample costs about
+    (features + 16) fixed-point multiplications (sigmoid deg-5 + two
+    deg-5 logs + products).  ``fp_mul_gates`` is the per-multiplication
+    cost of the default format (dominated by the range decompositions).
+    """
+    per_sample_muls = 2 * (num_features + 12) + (num_features + 2)
+    return num_points * per_sample_muls * fp_mul_gates + commitment_open_gates(
+        num_points * (num_features + 1)
+    ) + commitment_open_gates(num_features + 1)
+
+
+def transformer_circuit_gates(seq_len: int, d_model: int, d_ff: int, fp_mul_gates: int = 95) -> int:
+    """Approximate pi_t size for one transformer block inference proof."""
+    qkv = 3 * seq_len * d_model * d_model
+    scores = seq_len * seq_len * (d_model + 1)
+    softmax = seq_len * seq_len * 6 + seq_len * 8
+    weighted = seq_len * seq_len * d_model
+    ffn = seq_len * (d_model * d_ff * 2 + d_ff)
+    muls = qkv + scores + softmax + weighted + ffn
+    params = 3 * d_model**2 + 2 * d_model * d_ff + d_ff + d_model
+    return muls * fp_mul_gates + commitment_open_gates(seq_len * d_model) * 2 + commitment_open_gates(params)
+
+
+def padded_circuit_size(gates: int) -> int:
+    """Plonk pads to the next power of two (minimum 4)."""
+    n = 4
+    while n < gates:
+        n <<= 1
+    return n
+
+
+# ----- timing models --------------------------------------------------------------
+
+
+@dataclass
+class TimingModel:
+    """A per-operation time model fit from measured (size, seconds) points.
+
+    Fits t(n) = a * n * log2(n) + b — the Plonk prover/setup shape — by
+    least squares on the transformed feature; ``constant=True`` fits a
+    flat model (verification)."""
+
+    a: float = 0.0
+    b: float = 0.0
+    constant: bool = False
+
+    @staticmethod
+    def fit(points: list[tuple[int, float]], constant: bool = False) -> "TimingModel":
+        if not points:
+            raise ReproError("cannot fit a timing model without measurements")
+        if constant or len(points) == 1:
+            mean = sum(t for _, t in points) / len(points)
+            return TimingModel(a=0.0, b=mean, constant=True)
+        import math
+
+        xs = [n * math.log2(max(n, 2)) for n, _ in points]
+        ys = [t for _, t in points]
+        n = len(points)
+        sx = sum(xs)
+        sy = sum(ys)
+        sxx = sum(x * x for x in xs)
+        sxy = sum(x * y for x, y in zip(xs, ys))
+        denom = n * sxx - sx * sx
+        if denom == 0:
+            return TimingModel(a=0.0, b=sy / n, constant=True)
+        a = (n * sxy - sx * sy) / denom
+        b = (sy - a * sx) / n
+        return TimingModel(a=a, b=b)
+
+    def predict(self, n: int) -> float:
+        if self.constant:
+            return self.b
+        import math
+
+        return max(0.0, self.a * n * math.log2(max(n, 2)) + self.b)
+
+
+@dataclass
+class CostModel:
+    """Bundled timing models for setup, proving and verification."""
+
+    setup: TimingModel
+    prove: TimingModel
+    verify: TimingModel
+
+    @staticmethod
+    def from_measurements(
+        setup_points: list[tuple[int, float]],
+        prove_points: list[tuple[int, float]],
+        verify_points: list[tuple[int, float]],
+    ) -> "CostModel":
+        return CostModel(
+            setup=TimingModel.fit(setup_points),
+            prove=TimingModel.fit(prove_points),
+            verify=TimingModel.fit(verify_points, constant=True),
+        )
+
+    def report_row(self, gates: int) -> dict:
+        """Predicted costs for a circuit with ``gates`` raw constraints."""
+        n = padded_circuit_size(gates)
+        return {
+            "gates": gates,
+            "padded_n": n,
+            "setup_seconds": self.setup.predict(n),
+            "prove_seconds": self.prove.predict(n),
+            "verify_seconds": self.verify.predict(n),
+            "proof_size_bytes": 9 * 64 + 6 * 32,
+        }

@@ -1,0 +1,20 @@
+"""BN254 (alt_bn128) elliptic-curve substrate.
+
+Implements, from scratch, everything the SNARK layers need:
+
+- the base field F_q and its quadratic extension F_q2 (`repro.curve.fq`);
+- the degree-12 extension F_q12 used by the pairing (`repro.curve.fq12`);
+- the groups G1 (over F_q) and G2 (over F_q2) with Jacobian arithmetic
+  (`repro.curve.g1`, `repro.curve.g2`);
+- the optimal-ate pairing e: G1 x G2 -> F_q12 (`repro.curve.pairing`);
+- Pippenger multi-scalar multiplication (`repro.curve.msm`).
+
+This is the curve the paper's Circom/Snarkjs prototype uses ("BN-128").
+"""
+
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+from repro.curve.pairing import pairing, pairing_check
+from repro.curve.msm import msm_g1
+
+__all__ = ["G1", "G2", "pairing", "pairing_check", "msm_g1"]

@@ -1,0 +1,141 @@
+"""The degree-12 extension field F_q12 used by the BN254 pairing.
+
+Elements are 12-tuples of ints: the coefficients of a polynomial in ``w``
+reduced modulo ``w^12 - 18*w^6 + 82`` (the standard flat representation,
+equivalent to the Fq2/Fq6/Fq12 tower with w^6 = 9 + u).  Keeping flat
+int-tuples instead of nested objects makes multiplication roughly an order
+of magnitude faster in CPython, which dominates pairing time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldError
+from repro.curve.fq import Q
+
+DEGREE = 12
+
+#: w^12 = 18*w^6 - 82, i.e. modulus polynomial coefficients for degrees 0..11.
+_MOD_COEFF_6 = 18
+_MOD_COEFF_0 = -82
+
+FQ12_ZERO = (0,) * 12
+FQ12_ONE = (1,) + (0,) * 11
+
+
+def fq12(coeffs) -> tuple:
+    """Build an F_q12 element from up to 12 coefficients (low degree first)."""
+    coeffs = [c % Q for c in coeffs]
+    if len(coeffs) > DEGREE:
+        raise FieldError("too many coefficients for Fq12")
+    return tuple(coeffs + [0] * (DEGREE - len(coeffs)))
+
+
+def fq12_add(a: tuple, b: tuple) -> tuple:
+    return tuple((x + y) % Q for x, y in zip(a, b))
+
+
+def fq12_sub(a: tuple, b: tuple) -> tuple:
+    return tuple((x - y) % Q for x, y in zip(a, b))
+
+
+def fq12_neg(a: tuple) -> tuple:
+    return tuple(-x % Q for x in a)
+
+
+def fq12_scalar(a: tuple, k: int) -> tuple:
+    k %= Q
+    return tuple(x * k % Q for x in a)
+
+
+def fq12_mul(a: tuple, b: tuple) -> tuple:
+    """Schoolbook 12x12 product followed by reduction by w^12 - 18w^6 + 82."""
+    prod = [0] * 23
+    for i in range(12):
+        ai = a[i]
+        if ai == 0:
+            continue
+        for j in range(12):
+            bj = b[j]
+            if bj:
+                prod[i + j] += ai * bj
+    # Reduce degrees 22..12 using w^d = 18 w^(d-6) - 82 w^(d-12).
+    for d in range(22, 11, -1):
+        c = prod[d]
+        if c:
+            prod[d - 6] += _MOD_COEFF_6 * c
+            prod[d - 12] += _MOD_COEFF_0 * c
+            prod[d] = 0
+    return tuple(c % Q for c in prod[:12])
+
+
+def fq12_square(a: tuple) -> tuple:
+    return fq12_mul(a, a)
+
+
+def fq12_pow(a: tuple, e: int) -> tuple:
+    if e < 0:
+        a = fq12_inv(a)
+        e = -e
+    result = FQ12_ONE
+    base = a
+    while e:
+        if e & 1:
+            result = fq12_mul(result, base)
+        base = fq12_mul(base, base)
+        e >>= 1
+    return result
+
+
+def _poly_degree(p: list[int]) -> int:
+    d = len(p) - 1
+    while d >= 0 and p[d] % Q == 0:
+        d -= 1
+    return d
+
+
+def _poly_rounded_div(a: list[int], b: list[int]) -> list[int]:
+    """Quotient of polynomial division over F_q (py_ecc style)."""
+    dega = _poly_degree(a)
+    degb = _poly_degree(b)
+    temp = [x % Q for x in a]
+    out = [0] * len(a)
+    lead_inv = pow(b[degb], Q - 2, Q)
+    for i in range(dega - degb, -1, -1):
+        out[i] = (out[i] + temp[degb + i] * lead_inv) % Q
+        for c in range(degb + 1):
+            temp[c + i] = (temp[c + i] - out[i] * b[c]) % Q
+    return out[: _poly_degree(out) + 1] or [0]
+
+
+def fq12_inv(a: tuple) -> tuple:
+    """Inverse via the extended Euclidean algorithm on polynomials."""
+    if all(c % Q == 0 for c in a):
+        raise FieldError("inverse of zero in Fq12")
+    lm: list[int] = [1] + [0] * DEGREE
+    hm: list[int] = [0] * (DEGREE + 1)
+    low: list[int] = [c % Q for c in a] + [0]
+    # Modulus polynomial m(w) = w^12 - 18 w^6 + 82 (note: the *negatives* of
+    # the reduction rule w^12 = 18 w^6 - 82).
+    high: list[int] = [(-_MOD_COEFF_0) % Q] + [0] * 5 + [(-_MOD_COEFF_6) % Q] + [0] * 5 + [1]
+    while _poly_degree(low) > 0:
+        r = _poly_rounded_div(high, low)
+        r += [0] * (DEGREE + 1 - len(r))
+        nm = list(hm)
+        new = list(high)
+        for i in range(DEGREE + 1):
+            li = lm[i]
+            lo = low[i]
+            if li == 0 and lo == 0:
+                continue
+            for j in range(DEGREE + 1 - i):
+                rj = r[j]
+                if rj:
+                    nm[i + j] = (nm[i + j] - li * rj) % Q
+                    new[i + j] = (new[i + j] - lo * rj) % Q
+        lm, low, hm, high = nm, new, lm, low
+    c0_inv = pow(low[0], Q - 2, Q)
+    return tuple(lm[i] * c0_inv % Q for i in range(DEGREE))
+
+
+def fq12_eq(a: tuple, b: tuple) -> bool:
+    return all(x % Q == y % Q for x, y in zip(a, b))

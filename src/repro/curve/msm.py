@@ -1,0 +1,69 @@
+"""Pippenger (bucket-method) multi-scalar multiplication over G1.
+
+The Plonk and Groth16 provers spend most of their group time in MSMs of the
+form sum_i k_i * P_i with n up to a few thousand; the bucket method brings
+that from O(n * 256) point additions down to roughly O(n + 2^c * 256/c).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CurveError
+from repro.curve.g1 import G1, JAC_INF, jac_add, jac_double, jac_mul
+from repro.field.fr import MODULUS as R
+
+_SCALAR_BITS = 254
+
+
+def _window_size(n: int) -> int:
+    """Empirical window width for the bucket method."""
+    if n < 4:
+        return 1
+    if n < 32:
+        return 3
+    if n < 256:
+        return 5
+    if n < 1024:
+        return 7
+    if n < 8192:
+        return 9
+    return 11
+
+
+def msm_jacobian(points: list[tuple], scalars: list[int]) -> tuple:
+    """MSM over Jacobian point tuples; returns a Jacobian tuple."""
+    if len(points) != len(scalars):
+        raise CurveError("msm: %d points but %d scalars" % (len(points), len(scalars)))
+    pairs = [(p, s % R) for p, s in zip(points, scalars) if s % R and p[2] != 0]
+    if not pairs:
+        return JAC_INF
+    if len(pairs) == 1:
+        return jac_mul(pairs[0][0], pairs[0][1])
+    c = _window_size(len(pairs))
+    num_windows = (_SCALAR_BITS + c - 1) // c
+    mask = (1 << c) - 1
+    result = JAC_INF
+    for w in range(num_windows - 1, -1, -1):
+        if result[2] != 0:
+            for _ in range(c):
+                result = jac_double(result)
+        shift = w * c
+        buckets: list[tuple | None] = [None] * mask
+        for p, s in pairs:
+            digit = (s >> shift) & mask
+            if digit:
+                cur = buckets[digit - 1]
+                buckets[digit - 1] = p if cur is None else jac_add(cur, p)
+        running = JAC_INF
+        acc = JAC_INF
+        for b in range(mask - 1, -1, -1):
+            if buckets[b] is not None:
+                running = jac_add(running, buckets[b])
+            acc = jac_add(acc, running)
+        result = jac_add(result, acc)
+    return result
+
+
+def msm_g1(points: list[G1], scalars: list[int]) -> G1:
+    """MSM over affine :class:`G1` points; returns an affine point."""
+    jac = msm_jacobian([p.to_jacobian() for p in points], [int(s) for s in scalars])
+    return G1.from_jacobian(jac)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the ZKDET reproduction.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (e.g. inverting zero)."""
+
+
+class CurveError(ReproError):
+    """Point is not on the curve or group operation is invalid."""
+
+
+class SRSError(ReproError):
+    """Structured reference string is too small or malformed."""
+
+
+class CircuitError(ReproError):
+    """Constraint-system construction failed."""
+
+
+class UnsatisfiedConstraintError(CircuitError):
+    """A witness does not satisfy the constraint system."""
+
+
+class ProofError(ReproError):
+    """Proof generation failed."""
+
+
+class VerificationError(ReproError):
+    """Proof verification failed (raised only by checked variants)."""
+
+
+class SerializationError(ReproError):
+    """Proof or key (de)serialisation failed."""
+
+
+class ChainError(ReproError):
+    """Blockchain substrate error."""
+
+
+class OutOfGasError(ChainError):
+    """Transaction exceeded its gas limit."""
+
+
+class ContractError(ChainError):
+    """Smart-contract level revert."""
+
+
+class StorageError(ReproError):
+    """Content-addressed storage error."""
+
+
+class ProtocolError(ReproError):
+    """A ZKDET protocol interaction was violated."""
+
+
+class CommitmentError(ReproError):
+    """Commitment open/verify failure in a checked context."""

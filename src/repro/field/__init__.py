@@ -1,0 +1,25 @@
+"""Finite-field arithmetic for the BN254 scalar field.
+
+The submodules expose two styles of API:
+
+- :class:`repro.field.fr.Fr` — an ergonomic wrapper type used at protocol
+  boundaries (commitments, keys, dataset entries);
+- raw ``int`` values modulo :data:`repro.field.fr.MODULUS` — used by the
+  polynomial / NTT / prover hot loops, where object overhead matters in
+  CPython.
+"""
+
+from repro.field.fr import Fr, MODULUS, batch_inverse, inv, rand_fr, root_of_unity
+from repro.field.ntt import Domain
+from repro.field import poly
+
+__all__ = [
+    "Fr",
+    "MODULUS",
+    "Domain",
+    "batch_inverse",
+    "inv",
+    "poly",
+    "rand_fr",
+    "root_of_unity",
+]

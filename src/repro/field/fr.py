@@ -1,0 +1,193 @@
+"""The BN254 (alt_bn128) scalar field F_r.
+
+This is the field over which all arithmetic circuits, polynomials and
+witnesses are defined.  BN254 is the curve used by the paper's prototype
+(Circom/Snarkjs call it *bn128*); its scalar field has 2-adicity 28, i.e.
+``2**28`` divides ``r - 1``, which provides the radix-2 evaluation domains
+needed by the Plonk prover.
+
+Hot loops throughout the library use plain Python ints reduced modulo
+:data:`MODULUS`; the :class:`Fr` wrapper offers operator overloading for
+protocol-level code and tests.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.errors import FieldError
+
+#: Order of the BN254 G1/G2 groups and modulus of the scalar field.
+MODULUS = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+#: Largest k such that 2**k divides MODULUS - 1.
+TWO_ADICITY = 28
+
+#: Number of bytes in the canonical little-endian serialisation.
+NUM_BYTES = 32
+
+_R = MODULUS
+
+
+def _find_two_adic_root() -> int:
+    """Return a primitive 2**TWO_ADICITY-th root of unity.
+
+    We do not need a full multiplicative generator of F_r*: any element g
+    with exact order 2**28 suffices for the FFT domains.  Candidates are
+    raised to (r-1)/2**28 and checked for exact order.
+    """
+    exponent = (_R - 1) >> TWO_ADICITY
+    for candidate in (5, 7, 3, 2, 6, 10, 11, 13):
+        g = pow(candidate, exponent, _R)
+        if pow(g, 1 << (TWO_ADICITY - 1), _R) != 1 and pow(g, 1 << TWO_ADICITY, _R) == 1:
+            return g
+    raise FieldError("no 2-adic root of unity found (modulus misconfigured)")
+
+
+#: A fixed primitive 2**28-th root of unity.
+TWO_ADIC_ROOT = _find_two_adic_root()
+
+
+def inv(a: int) -> int:
+    """Return the multiplicative inverse of ``a`` modulo the field order."""
+    a %= _R
+    if a == 0:
+        raise FieldError("inverse of zero")
+    return pow(a, _R - 2, _R)
+
+
+def batch_inverse(values: list[int]) -> list[int]:
+    """Invert many field elements with a single modular inversion.
+
+    Uses Montgomery's trick: one inversion plus ``3(n-1)`` multiplications.
+    Raises :class:`FieldError` if any input is zero.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    prefix = [0] * n
+    acc = 1
+    for i, v in enumerate(values):
+        v %= _R
+        if v == 0:
+            raise FieldError("batch inverse of zero at index %d" % i)
+        prefix[i] = acc
+        acc = acc * v % _R
+    acc_inv = inv(acc)
+    out = [0] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = acc_inv * prefix[i] % _R
+        acc_inv = acc_inv * values[i] % _R
+    return out
+
+
+def root_of_unity(order: int) -> int:
+    """Return a primitive ``order``-th root of unity (order a power of two)."""
+    if order <= 0 or order & (order - 1):
+        raise FieldError("order must be a positive power of two, got %r" % order)
+    log = order.bit_length() - 1
+    if log > TWO_ADICITY:
+        raise FieldError("order 2**%d exceeds the field 2-adicity %d" % (log, TWO_ADICITY))
+    return pow(TWO_ADIC_ROOT, 1 << (TWO_ADICITY - log), _R)
+
+
+def rand_fr() -> int:
+    """Sample a uniformly random field element (as a raw int)."""
+    return secrets.randbelow(_R)
+
+
+class Fr:
+    """An element of the BN254 scalar field with operator overloading.
+
+    Instances are immutable and normalised to ``[0, r)``.  Arithmetic mixes
+    freely with plain ints.  Use :attr:`value` to extract the raw integer
+    for hot-loop code.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int | "Fr" = 0):
+        if isinstance(value, Fr):
+            object.__setattr__(self, "value", value.value)
+        else:
+            object.__setattr__(self, "value", int(value) % _R)
+
+    def __setattr__(self, name, val):  # pragma: no cover - immutability guard
+        raise AttributeError("Fr is immutable")
+
+    @staticmethod
+    def random() -> "Fr":
+        """Sample a uniformly random element."""
+        return Fr(rand_fr())
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Fr":
+        """Deserialise from canonical 32-byte little-endian form."""
+        if len(data) != NUM_BYTES:
+            raise FieldError("expected %d bytes, got %d" % (NUM_BYTES, len(data)))
+        return Fr(int.from_bytes(data, "little"))
+
+    def to_bytes(self) -> bytes:
+        """Serialise to canonical 32-byte little-endian form."""
+        return self.value.to_bytes(NUM_BYTES, "little")
+
+    def inverse(self) -> "Fr":
+        """Return the multiplicative inverse."""
+        return Fr(inv(self.value))
+
+    def _coerce(self, other) -> int | None:
+        if isinstance(other, Fr):
+            return other.value
+        if isinstance(other, int):
+            return other % _R
+        return None
+
+    def __add__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else Fr(self.value + v)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else Fr(self.value - v)
+
+    def __rsub__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else Fr(v - self.value)
+
+    def __mul__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else Fr(self.value * v)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else Fr(self.value * inv(v))
+
+    def __rtruediv__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else Fr(v * inv(self.value))
+
+    def __pow__(self, exponent: int):
+        return Fr(pow(self.value, int(exponent), _R))
+
+    def __neg__(self):
+        return Fr(-self.value)
+
+    def __eq__(self, other):
+        v = self._coerce(other)
+        return NotImplemented if v is None else self.value == v
+
+    def __hash__(self):
+        return hash(("Fr", self.value))
+
+    def __bool__(self):
+        return self.value != 0
+
+    def __int__(self):
+        return self.value
+
+    def __repr__(self):
+        return "Fr(%d)" % self.value

@@ -1,0 +1,179 @@
+"""Dense polynomial arithmetic over the BN254 scalar field.
+
+Polynomials are plain lists of int coefficients, lowest degree first.  All
+functions are pure and never mutate their inputs.  Multiplication switches
+to NTT-based convolution above a size threshold.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FieldError
+from repro.field.fr import MODULUS, inv
+from repro.field.ntt import Domain
+
+_R = MODULUS
+
+#: Below this operand size, schoolbook multiplication beats the NTT.
+_NTT_THRESHOLD = 64
+
+
+def trim(p: list[int]) -> list[int]:
+    """Strip trailing zero coefficients (canonical form)."""
+    end = len(p)
+    while end > 0 and p[end - 1] % _R == 0:
+        end -= 1
+    return [c % _R for c in p[:end]]
+
+
+def degree(p: list[int]) -> int:
+    """Degree of ``p`` with the convention deg(0) = -1."""
+    return len(trim(p)) - 1
+
+
+def add(p: list[int], q: list[int]) -> list[int]:
+    """Return ``p + q``."""
+    if len(p) < len(q):
+        p, q = q, p
+    out = list(p)
+    for i, c in enumerate(q):
+        out[i] = (out[i] + c) % _R
+    return out
+
+
+def sub(p: list[int], q: list[int]) -> list[int]:
+    """Return ``p - q``."""
+    out = list(p) + [0] * max(0, len(q) - len(p))
+    for i, c in enumerate(q):
+        out[i] = (out[i] - c) % _R
+    return out
+
+
+def scale(p: list[int], k: int) -> list[int]:
+    """Return ``k * p``."""
+    k %= _R
+    return [c * k % _R for c in p]
+
+
+def mul(p: list[int], q: list[int]) -> list[int]:
+    """Return the product ``p * q``."""
+    p, q = trim(p), trim(q)
+    if not p or not q:
+        return []
+    if len(p) + len(q) <= _NTT_THRESHOLD:
+        out = [0] * (len(p) + len(q) - 1)
+        for i, a in enumerate(p):
+            if a == 0:
+                continue
+            for j, b in enumerate(q):
+                out[i + j] = (out[i + j] + a * b) % _R
+        return out
+    size = 1
+    while size < len(p) + len(q) - 1:
+        size <<= 1
+    dom = Domain.get(size)
+    ep = dom.fft(p)
+    eq = dom.fft(q)
+    return trim(dom.ifft([a * b % _R for a, b in zip(ep, eq)]))
+
+
+def evaluate(p: list[int], x: int) -> int:
+    """Evaluate ``p`` at ``x`` by Horner's rule."""
+    acc = 0
+    for c in reversed(p):
+        acc = (acc * x + c) % _R
+    return acc
+
+
+def shift_degree(p: list[int], k: int) -> list[int]:
+    """Return ``X**k * p`` (multiply by a monomial)."""
+    if k < 0:
+        raise FieldError("negative degree shift")
+    return [0] * k + list(p)
+
+
+def divide_by_linear(p: list[int], z: int) -> list[int]:
+    """Return ``p / (X - z)``, requiring the division to be exact.
+
+    Synthetic (Ruffini) division; raises :class:`FieldError` when
+    ``p(z) != 0`` since KZG openings demand an exact quotient.
+    """
+    p = trim(p)
+    if not p:
+        return []
+    out = [0] * (len(p) - 1)
+    acc = 0
+    for i in range(len(p) - 1, 0, -1):
+        acc = (acc * z + p[i]) % _R
+        out[i - 1] = acc
+    remainder = (acc * z + p[0]) % _R
+    if remainder != 0:
+        raise FieldError("polynomial does not vanish at the division point")
+    return out
+
+
+def divide_by_vanishing(p: list[int], n: int) -> list[int]:
+    """Return ``p / (X**n - 1)``, requiring the division to be exact.
+
+    Exact division by the vanishing polynomial of a size-``n`` domain is a
+    simple linear-time recurrence: if p = q * (X^n - 1) then
+    ``q[i] = p[i + n] + q[i + n]``.
+    """
+    p = trim(p)
+    if not p:
+        return []
+    if len(p) <= n:
+        raise FieldError("degree too small for exact division by X^%d - 1" % n)
+    qlen = len(p) - n
+    q = [0] * qlen
+    for i in range(qlen - 1, -1, -1):
+        carry = q[i + n] if i + n < qlen else 0
+        q[i] = (p[i + n] + carry) % _R
+    # Remainder check: p - q*(X^n - 1) must be zero; the low n coefficients
+    # of the reconstruction are -q[0..n) + p[0..n).
+    for i in range(min(n, len(p))):
+        qi = q[i] if i < qlen else 0
+        if (p[i] + qi) % _R != 0:
+            raise FieldError("polynomial is not divisible by X^%d - 1" % n)
+    return trim(q)
+
+
+def divmod_general(p: list[int], d: list[int]) -> tuple[list[int], list[int]]:
+    """Return ``(quotient, remainder)`` of general polynomial division."""
+    p, d = trim(p), trim(d)
+    if not d:
+        raise FieldError("division by the zero polynomial")
+    if len(p) < len(d):
+        return [], p
+    lead_inv = inv(d[-1])
+    rem = list(p)
+    q = [0] * (len(p) - len(d) + 1)
+    for i in range(len(q) - 1, -1, -1):
+        coeff = rem[i + len(d) - 1] * lead_inv % _R
+        q[i] = coeff
+        if coeff:
+            for j, dc in enumerate(d):
+                rem[i + j] = (rem[i + j] - coeff * dc) % _R
+    return trim(q), trim(rem[: len(d) - 1])
+
+
+def interpolate(points: list[tuple[int, int]]) -> list[int]:
+    """Lagrange interpolation through arbitrary ``(x, y)`` points.
+
+    O(n^2); used only for small fixtures and tests.  Prover code always
+    interpolates over FFT domains instead.
+    """
+    xs = [x % _R for x, _ in points]
+    if len(set(xs)) != len(xs):
+        raise FieldError("interpolation points must have distinct x values")
+    result: list[int] = []
+    for i, (xi, yi) in enumerate(points):
+        basis = [1]
+        denom = 1
+        for j, (xj, _) in enumerate(points):
+            if i == j:
+                continue
+            basis = mul(basis, [(-xj) % _R, 1])
+            denom = denom * (xi - xj) % _R
+    # Recompute accumulating (kept simple and correct over clever):
+        result = add(result, scale(basis, yi * inv(denom) % _R))
+    return trim(result)

@@ -1,0 +1,54 @@
+"""Comparison gadgets: range checks and ordered comparisons.
+
+All comparisons view their operands as integers below ``2**nbits``; the
+caller is responsible for range-constraining inputs (usually they come out
+of :func:`repro.gadgets.boolean.num_to_bits` or fixed-point gadgets that
+already enforce ranges).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CircuitError
+from repro.gadgets.boolean import not_gate, num_to_bits
+from repro.plonk.circuit import CircuitBuilder, Wire
+
+
+def assert_in_range(builder: CircuitBuilder, x: Wire, nbits: int) -> None:
+    """Constrain 0 <= x < 2**nbits."""
+    num_to_bits(builder, x, nbits)
+
+
+def less_than(builder: CircuitBuilder, a: Wire, b: Wire, nbits: int) -> Wire:
+    """Return a boolean wire equal to 1 iff a < b (both < 2**nbits).
+
+    Computes a + 2^nbits - b and inspects the top carry bit: the carry is
+    1 exactly when a >= b.
+    """
+    if nbits >= 253:
+        raise CircuitError("comparison width too large for the field")
+    shifted = builder.linear_combination([(1, a), (-1, b)], constant=1 << nbits)
+    bits = num_to_bits(builder, shifted, nbits + 1)
+    return not_gate(builder, bits[nbits])
+
+
+def less_or_equal(builder: CircuitBuilder, a: Wire, b: Wire, nbits: int) -> Wire:
+    """Return 1 iff a <= b."""
+    b_plus = builder.add_const(b, 1)
+    return less_than(builder, a, b_plus, nbits)
+
+
+def assert_less_than(builder: CircuitBuilder, a: Wire, b: Wire, nbits: int) -> None:
+    """Constrain a < b."""
+    builder.assert_constant(less_than(builder, a, b, nbits), 1)
+
+
+def abs_diff(builder: CircuitBuilder, a: Wire, b: Wire, nbits: int) -> Wire:
+    """Return |a - b| for a, b < 2**nbits."""
+    lt = less_than(builder, a, b, nbits)
+    from repro.gadgets.boolean import select
+
+    big_minus_small = select(
+        builder, lt, builder.sub(b, a), builder.sub(a, b)
+    )
+    assert_in_range(builder, big_minus_small, nbits)
+    return big_minus_small

@@ -1,0 +1,216 @@
+"""Signed fixed-point arithmetic, native and in-circuit, with matching
+semantics.
+
+The data-processing applications of Section IV-E (logistic regression,
+transformers) need real arithmetic inside circuits.  We use two's-
+complement-style fixed point over the field: the real number v is encoded
+as round(v * 2^FRAC_BITS), negatives as field negatives.  Every non-linear
+step (multiplication truncation, polynomial approximations of sigmoid /
+log / exp) exists twice — a native integer version and a gadget — with
+*identical* rounding, so the natively computed witness always satisfies
+the circuit.  The tests enforce this equivalence exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitError
+from repro.field.fr import MODULUS as R
+from repro.gadgets.boolean import num_to_bits, select
+from repro.plonk.circuit import CircuitBuilder, Wire
+
+
+@dataclass(frozen=True)
+class FixedPointSpec:
+    """Fixed-point format: ``frac_bits`` fraction bits, values bounded by
+    2**int_bits in magnitude (after scaling)."""
+
+    frac_bits: int = 16
+    int_bits: int = 20
+
+    @property
+    def scale(self) -> int:
+        return 1 << self.frac_bits
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Total bits of a scaled value's magnitude."""
+        return self.int_bits + self.frac_bits
+
+    # ----- native encode/decode -------------------------------------------------
+
+    def encode(self, value: float) -> int:
+        """Real -> field representation."""
+        scaled = round(value * self.scale)
+        if abs(scaled) >= (1 << self.magnitude_bits):
+            raise CircuitError("value %r overflows fixed-point range" % value)
+        return scaled % R
+
+    def decode(self, element: int) -> float:
+        """Field representation -> real."""
+        signed = self.to_signed(element)
+        return signed / self.scale
+
+    def to_signed(self, element: int) -> int:
+        """Field representation -> signed scaled integer."""
+        element %= R
+        return element - R if element > R // 2 else element
+
+    def from_signed(self, signed: int) -> int:
+        if abs(signed) >= (1 << self.magnitude_bits):
+            raise CircuitError("scaled value overflows fixed-point range")
+        return signed % R
+
+    # ----- native arithmetic (mirrors the gadgets bit-for-bit) -------------------
+
+    def mul_native(self, a: int, b: int) -> int:
+        """Fixed-point product with floor truncation (matches the gadget)."""
+        prod = self.to_signed(a) * self.to_signed(b)
+        return self.from_signed(prod >> self.frac_bits)
+
+    def add_native(self, a: int, b: int) -> int:
+        return (a + b) % R
+
+    def poly_native(self, coeffs: list[int], x: int) -> int:
+        """Horner evaluation with fixed-point truncation at each step."""
+        acc = coeffs[-1]
+        for c in reversed(coeffs[:-1]):
+            acc = self.add_native(self.mul_native(acc, x), c)
+        return acc
+
+
+#: Default format used by the applications.
+DEFAULT_SPEC = FixedPointSpec()
+
+
+def fp_truncate(builder: CircuitBuilder, x: Wire, spec: FixedPointSpec) -> Wire:
+    """Floor-divide a double-precision product by 2**frac_bits.
+
+    Input: x holds a signed scaled-by-2^(2F) value with magnitude below
+    2**(magnitude_bits + frac_bits).  The gadget offsets x into the
+    non-negative range, splits off the low ``frac_bits`` bits with a full
+    bit decomposition (which doubles as the range proof), and removes the
+    offset again.  Matches ``signed >> frac_bits`` exactly (floor, i.e.
+    rounding toward minus infinity).
+    """
+    total_bits = spec.magnitude_bits + spec.frac_bits
+    offset = 1 << total_bits
+    shifted = builder.add_const(x, offset)
+    shifted_val = builder.value(shifted)
+    if shifted_val >= (offset << 1):
+        raise CircuitError("fixed-point product out of range")
+    hi = builder.var(shifted_val >> spec.frac_bits)
+    lo = builder.var(shifted_val & (spec.scale - 1))
+    num_to_bits(builder, hi, total_bits - spec.frac_bits + 1)
+    num_to_bits(builder, lo, spec.frac_bits)
+    recomposed = builder.linear_combination([(spec.scale, hi), (1, lo)])
+    builder.assert_equal(recomposed, shifted)
+    return builder.add_const(hi, -(offset >> spec.frac_bits))
+
+
+def fp_mul(builder: CircuitBuilder, a: Wire, b: Wire, spec: FixedPointSpec) -> Wire:
+    """Fixed-point multiplication: truncated product."""
+    raw = builder.mul(a, b)
+    return fp_truncate(builder, raw, spec)
+
+
+def fp_poly(
+    builder: CircuitBuilder, coeffs: list[int], x: Wire, spec: FixedPointSpec
+) -> Wire:
+    """Evaluate a constant-coefficient polynomial at wire x (Horner),
+    mirroring :meth:`FixedPointSpec.poly_native`."""
+    acc = builder.constant(coeffs[-1])
+    for c in reversed(coeffs[:-1]):
+        acc = builder.add_const(fp_mul(builder, acc, x, spec), c)
+    return acc
+
+
+def fp_is_negative(builder: CircuitBuilder, x: Wire, spec: FixedPointSpec) -> Wire:
+    """Boolean wire: 1 iff x encodes a negative value."""
+    offset = 1 << spec.magnitude_bits
+    shifted = builder.add_const(x, offset)
+    bits = num_to_bits(builder, shifted, spec.magnitude_bits + 1)
+    # Top bit set -> shifted >= 2^magnitude_bits -> x >= 0.
+    from repro.gadgets.boolean import not_gate
+
+    return not_gate(builder, bits[spec.magnitude_bits])
+
+
+def fp_abs(builder: CircuitBuilder, x: Wire, spec: FixedPointSpec) -> Wire:
+    """Absolute value."""
+    neg = fp_is_negative(builder, x, spec)
+    minus = builder.scale(x, -1)
+    return select(builder, neg, minus, x)
+
+
+def fp_relu(builder: CircuitBuilder, x: Wire, spec: FixedPointSpec) -> Wire:
+    """max(0, x) — the transformer FFN activation."""
+    neg = fp_is_negative(builder, x, spec)
+    zero = builder.constant(0)
+    return select(builder, neg, zero, x)
+
+
+def fp_assert_le(
+    builder: CircuitBuilder, x: Wire, bound: Wire, spec: FixedPointSpec
+) -> None:
+    """Constrain x <= bound, both interpreted as signed fixed point."""
+    offset = 1 << spec.magnitude_bits
+    sx = builder.add_const(x, offset)
+    sb = builder.add_const(bound, offset)
+    from repro.gadgets.comparison import less_than
+
+    le = less_than(builder, sx, builder.add_const(sb, 1), spec.magnitude_bits + 1)
+    builder.assert_constant(le, 1)
+
+
+# ----- polynomial approximations shared by native + gadget paths ---------------
+
+
+def sigmoid_coefficients(spec: FixedPointSpec) -> list[int]:
+    """Degree-5 odd polynomial approximating sigmoid on roughly [-4, 4].
+
+    sigma(z) ~ 1/2 + z/4 - z^3/48 + z^5/480 (the classic tanh-based
+    expansion).  Listed lowest-degree-first as fixed-point constants.
+    """
+    return [
+        spec.encode(0.5),
+        spec.encode(0.25),
+        spec.encode(0.0),
+        spec.encode(-1.0 / 48.0),
+        spec.encode(0.0),
+        spec.encode(1.0 / 480.0),
+    ]
+
+
+def log_coefficients(spec: FixedPointSpec) -> list[int]:
+    """Degree-5 Taylor expansion of ln(x) around x = 1/2.
+
+    Accurate for arguments in roughly (0.1, 0.9) — the operating range of
+    calibrated logistic-regression probabilities in the demo workloads.
+    """
+    import math
+
+    # ln(1/2 + t) = ln(1/2) + 2t - 2t^2 + (8/3)t^3 - 4t^4 + (32/5)t^5, t = x - 1/2.
+    # Expand in x directly via binomial recombination:
+    coeffs_t = [math.log(0.5), 2.0, -2.0, 8.0 / 3.0, -4.0, 32.0 / 5.0]
+    # Convert polynomial in t = (x - 0.5) into a polynomial in x.
+    poly_x = [0.0] * len(coeffs_t)
+    base = [1.0]  # (x - 0.5)^0
+    for k, ck in enumerate(coeffs_t):
+        for i, bi in enumerate(base):
+            poly_x[i] += ck * bi
+        # multiply base by (x - 0.5)
+        new = [0.0] * (len(base) + 1)
+        for i, bi in enumerate(base):
+            new[i] += -0.5 * bi
+            new[i + 1] += bi
+        base = new
+    return [spec.encode(c) for c in poly_x]
+
+
+def exp_coefficients(spec: FixedPointSpec) -> list[int]:
+    """Degree-5 Taylor expansion of exp(x) around 0 (for |x| <~ 2)."""
+    import math
+
+    return [spec.encode(1.0 / math.factorial(k)) for k in range(6)]

@@ -1,0 +1,75 @@
+"""In-circuit Poseidon permutation, sponge hash and commitment opening.
+
+Used for the Open(m, c, o) = 1 clauses of the transformation and exchange
+protocols: the circuit recomputes the Poseidon commitment from the witness
+message and blinder and constrains it to equal the public commitment.
+"""
+
+from __future__ import annotations
+
+from repro.gadgets.arithmetic import pow_const
+from repro.plonk.circuit import CircuitBuilder, Wire
+from repro.primitives.poseidon import ALPHA, Poseidon
+
+
+def poseidon_permutation(
+    builder: CircuitBuilder, state: list[Wire], width: int = 3
+) -> list[Wire]:
+    """Constrain and return the Poseidon permutation of ``state``."""
+    spec = Poseidon.get(width)
+    if len(state) != width:
+        raise ValueError("state width mismatch")
+    half_full = spec.full_rounds // 2
+    total = spec.full_rounds + spec.partial_rounds
+    rc = spec.round_constants
+    for rnd in range(total):
+        offset = rnd * width
+        state = [
+            builder.add_const(s, rc[offset + i]) for i, s in enumerate(state)
+        ]
+        if rnd < half_full or rnd >= total - half_full:
+            state = [pow_const(builder, s, ALPHA) for s in state]
+        else:
+            state = [pow_const(builder, state[0], ALPHA)] + state[1:]
+        mixed = []
+        for i in range(width):
+            mixed.append(
+                builder.linear_combination(
+                    [(spec.mds[i][j], state[j]) for j in range(width)]
+                )
+            )
+        state = mixed
+    return state
+
+
+def poseidon_hash_gadget(
+    builder: CircuitBuilder, inputs: list[Wire], width: int = 3
+) -> Wire:
+    """Constrain and return the sponge hash of ``inputs`` (matches
+    :func:`repro.primitives.poseidon.poseidon_hash`)."""
+    rate = width - 1
+    state = [builder.constant(len(inputs))] + [builder.constant(0)] * rate
+    count = max(len(inputs), 1)
+    for i in range(0, count, rate):
+        chunk = inputs[i : i + rate]
+        absorbed = list(state)
+        for j, wire in enumerate(chunk):
+            absorbed[1 + j] = builder.add(state[1 + j], wire)
+        state = poseidon_permutation(builder, absorbed, width)
+    return state[0]
+
+
+def assert_commitment_opens(
+    builder: CircuitBuilder,
+    message: list[Wire],
+    commitment: Wire,
+    blinder: Wire,
+    width: int = 3,
+) -> None:
+    """Constrain Open(message, commitment, blinder) == 1.
+
+    Recomputes c' = Poseidon(blinder || message) in-circuit and enforces
+    c' == commitment (the public input wire).
+    """
+    computed = poseidon_hash_gadget(builder, [blinder] + list(message), width)
+    builder.assert_equal(computed, commitment)

@@ -1,0 +1,169 @@
+"""Groth16 setup / prove / verify.
+
+A faithful implementation of the three algorithms.  Note the contrast the
+paper draws (Section VII-B): the setup here is *circuit-specific* and
+trusted — change the relation and the ceremony must be redone — whereas
+Plonk's SRS is universal.  ZKCP inherits this weakness from Groth16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitError, ProofError
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+from repro.curve.msm import msm_g1
+from repro.curve.pairing import pairing_check
+from repro.field.fr import MODULUS as R, inv, rand_fr
+from repro.groth16.qap import QAP
+from repro.r1cs.system import R1CSSystem, R1CSWitness
+
+
+@dataclass(frozen=True)
+class Groth16VerifyingKey:
+    alpha_g1: G1
+    beta_g2: G2
+    gamma_g2: G2
+    delta_g2: G2
+    ic: tuple  # G1 points, one per public input + the constant ONE
+
+
+@dataclass(frozen=True)
+class Groth16ProvingKey:
+    qap: QAP
+    alpha_g1: G1
+    beta_g1: G1
+    beta_g2: G2
+    delta_g1: G1
+    delta_g2: G2
+    a_query: tuple  # [U_j(tau)]_1
+    b_g1_query: tuple  # [V_j(tau)]_1
+    b_g2_query: tuple  # [V_j(tau)]_2
+    l_query: tuple  # [(beta U_j + alpha V_j + W_j)/delta]_1, private j only
+    h_query: tuple  # [tau^i Z(tau)/delta]_1
+    vk: Groth16VerifyingKey
+
+
+@dataclass(frozen=True)
+class Groth16Proof:
+    """2 G1 + 1 G2 elements (320 bytes uncompressed)."""
+
+    a: G1
+    b: G2
+    c: G1
+
+    @property
+    def size_bytes(self) -> int:
+        return 64 * 2 + 128
+
+
+def groth16_setup(system: R1CSSystem) -> tuple[Groth16ProvingKey, Groth16VerifyingKey]:
+    """Circuit-specific trusted setup (toxic waste sampled and discarded)."""
+    qap = QAP.from_r1cs(system)
+    tau, alpha, beta, gamma, delta = (rand_fr() for _ in range(5))
+    while tau == 0 or pow(tau, qap.m, R) == 1:
+        tau = rand_fr()
+    g1, g2 = G1.generator(), G2.generator()
+    gamma_inv, delta_inv = inv(gamma), inv(delta)
+
+    u_at, v_at, w_at = qap.evaluations_at(tau)
+
+    ell = qap.num_public
+    ic = []
+    for j in range(ell + 1):
+        coeff = (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * gamma_inv % R
+        ic.append(g1 * coeff)
+    l_query = []
+    for j in range(ell + 1, qap.num_variables):
+        coeff = (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * delta_inv % R
+        l_query.append(g1 * coeff)
+    z_tau = (pow(tau, qap.m, R) - 1) % R
+    h_query = []
+    acc = z_tau * delta_inv % R
+    for _ in range(qap.m - 1):
+        h_query.append(g1 * acc)
+        acc = acc * tau % R
+
+    vk = Groth16VerifyingKey(
+        alpha_g1=g1 * alpha,
+        beta_g2=g2 * beta,
+        gamma_g2=g2 * gamma,
+        delta_g2=g2 * delta,
+        ic=tuple(ic),
+    )
+    pk = Groth16ProvingKey(
+        qap=qap,
+        alpha_g1=g1 * alpha,
+        beta_g1=g1 * beta,
+        beta_g2=g2 * beta,
+        delta_g1=g1 * delta,
+        delta_g2=g2 * delta,
+        a_query=tuple(g1 * u for u in u_at),
+        b_g1_query=tuple(g1 * v for v in v_at),
+        b_g2_query=tuple(g2 * v for v in v_at),
+        l_query=tuple(l_query),
+        h_query=tuple(h_query),
+        vk=vk,
+    )
+    return pk, vk
+
+
+def groth16_prove(pk: Groth16ProvingKey, witness: R1CSWitness) -> Groth16Proof:
+    """Produce a Groth16 proof (randomised over r, s for zero-knowledge)."""
+    values = [v % R for v in witness.values]
+    if len(values) != pk.qap.num_variables:
+        raise ProofError("witness does not match the proving key's QAP")
+    h = pk.qap.quotient(values)  # raises CircuitError when unsatisfied
+    r, s = rand_fr(), rand_fr()
+    ell = pk.qap.num_public
+
+    a_acc = msm_g1(list(pk.a_query), values)
+    proof_a = pk.alpha_g1 + a_acc + pk.delta_g1 * r
+
+    b_g2_acc = G2.identity()
+    for v, point in zip(values, pk.b_g2_query):
+        if v:
+            b_g2_acc = b_g2_acc + point * v
+    proof_b = pk.beta_g2 + b_g2_acc + pk.delta_g2 * s
+
+    b_g1_acc = msm_g1(list(pk.b_g1_query), values)
+    b_g1_full = pk.beta_g1 + b_g1_acc + pk.delta_g1 * s
+
+    c_acc = msm_g1(list(pk.l_query), values[ell + 1 :])
+    if h:
+        c_acc = c_acc + msm_g1(list(pk.h_query[: len(h)]), h)
+    proof_c = (
+        c_acc + proof_a * s + b_g1_full * r - pk.delta_g1 * (r * s % R)
+    )
+    return Groth16Proof(proof_a, proof_b, proof_c)
+
+
+def groth16_verify(
+    vk: Groth16VerifyingKey, public_inputs: list[int], proof: Groth16Proof
+) -> bool:
+    """Check e(A, B) == e(alpha, beta) e(vk_x, gamma) e(C, delta).
+
+    The vk_x MSM over the public inputs is the ell-scalar-multiplication
+    cost the paper contrasts against Plonk's input-independent verifier.
+    """
+    if len(public_inputs) != len(vk.ic) - 1:
+        return False
+    vk_x = vk.ic[0] + msm_g1(list(vk.ic[1:]), [w % R for w in public_inputs])
+    return pairing_check(
+        [
+            (proof.a, proof.b),
+            (-vk.alpha_g1, vk.beta_g2),
+            (-vk_x, vk.gamma_g2),
+            (-proof.c, vk.delta_g2),
+        ]
+    )
+
+
+def verification_group_operations(num_public_inputs: int) -> dict:
+    """Verifier op counts (used by the Fig. 7 benchmark's ZKCP side)."""
+    return {
+        "pairings": 3,  # e(alpha, beta) is precomputable
+        "g1_scalar_mults": num_public_inputs,
+        "proof_size_bytes": 2 * 64 + 128,
+    }

@@ -1,0 +1,112 @@
+"""Quadratic arithmetic program reduction for R1CS.
+
+Per variable j, the QAP polynomial U_j(X) (resp. V_j, W_j) interpolates
+that variable's column of A (resp. B, C) coefficients over an FFT domain.
+Satisfiability becomes divisibility:
+
+    U(X) * V(X) - W(X) = H(X) * Z(X),   U = sum_j w_j U_j, etc.
+
+Everything here is computed *sparsely*: the per-variable polynomials are
+never materialised.  Setup needs only their evaluations at the trapdoor
+tau, obtained through the Lagrange basis L_i(tau) in O(nnz + m); the
+prover aggregates per-constraint inner products and interpolates once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CircuitError
+from repro.field import poly as poly_mod
+from repro.field.fr import MODULUS as R, batch_inverse, inv
+from repro.field.ntt import Domain
+from repro.r1cs.system import R1CSSystem
+
+
+@dataclass(frozen=True)
+class QAP:
+    """A QAP over a radix-2 domain of size ``m`` (sparse form)."""
+
+    system: R1CSSystem
+    m: int
+
+    @property
+    def num_variables(self) -> int:
+        return self.system.num_variables
+
+    @property
+    def num_public(self) -> int:
+        return self.system.num_public
+
+    @staticmethod
+    def from_r1cs(system: R1CSSystem) -> "QAP":
+        if system.num_constraints == 0:
+            raise CircuitError("cannot build a QAP from an empty system")
+        m = 2
+        while m < system.num_constraints:
+            m <<= 1
+        return QAP(system=system, m=m)
+
+    def evaluations_at(self, tau: int) -> tuple[list[int], list[int], list[int]]:
+        """Per-variable evaluations (U_j(tau), V_j(tau), W_j(tau)).
+
+        Uses L_i(tau) = omega^i * Z(tau) / (m * (tau - omega^i)) and walks
+        the sparse constraint entries once.
+        """
+        domain = Domain.get(self.m)
+        points = domain.elements
+        z_tau = domain.vanishing_eval(tau)
+        if z_tau == 0:
+            raise CircuitError("tau lies in the evaluation domain")
+        denoms = batch_inverse([(tau - p) % R for p in points])
+        m_inv = inv(self.m)
+        lagrange = [
+            points[i] * z_tau % R * m_inv % R * denoms[i] % R for i in range(self.m)
+        ]
+        nvars = self.num_variables
+        u_at = [0] * nvars
+        v_at = [0] * nvars
+        w_at = [0] * nvars
+        for i, (a, b, c) in enumerate(self.system.constraints):
+            li = lagrange[i]
+            for var, coeff in a.items():
+                u_at[var] = (u_at[var] + coeff * li) % R
+            for var, coeff in b.items():
+                v_at[var] = (v_at[var] + coeff * li) % R
+            for var, coeff in c.items():
+                w_at[var] = (w_at[var] + coeff * li) % R
+        return u_at, v_at, w_at
+
+    def combine(self, witness: list[int]) -> tuple[list[int], list[int], list[int]]:
+        """Aggregated U, V, W polynomials (coefficients) under a witness.
+
+        Evaluates the per-constraint inner products <A_i, w> etc. (sparse)
+        and interpolates each aggregate with a single size-m iFFT.
+        """
+        if len(witness) != self.num_variables:
+            raise CircuitError("witness length mismatch")
+        u_evals = [0] * self.m
+        v_evals = [0] * self.m
+        w_evals = [0] * self.m
+        for i, (a, b, c) in enumerate(self.system.constraints):
+            u_evals[i] = self.system.eval_lc(a, witness)
+            v_evals[i] = self.system.eval_lc(b, witness)
+            w_evals[i] = self.system.eval_lc(c, witness)
+        domain = Domain.get(self.m)
+        return domain.ifft(u_evals), domain.ifft(v_evals), domain.ifft(w_evals)
+
+    def quotient(self, witness: list[int]) -> list[int]:
+        """Compute H(X) = (U V - W)/Z over a coset (exact division)."""
+        u, v, w = self.combine(witness)
+        big = Domain.get(2 * self.m)
+        ue = big.coset_fft(u)
+        ve = big.coset_fft(v)
+        we = big.coset_fft(w)
+        z_vals = Domain.get(self.m).vanishing_on_coset(big.n)
+        z_inv = batch_inverse(z_vals)
+        h_evals = [(ue[i] * ve[i] - we[i]) % R * z_inv[i] % R for i in range(big.n)]
+        h = poly_mod.trim(big.coset_ifft(h_evals))
+        # Degree check: H must have degree <= m - 2 for a satisfied witness.
+        if len(h) > self.m - 1:
+            raise CircuitError("witness does not satisfy the QAP (H too large)")
+        return h

@@ -1,0 +1,49 @@
+"""KZG commit / open / verify over the powers-of-tau SRS.
+
+A commitment to p(X) is [p(tau)]_1; an opening proof at z is the quotient
+commitment [ (p(X) - p(z)) / (X - z) ]_1, verified with one pairing check:
+
+    e(W, [tau - z]_2) == e([p(tau)]_1 - [p(z)]_1, [1]_2)
+"""
+
+from __future__ import annotations
+
+from repro.errors import SRSError
+from repro.curve.g1 import G1
+from repro.curve.msm import msm_jacobian
+from repro.curve.pairing import pairing_check
+from repro.field import poly
+from repro.field.fr import MODULUS as R
+from repro.kzg.srs import SRS
+
+
+def commit(srs: SRS, coeffs: list[int]) -> G1:
+    """Commit to the polynomial with coefficients ``coeffs``."""
+    coeffs = poly.trim(coeffs)
+    if len(coeffs) - 1 > srs.max_degree:
+        raise SRSError(
+            "polynomial degree %d exceeds SRS bound %d" % (len(coeffs) - 1, srs.max_degree)
+        )
+    points = [p.to_jacobian() for p in srs.g1_powers[: len(coeffs)]]
+    return G1.from_jacobian(msm_jacobian(points, coeffs))
+
+
+def open_at(srs: SRS, coeffs: list[int], z: int) -> tuple[int, G1]:
+    """Return ``(p(z), proof)`` for the polynomial ``coeffs`` at point ``z``."""
+    z %= R
+    value = poly.evaluate(coeffs, z)
+    numerator = poly.sub(coeffs, [value])
+    quotient = poly.divide_by_linear(numerator, z)
+    return value, commit(srs, quotient)
+
+
+def verify_opening(srs: SRS, commitment: G1, z: int, value: int, proof: G1) -> bool:
+    """Verify that the committed polynomial evaluates to ``value`` at ``z``.
+
+    Rearranged to a two-pairing product check:
+    e(W, [tau]_2) * e(-z*W + [value]_1 - C, [1]_2) == 1.
+    """
+    z %= R
+    value %= R
+    shifted = proof * (-z % R) + G1.generator() * value - commitment
+    return pairing_check([(proof, srs.g2_tau), (shifted, srs.g2)])

@@ -1,0 +1,163 @@
+"""Universal structured reference string (powers of tau).
+
+ZKDET uses Plonk precisely because its SRS is *universal* (one string for
+every circuit up to a size bound) and *updatable* (anyone can re-randomise
+it; security holds if a single contributor was honest).  The paper uses the
+Perpetual Powers of Tau ceremony run by Zcash/Semaphore; offline, we
+reproduce the ceremony itself: :class:`Ceremony` chains contributions, each
+with a publicly checkable update proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SRSError
+from repro.curve.fq12 import fq12_eq
+from repro.curve.g1 import G1, jac_mul, jac_to_affine
+from repro.curve.g2 import G2
+from repro.curve.pairing import pairing
+from repro.field.fr import MODULUS as R, rand_fr
+
+
+@dataclass(frozen=True)
+class SRS:
+    """Powers of tau: [tau^i]_1 for i <= max_degree, plus [1]_2 and [tau]_2.
+
+    Attributes:
+        g1_powers: ``[G, tau*G, tau^2*G, ...]`` (length ``max_degree + 1``).
+        g2: the G2 generator ``[1]_2``.
+        g2_tau: ``[tau]_2`` — the only G2 power KZG verification needs.
+    """
+
+    g1_powers: tuple
+    g2: G2
+    g2_tau: G2
+
+    @property
+    def max_degree(self) -> int:
+        """Largest polynomial degree this SRS can commit to."""
+        return len(self.g1_powers) - 1
+
+    @staticmethod
+    def generate(max_degree: int, tau: int | None = None) -> "SRS":
+        """Generate a fresh SRS from a (then discarded) secret ``tau``.
+
+        A single-party trusted setup; :class:`Ceremony` builds the
+        multi-party version on top of repeated calls to :meth:`update`.
+        """
+        if max_degree < 1:
+            raise SRSError("SRS degree must be at least 1")
+        secret = rand_fr() if tau is None else tau % R
+        if secret == 0:
+            raise SRSError("tau must be non-zero")
+        gen = G1.generator().to_jacobian()
+        powers = []
+        acc = 1
+        for _ in range(max_degree + 1):
+            powers.append(G1.from_jacobian(jac_mul(gen, acc)))
+            acc = acc * secret % R
+        return SRS(tuple(powers), G2.generator(), G2.generator() * secret)
+
+    def update(self, rho: int | None = None) -> tuple["SRS", "UpdateProof"]:
+        """Re-randomise the SRS with a fresh secret ``rho`` (tau' = rho*tau).
+
+        Returns the updated SRS and a proof that the update was well-formed
+        (knowledge of rho relative to the previous string).
+        """
+        secret = rand_fr() if rho is None else rho % R
+        if secret == 0:
+            raise SRSError("update secret must be non-zero")
+        acc = 1
+        powers = []
+        for p in self.g1_powers:
+            powers.append(p * acc)
+            acc = acc * secret % R
+        new = SRS(tuple(powers), self.g2, self.g2_tau * secret)
+        proof = UpdateProof(
+            rho_g1=G1.generator() * secret,
+            rho_g2=G2.generator() * secret,
+            after_tau_g1=new.g1_powers[1],
+        )
+        return new, proof
+
+    def truncate(self, max_degree: int) -> "SRS":
+        """Return a prefix of this SRS supporting a smaller degree bound."""
+        if max_degree > self.max_degree:
+            raise SRSError(
+                "cannot truncate degree %d SRS to %d" % (self.max_degree, max_degree)
+            )
+        return SRS(self.g1_powers[: max_degree + 1], self.g2, self.g2_tau)
+
+    def is_well_formed(self, check_powers: int = 4) -> bool:
+        """Spot-check internal consistency with pairings.
+
+        Verifies e([tau^i]_1, [tau]_2) == e([tau^(i+1)]_1, [1]_2) for the
+        first ``check_powers`` indices (full verification is linear in the
+        SRS size and is exercised in tests on small strings).
+        """
+        for i in range(min(check_powers, self.max_degree)):
+            lhs = pairing(self.g1_powers[i], self.g2_tau)
+            rhs = pairing(self.g1_powers[i + 1], self.g2)
+            if not fq12_eq(lhs, rhs):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class UpdateProof:
+    """Publicly verifiable evidence that an SRS update used a known rho."""
+
+    rho_g1: G1
+    rho_g2: G2
+    after_tau_g1: G1
+
+
+@dataclass
+class Ceremony:
+    """A simulated Perpetual-Powers-of-Tau ceremony.
+
+    Each contribution multiplies the trapdoor by a fresh secret.  The final
+    SRS is secure if at least one contributor discarded their secret —
+    exactly the trust model the paper inherits from Zcash/Semaphore.
+    """
+
+    srs: SRS
+    transcript: list[UpdateProof] = field(default_factory=list)
+
+    @staticmethod
+    def bootstrap(max_degree: int) -> "Ceremony":
+        """Start a ceremony from the canonical tau = 1 string (no secret)."""
+        return Ceremony(SRS.generate(max_degree, tau=1))
+
+    def contribute(self, rho: int | None = None) -> UpdateProof:
+        """Apply one participant's contribution and record its proof."""
+        self.srs, proof = self.srs.update(rho)
+        self.transcript.append(proof)
+        return proof
+
+    def verify_transcript(self) -> bool:
+        """Verify every recorded update proof against the chain of strings.
+
+        Checks (i) each update's rho is consistent across G1/G2 via a
+        pairing, and (ii) the chain links: the post-update [tau]_1 matches
+        the pre-update [tau]_1 scaled by rho (verified in the exponent via
+        pairings).
+        """
+        prev_tau_g1 = G1.generator()  # bootstrap tau = 1
+        for proof in self.transcript:
+            # rho consistency between the G1 and G2 halves of the proof.
+            if not fq12_eq(
+                pairing(proof.rho_g1, G2.generator()),
+                pairing(G1.generator(), proof.rho_g2),
+            ):
+                return False
+            # Chain link: e(tau'_1, [1]_2) == e(tau_1, rho_2).
+            if not fq12_eq(
+                pairing(proof.after_tau_g1, G2.generator()),
+                pairing(prev_tau_g1, proof.rho_g2),
+            ):
+                return False
+            prev_tau_g1 = proof.after_tau_g1
+        # Finally the claimed SRS must carry the chained tau.
+        return self.srs.g1_powers[1] == prev_tau_g1

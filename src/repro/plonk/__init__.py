@@ -1,0 +1,42 @@
+"""A complete Plonk proving system (GWC19) over BN254 + KZG.
+
+This is the NIZK scheme Pi = (KeyGen, Prove, Verify) of the paper
+(Definition 2.4), instantiated exactly as the prototype: the Plonk
+construction with a universal updatable SRS, giving constant-size proofs
+(9 G1 + 6 F elements) and constant-time verification (2 pairings).
+
+Typical usage::
+
+    builder = CircuitBuilder()
+    x = builder.public_input(3)
+    y = builder.mul(x, x)
+    builder.assert_constant(y, 9)
+    layout, assignment = builder.compile()
+
+    srs = SRS.generate(layout.n + 8)
+    pk, vk = setup(srs, layout)
+    proof = prove(pk, assignment)
+    assert verify(vk, assignment.public_inputs, proof)
+"""
+
+from repro.plonk.circuit import CircuitBuilder, Layout, Assignment
+from repro.plonk.keys import ProvingKey, VerifyingKey, setup
+from repro.plonk.proof import Proof
+from repro.plonk.prover import prove
+from repro.plonk.verifier import verify
+from repro.plonk.batch import batch_verify
+from repro.plonk.transcript import Transcript
+
+__all__ = [
+    "Assignment",
+    "CircuitBuilder",
+    "Layout",
+    "Proof",
+    "ProvingKey",
+    "Transcript",
+    "VerifyingKey",
+    "batch_verify",
+    "prove",
+    "setup",
+    "verify",
+]

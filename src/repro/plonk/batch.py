@@ -1,0 +1,60 @@
+"""Batch verification: many Plonk proofs, one two-pairing check.
+
+Each proof reduces (see :func:`repro.plonk.verifier.prepare_pairing_inputs`)
+to an equation e(L_i, [tau]_2) = e(R_i, [1]_2).  Folding with independent
+random weights rho_i gives
+
+    e(sum rho_i L_i, [tau]_2) == e(sum rho_i R_i, [1]_2),
+
+which holds for random rho iff every individual equation holds (standard
+small-exponent batching).  Verification of k proofs therefore costs one
+pairing check plus O(k) group work — this is what keeps the marketplace's
+throughput high when many exchanges and transformations settle at once
+(the paper's abstract: "maintaining high throughput despite large data
+volumes").
+"""
+
+from __future__ import annotations
+
+from repro.errors import VerificationError
+from repro.curve.g1 import G1
+from repro.curve.msm import msm_g1
+from repro.curve.pairing import pairing_check
+from repro.field.fr import rand_fr
+from repro.plonk.keys import VerifyingKey
+from repro.plonk.proof import Proof
+from repro.plonk.verifier import prepare_pairing_inputs
+
+
+def batch_verify(
+    items: list[tuple[VerifyingKey, list[int], Proof]],
+) -> bool:
+    """Verify many (vk, public_inputs, proof) triples at once.
+
+    All verification keys must come from the same SRS (same [tau]_2) —
+    which they do under ZKDET's universal setup.  Returns False if any
+    proof is structurally malformed or the batched equation fails.
+    """
+    if not items:
+        return True
+    g2_tau = items[0][0].g2_tau
+    g2 = items[0][0].g2
+    for vk, _, _ in items:
+        if vk.g2_tau != g2_tau:
+            raise VerificationError("batch members use different SRS tau points")
+
+    lhs_points: list[G1] = []
+    rhs_points: list[G1] = []
+    weights: list[int] = []
+    for vk, publics, proof in items:
+        prepared = prepare_pairing_inputs(vk, publics, proof)
+        if prepared is None:
+            return False
+        lhs, rhs = prepared
+        lhs_points.append(lhs)
+        rhs_points.append(rhs)
+        weights.append(rand_fr())
+
+    combined_lhs = msm_g1(lhs_points, weights)
+    combined_rhs = msm_g1(rhs_points, weights)
+    return pairing_check([(combined_lhs, g2_tau), (-combined_rhs, g2)])

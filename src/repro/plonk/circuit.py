@@ -1,0 +1,368 @@
+"""Plonk constraint-system builder.
+
+A circuit is a list of gates over three wires (a, b, c), each enforcing
+
+    qL*a + qR*b + qO*c + qM*a*b + qC (+ PI) = 0,
+
+plus copy constraints ("the same variable appears in these slots"), which
+Plonk encodes as a permutation over the 3n wire slots.
+
+:class:`CircuitBuilder` is used in *synthesis* style: every operation both
+records the gate structure and computes the concrete witness value, so
+``compile()`` yields the layout (structure only — reusable across
+witnesses) and the assignment (this witness) in one pass.  Building the
+same circuit code path with different inputs yields byte-identical layouts,
+so verification keys are reusable, exactly as with Circom templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import hashlib
+
+from repro.errors import CircuitError, UnsatisfiedConstraintError
+from repro.field.fr import MODULUS as R, root_of_unity
+
+#: Coset representatives separating the three wire columns inside the
+#: permutation argument.  Checked at import time to lie outside every
+#: 2-adic subgroup (and in distinct cosets of each other).
+def _find_cosets() -> tuple[int, int]:
+    full = 1 << 28
+    candidates = [2, 3, 5, 7, 11, 13, 17]
+    picked: list[int] = []
+    for k in candidates:
+        if pow(k, full, R) == 1:
+            continue
+        if any(pow(k * pow(other, R - 2, R) % R, full, R) == 1 for other in picked):
+            continue
+        picked.append(k)
+        if len(picked) == 2:
+            return picked[0], picked[1]
+    raise CircuitError("could not find permutation coset representatives")
+
+
+K1, K2 = _find_cosets()
+
+Wire = int  # a variable handle
+
+
+@dataclass
+class _Gate:
+    ql: int
+    qr: int
+    qo: int
+    qm: int
+    qc: int
+    a: Wire
+    b: Wire
+    c: Wire
+
+
+@dataclass(frozen=True)
+class Layout:
+    """Compiled circuit structure (independent of any witness).
+
+    Attributes:
+        n: number of gates, a power of two.
+        ell: number of public inputs (occupying the first ``ell`` gates).
+        selectors: dict of the five selector columns, each length ``n``.
+        sigma: the copy-constraint permutation over the ``3n`` wire slots.
+    """
+
+    n: int
+    ell: int
+    ql: tuple
+    qr: tuple
+    qo: tuple
+    qm: tuple
+    qc: tuple
+    sigma: tuple
+
+    @property
+    def num_constraints(self) -> int:
+        return self.n
+
+    def digest(self) -> bytes:
+        """Stable hash of the structure (used for transcript binding)."""
+        h = hashlib.sha256()
+        h.update(b"layout:%d:%d;" % (self.n, self.ell))
+        for col in (self.ql, self.qr, self.qo, self.qm, self.qc, self.sigma):
+            for v in col:
+                h.update(v.to_bytes(32, "little"))
+        return h.digest()
+
+    def sigma_star(self) -> tuple[list[int], list[int], list[int]]:
+        """Encode the permutation as field elements (the S_sigma columns).
+
+        Slot j in column k of row i maps through sigma to another slot,
+        whose field encoding is coset_rep[column] * omega^row.
+        """
+        omega = root_of_unity(self.n) if self.n > 1 else 1
+        reps = (1, K1, K2)
+        points = [1] * self.n
+        for i in range(1, self.n):
+            points[i] = points[i - 1] * omega % R
+        columns: tuple[list[int], ...] = ([], [], [])
+        for col in range(3):
+            for row in range(self.n):
+                target = self.sigma[col * self.n + row]
+                t_col, t_row = divmod(target, self.n)
+                columns[col].append(reps[t_col] * points[t_row] % R)
+        return columns
+
+    def check(self, assignment: "Assignment") -> None:
+        """Verify the assignment satisfies every gate (fast, no crypto).
+
+        Raises :class:`UnsatisfiedConstraintError` on the first failure.
+        Used pervasively by the gadget tests: it validates circuits at
+        field-arithmetic speed without running the prover.
+        """
+        a, b, c = assignment.a, assignment.b, assignment.c
+        if not (len(a) == len(b) == len(c) == self.n):
+            raise CircuitError("assignment length does not match layout")
+        for i in range(self.n):
+            pi = -assignment.a[i] % R if i < self.ell else 0
+            lhs = (
+                self.ql[i] * a[i]
+                + self.qr[i] * b[i]
+                + self.qo[i] * c[i]
+                + self.qm[i] * a[i] * b[i]
+                + self.qc[i]
+                + pi
+            ) % R
+            if lhs != 0:
+                raise UnsatisfiedConstraintError("gate %d not satisfied" % i)
+
+
+@dataclass
+class Assignment:
+    """A concrete witness: the three wire-value columns."""
+
+    a: list[int]
+    b: list[int]
+    c: list[int]
+    ell: int
+
+    @property
+    def public_inputs(self) -> list[int]:
+        """The public-input values (first ``ell`` a-wires)."""
+        return list(self.a[: self.ell])
+
+
+class CircuitBuilder:
+    """Builds a Plonk circuit and its witness simultaneously."""
+
+    def __init__(self):
+        self._values: list[int] = []
+        self._gates: list[_Gate] = []
+        self._public: list[Wire] = []
+        self._constants: dict[int, Wire] = {}
+        self._compiled = False
+
+    # ----- variable allocation -------------------------------------------------
+
+    def var(self, value: int) -> Wire:
+        """Allocate a private witness variable with the given value."""
+        self._values.append(int(value) % R)
+        return len(self._values) - 1
+
+    def public_input(self, value: int) -> Wire:
+        """Allocate a public-input variable (exposed in the statement)."""
+        w = self.var(value)
+        self._public.append(w)
+        return w
+
+    def constant(self, value: int) -> Wire:
+        """Allocate (or reuse) a variable constrained to a constant."""
+        value = int(value) % R
+        if value in self._constants:
+            return self._constants[value]
+        w = self.var(value)
+        self.gate(a=w, ql=1, qc=-value)
+        self._constants[value] = w
+        return w
+
+    def value(self, wire: Wire) -> int:
+        """Read back the witness value of a wire."""
+        return self._values[wire]
+
+    # ----- raw gates -----------------------------------------------------------
+
+    def gate(
+        self,
+        a: Wire | None = None,
+        b: Wire | None = None,
+        c: Wire | None = None,
+        ql: int = 0,
+        qr: int = 0,
+        qo: int = 0,
+        qm: int = 0,
+        qc: int = 0,
+    ) -> None:
+        """Append a raw gate; unused wire positions get dummy variables."""
+        if self._compiled:
+            raise CircuitError("builder already compiled")
+        a = self.var(0) if a is None else a
+        b = self.var(0) if b is None else b
+        c = self.var(0) if c is None else c
+        self._gates.append(
+            _Gate(ql % R, qr % R, qo % R, qm % R, qc % R, a, b, c)
+        )
+
+    # ----- arithmetic operations (compute value + constrain) --------------------
+
+    def add(self, x: Wire, y: Wire) -> Wire:
+        """Return a wire constrained to x + y."""
+        out = self.var(self._values[x] + self._values[y])
+        self.gate(a=x, b=y, c=out, ql=1, qr=1, qo=-1)
+        return out
+
+    def sub(self, x: Wire, y: Wire) -> Wire:
+        """Return a wire constrained to x - y."""
+        out = self.var(self._values[x] - self._values[y])
+        self.gate(a=x, b=y, c=out, ql=1, qr=-1, qo=-1)
+        return out
+
+    def mul(self, x: Wire, y: Wire) -> Wire:
+        """Return a wire constrained to x * y."""
+        out = self.var(self._values[x] * self._values[y])
+        self.gate(a=x, b=y, c=out, qm=1, qo=-1)
+        return out
+
+    def mul_add(self, x: Wire, y: Wire, z: Wire) -> Wire:
+        """Return a wire constrained to x*y + z (two gates)."""
+        return self.add(self.mul(x, y), z)
+
+    def mul_add_const(self, x: Wire, y: Wire, k: int) -> Wire:
+        """Return a wire constrained to x*y + k (one gate)."""
+        k %= R
+        out = self.var(self._values[x] * self._values[y] + k)
+        self.gate(a=x, b=y, c=out, qm=1, qo=-1, qc=k)
+        return out
+
+    def scale(self, x: Wire, k: int) -> Wire:
+        """Return a wire constrained to k * x."""
+        k %= R
+        out = self.var(self._values[x] * k)
+        self.gate(a=x, c=out, ql=k, qo=-1)
+        return out
+
+    def add_const(self, x: Wire, k: int) -> Wire:
+        """Return a wire constrained to x + k."""
+        k %= R
+        out = self.var(self._values[x] + k)
+        self.gate(a=x, c=out, ql=1, qo=-1, qc=k)
+        return out
+
+    def linear_combination(self, terms: list[tuple[int, Wire]], constant: int = 0) -> Wire:
+        """Return a wire constrained to sum(k_i * w_i) + constant.
+
+        Folds two terms per gate; costs ``max(1, len(terms) - 1)`` gates.
+        """
+        constant %= R
+        if not terms:
+            return self.constant(constant)
+        if len(terms) == 1:
+            k, w = terms[0]
+            k %= R
+            out = self.var(self._values[w] * k + constant)
+            self.gate(a=w, c=out, ql=k, qo=-1, qc=constant)
+            return out
+        (k1, w1), (k2, w2) = terms[0], terms[1]
+        acc_val = (self._values[w1] * k1 + self._values[w2] * k2 + constant) % R
+        acc = self.var(acc_val)
+        self.gate(a=w1, b=w2, c=acc, ql=k1, qr=k2, qo=-1, qc=constant)
+        for k, w in terms[2:]:
+            k %= R
+            new_val = (self._values[acc] + self._values[w] * k) % R
+            new = self.var(new_val)
+            self.gate(a=acc, b=w, c=new, ql=1, qr=k, qo=-1)
+            acc = new
+        return acc
+
+    # ----- assertions ------------------------------------------------------------
+
+    def assert_equal(self, x: Wire, y: Wire) -> None:
+        """Constrain x == y."""
+        self.gate(a=x, b=y, ql=1, qr=-1)
+
+    def assert_constant(self, x: Wire, k: int) -> None:
+        """Constrain x == k."""
+        self.gate(a=x, ql=1, qc=-(k % R))
+
+    def assert_zero(self, x: Wire) -> None:
+        """Constrain x == 0."""
+        self.gate(a=x, ql=1)
+
+    def assert_bool(self, x: Wire) -> None:
+        """Constrain x in {0, 1} via x^2 - x = 0."""
+        self.gate(a=x, b=x, qm=1, ql=-1)
+
+    def assert_mul(self, x: Wire, y: Wire, z: Wire) -> None:
+        """Constrain x * y == z."""
+        self.gate(a=x, b=y, c=z, qm=1, qo=-1)
+
+    def assert_not_zero(self, x: Wire) -> None:
+        """Constrain x != 0 by exhibiting its inverse."""
+        val = self._values[x]
+        inv_val = pow(val, R - 2, R) if val else 0
+        inv = self.var(inv_val)
+        one = self.var(val * inv_val)
+        self.gate(a=x, b=inv, c=one, qm=1, qo=-1)
+        self.assert_constant(one, 1)
+
+    # ----- compilation -----------------------------------------------------------
+
+    @property
+    def num_gates(self) -> int:
+        """Gates emitted so far (excluding public-input and padding gates)."""
+        return len(self._gates)
+
+    def compile(self, min_size: int = 4, check: bool = True) -> tuple[Layout, Assignment]:
+        """Finalize into a (layout, assignment) pair, padded to a power of 2.
+
+        ``check=False`` skips witness validation: verifiers use it to
+        rebuild a circuit's *structure* (selectors, permutation) from dummy
+        values, since the layout is witness-independent.
+        """
+        self._compiled = True
+        gates: list[_Gate] = []
+        # Public-input gates come first: a = w_i with qL = 1; the PI
+        # polynomial contributes -w_i so the row sums to zero.
+        for w in self._public:
+            gates.append(_Gate(1, 0, 0, 0, 0, w, self.var(0), self.var(0)))
+        gates.extend(self._gates)
+        n = max(min_size, 1)
+        while n < len(gates):
+            n <<= 1
+        while len(gates) < n:
+            gates.append(_Gate(0, 0, 0, 0, 0, self.var(0), self.var(0), self.var(0)))
+
+        ql = tuple(g.ql for g in gates)
+        qr = tuple(g.qr for g in gates)
+        qo = tuple(g.qo for g in gates)
+        qm = tuple(g.qm for g in gates)
+        qc = tuple(g.qc for g in gates)
+
+        # Copy constraints: slots holding the same variable form one cycle.
+        slots_of: dict[Wire, list[int]] = {}
+        for row, g in enumerate(gates):
+            slots_of.setdefault(g.a, []).append(row)
+            slots_of.setdefault(g.b, []).append(n + row)
+            slots_of.setdefault(g.c, []).append(2 * n + row)
+        sigma = list(range(3 * n))
+        for slots in slots_of.values():
+            for i, s in enumerate(slots):
+                sigma[s] = slots[(i + 1) % len(slots)]
+
+        layout = Layout(n, len(self._public), ql, qr, qo, qm, qc, tuple(sigma))
+        vals = self._values
+        assignment = Assignment(
+            a=[vals[g.a] for g in gates],
+            b=[vals[g.b] for g in gates],
+            c=[vals[g.c] for g in gates],
+            ell=len(self._public),
+        )
+        if check:
+            layout.check(assignment)
+        return layout, assignment

@@ -1,0 +1,108 @@
+"""Plonk key generation (the KeyGen of the NIZK triple).
+
+``setup(srs, layout)`` preprocesses a compiled circuit into a proving key
+(polynomials + SRS) and a verification key (eight commitments + domain
+metadata).  The SRS is universal: the same string serves every circuit
+whose size fits, so — as the paper stresses — circuits can change without
+re-running the ceremony.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import SRSError
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+from repro.field.ntt import Domain
+from repro.kzg.commit import commit
+from repro.kzg.srs import SRS
+from repro.plonk.circuit import K1, K2, Layout
+
+#: Extra degree headroom required beyond n (blinding of wires, z and t).
+DEGREE_MARGIN = 8
+
+
+@dataclass(frozen=True)
+class VerifyingKey:
+    """Succinct verification key: 8 G1 commitments + domain metadata."""
+
+    n: int
+    ell: int
+    c_qm: G1
+    c_ql: G1
+    c_qr: G1
+    c_qo: G1
+    c_qc: G1
+    c_s1: G1
+    c_s2: G1
+    c_s3: G1
+    g2: G2
+    g2_tau: G2
+
+    def digest(self) -> bytes:
+        """Hash binding the transcript to this circuit and SRS."""
+        h = hashlib.sha256()
+        h.update(b"plonk-vk:%d:%d:%d:%d;" % (self.n, self.ell, K1, K2))
+        for c in (
+            self.c_qm,
+            self.c_ql,
+            self.c_qr,
+            self.c_qo,
+            self.c_qc,
+            self.c_s1,
+            self.c_s2,
+            self.c_s3,
+        ):
+            h.update(c.to_bytes())
+        h.update(self.g2_tau.to_bytes())
+        return h.digest()
+
+
+@dataclass(frozen=True)
+class ProvingKey:
+    """Everything the prover needs: coefficient polynomials + the SRS."""
+
+    layout: Layout
+    srs: SRS
+    q_polys: dict  # name -> coefficient list
+    s_polys: tuple  # (s1, s2, s3) coefficient lists
+    sigma_star: tuple  # (col1, col2, col3) permutation value columns
+    vk: VerifyingKey
+
+
+def setup(srs: SRS, layout: Layout) -> tuple[ProvingKey, VerifyingKey]:
+    """Preprocess ``layout`` under ``srs`` into proving/verifying keys."""
+    n = layout.n
+    if srs.max_degree < n + DEGREE_MARGIN:
+        raise SRSError(
+            "SRS supports degree %d but circuit of size %d needs %d"
+            % (srs.max_degree, n, n + DEGREE_MARGIN)
+        )
+    domain = Domain.get(n)
+    q_polys = {
+        "qm": domain.ifft(list(layout.qm)),
+        "ql": domain.ifft(list(layout.ql)),
+        "qr": domain.ifft(list(layout.qr)),
+        "qo": domain.ifft(list(layout.qo)),
+        "qc": domain.ifft(list(layout.qc)),
+    }
+    sigma_star = layout.sigma_star()
+    s_polys = tuple(domain.ifft(col) for col in sigma_star)
+    vk = VerifyingKey(
+        n=n,
+        ell=layout.ell,
+        c_qm=commit(srs, q_polys["qm"]),
+        c_ql=commit(srs, q_polys["ql"]),
+        c_qr=commit(srs, q_polys["qr"]),
+        c_qo=commit(srs, q_polys["qo"]),
+        c_qc=commit(srs, q_polys["qc"]),
+        c_s1=commit(srs, s_polys[0]),
+        c_s2=commit(srs, s_polys[1]),
+        c_s3=commit(srs, s_polys[2]),
+        g2=srs.g2,
+        g2_tau=srs.g2_tau,
+    )
+    pk = ProvingKey(layout, srs, q_polys, s_polys, sigma_star, vk)
+    return pk, vk

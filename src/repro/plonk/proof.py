@@ -1,0 +1,86 @@
+"""The Plonk proof object.
+
+As the paper reports (Section VI-B3), every proof consists of exactly
+9 G1 elements and 6 field elements, independent of the relation proved —
+768 bytes in our uncompressed encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.errors import SerializationError
+from repro.curve.g1 import G1
+from repro.field.fr import MODULUS as R
+
+_POINT_FIELDS = ("c_a", "c_b", "c_c", "c_z", "c_t_lo", "c_t_mid", "c_t_hi", "w_zeta", "w_zeta_omega")
+_SCALAR_FIELDS = ("a_bar", "b_bar", "c_bar", "s1_bar", "s2_bar", "z_omega_bar")
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A Plonk proof: 9 G1 commitments and 6 evaluations at zeta."""
+
+    c_a: G1
+    c_b: G1
+    c_c: G1
+    c_z: G1
+    c_t_lo: G1
+    c_t_mid: G1
+    c_t_hi: G1
+    w_zeta: G1
+    w_zeta_omega: G1
+    a_bar: int
+    b_bar: int
+    c_bar: int
+    s1_bar: int
+    s2_bar: int
+    z_omega_bar: int
+
+    @property
+    def num_g1_elements(self) -> int:
+        return len(_POINT_FIELDS)
+
+    @property
+    def num_field_elements(self) -> int:
+        return len(_SCALAR_FIELDS)
+
+    def to_bytes(self) -> bytes:
+        """Serialise: 9 uncompressed G1 points then 6 scalars."""
+        out = bytearray()
+        for name in _POINT_FIELDS:
+            out += getattr(self, name).to_bytes()
+        for name in _SCALAR_FIELDS:
+            out += (getattr(self, name) % R).to_bytes(32, "little")
+        return bytes(out)
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "Proof":
+        expected = 64 * len(_POINT_FIELDS) + 32 * len(_SCALAR_FIELDS)
+        if len(data) != expected:
+            raise SerializationError(
+                "proof must be %d bytes, got %d" % (expected, len(data))
+            )
+        kwargs = {}
+        offset = 0
+        for name in _POINT_FIELDS:
+            kwargs[name] = G1.from_bytes(data[offset : offset + 64])
+            offset += 64
+        for name in _SCALAR_FIELDS:
+            value = int.from_bytes(data[offset : offset + 32], "little")
+            if value >= R:
+                raise SerializationError("scalar %s out of range" % name)
+            kwargs[name] = value
+            offset += 32
+        return Proof(**kwargs)
+
+    @property
+    def size_bytes(self) -> int:
+        """Length of the canonical serialisation."""
+        return 64 * len(_POINT_FIELDS) + 32 * len(_SCALAR_FIELDS)
+
+    def replace(self, **changes) -> "Proof":
+        """Return a copy with some fields changed (used by tamper tests)."""
+        current = {f.name: getattr(self, f.name) for f in fields(self)}
+        current.update(changes)
+        return Proof(**current)

@@ -1,0 +1,283 @@
+"""The Plonk prover (rounds 1-5 of GWC19).
+
+Produces a zero-knowledge proof that the prover knows wire assignments
+satisfying the circuit for the given public inputs.  All wire, permutation
+and quotient polynomials are blinded with multiples of Z_H so that the
+proof leaks nothing about the witness beyond the statement.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProofError
+from repro.field import poly
+from repro.field.fr import MODULUS as R, batch_inverse, rand_fr
+from repro.field.ntt import Domain
+from repro.kzg.commit import commit
+from repro.plonk.circuit import Assignment, K1, K2
+from repro.plonk.keys import ProvingKey
+from repro.plonk.proof import Proof
+from repro.plonk.transcript import Transcript
+
+
+def _blind(coeffs: list[int], blinders: list[int], n: int) -> list[int]:
+    """Add blinder(X) * Z_H(X) to ``coeffs`` (hiding against evaluations)."""
+    zh = [(-1) % R] + [0] * (n - 1) + [1]
+    return poly.add(coeffs, poly.mul(blinders, zh))
+
+
+def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proof:
+    """Generate a Plonk proof for ``assignment`` under ``pk``.
+
+    Raises :class:`ProofError` (via the layout check) when the witness does
+    not satisfy the circuit; a correct prover never signs false statements.
+    """
+    layout = pk.layout
+    layout.check(assignment)  # raises UnsatisfiedConstraintError early
+    n = layout.n
+    domain = Domain.get(n)
+    omega = domain.omega
+    srs = pk.srs
+    rand = rand_fr if blinding else (lambda: 0)
+
+    transcript = Transcript(b"plonk")
+    transcript.append_bytes(b"vk", pk.vk.digest())
+    public_inputs = assignment.public_inputs
+    for w in public_inputs:
+        transcript.append_scalar(b"pub", w)
+
+    # ----- Round 1: wire polynomials -------------------------------------
+    a_poly = _blind(domain.ifft(assignment.a), [rand(), rand()], n)
+    b_poly = _blind(domain.ifft(assignment.b), [rand(), rand()], n)
+    c_poly = _blind(domain.ifft(assignment.c), [rand(), rand()], n)
+    c_a, c_b, c_c = commit(srs, a_poly), commit(srs, b_poly), commit(srs, c_poly)
+    transcript.append_point(b"a", c_a)
+    transcript.append_point(b"b", c_b)
+    transcript.append_point(b"c", c_c)
+
+    # ----- Round 2: permutation accumulator z ----------------------------
+    beta = transcript.challenge(b"beta")
+    gamma = transcript.challenge(b"gamma")
+    points = domain.elements
+    s1, s2, s3 = pk.sigma_star
+    denominators = []
+    numerators = []
+    for i in range(n):
+        wa, wb, wc = assignment.a[i], assignment.b[i], assignment.c[i]
+        x = points[i]
+        numerators.append(
+            (wa + beta * x + gamma)
+            * (wb + beta * K1 * x % R + gamma)
+            % R
+            * (wc + beta * K2 * x % R + gamma)
+            % R
+        )
+        denominators.append(
+            (wa + beta * s1[i] + gamma)
+            * (wb + beta * s2[i] + gamma)
+            % R
+            * (wc + beta * s3[i] + gamma)
+            % R
+        )
+    inv_denoms = batch_inverse(denominators)
+    z_vals = [1] * n
+    for i in range(n - 1):
+        z_vals[i + 1] = z_vals[i] * numerators[i] % R * inv_denoms[i] % R
+    z_poly = _blind(domain.ifft(z_vals), [rand(), rand(), rand()], n)
+    c_z = commit(srs, z_poly)
+    transcript.append_point(b"z", c_z)
+
+    # ----- Round 3: quotient polynomial t --------------------------------
+    alpha = transcript.challenge(b"alpha")
+    pi_vals = [0] * n
+    for i, w in enumerate(public_inputs):
+        pi_vals[i] = (-w) % R
+    pi_poly = domain.ifft(pi_vals)
+    l1_poly = domain.ifft([1] + [0] * (n - 1))
+    # z(omega * X): scale coefficient i by omega^i.
+    zw_poly = []
+    acc = 1
+    for coef in z_poly:
+        zw_poly.append(coef * acc % R)
+        acc = acc * omega % R
+
+    big = Domain.get(8 * n)  # numerator degree can reach 4n+5 < 8n
+    shift_points = []
+    acc = 1
+    for _ in range(big.n):
+        shift_points.append(acc)
+        acc = acc * big.omega % R
+    from repro.field.ntt import COSET_SHIFT
+
+    xs = [COSET_SHIFT * p % R for p in shift_points]
+    ev = {
+        "a": big.coset_fft(a_poly),
+        "b": big.coset_fft(b_poly),
+        "c": big.coset_fft(c_poly),
+        "z": big.coset_fft(z_poly),
+        "zw": big.coset_fft(zw_poly),
+        "qm": big.coset_fft(pk.q_polys["qm"]),
+        "ql": big.coset_fft(pk.q_polys["ql"]),
+        "qr": big.coset_fft(pk.q_polys["qr"]),
+        "qo": big.coset_fft(pk.q_polys["qo"]),
+        "qc": big.coset_fft(pk.q_polys["qc"]),
+        "s1": big.coset_fft(list(pk.s_polys[0])),
+        "s2": big.coset_fft(list(pk.s_polys[1])),
+        "s3": big.coset_fft(list(pk.s_polys[2])),
+        "pi": big.coset_fft(pi_poly),
+        "l1": big.coset_fft(l1_poly),
+    }
+    alpha2 = alpha * alpha % R
+    num_evals = []
+    for i in range(big.n):
+        av, bv, cv = ev["a"][i], ev["b"][i], ev["c"][i]
+        zv, zwv = ev["z"][i], ev["zw"][i]
+        x = xs[i]
+        gate = (
+            av * bv % R * ev["qm"][i]
+            + av * ev["ql"][i]
+            + bv * ev["qr"][i]
+            + cv * ev["qo"][i]
+            + ev["pi"][i]
+            + ev["qc"][i]
+        ) % R
+        perm_a = (
+            (av + beta * x + gamma)
+            * (bv + beta * K1 * x % R + gamma)
+            % R
+            * (cv + beta * K2 * x % R + gamma)
+            % R
+            * zv
+            % R
+        )
+        perm_b = (
+            (av + beta * ev["s1"][i] + gamma)
+            * (bv + beta * ev["s2"][i] + gamma)
+            % R
+            * (cv + beta * ev["s3"][i] + gamma)
+            % R
+            * zwv
+            % R
+        )
+        boundary = (zv - 1) * ev["l1"][i] % R
+        num_evals.append((gate + alpha * (perm_a - perm_b) + alpha2 * boundary) % R)
+    numerator = big.coset_ifft(num_evals)
+    try:
+        t_poly = poly.divide_by_vanishing(numerator, n)
+    except Exception as exc:  # exact division fails iff constraints broken
+        raise ProofError("quotient is not divisible by Z_H: %s" % exc) from exc
+
+    t_lo = t_poly[:n]
+    t_mid = t_poly[n : 2 * n]
+    t_hi = t_poly[2 * n :]
+    b10, b11 = rand(), rand()
+    t_lo = t_lo + [0] * (n - len(t_lo)) + [b10]
+    t_mid = t_mid + [0] * (n - len(t_mid)) + [b11]
+    t_mid[0] = (t_mid[0] - b10) % R
+    t_hi = list(t_hi)
+    if not t_hi:
+        t_hi = [0]
+    t_hi[0] = (t_hi[0] - b11) % R
+    c_t_lo, c_t_mid, c_t_hi = (
+        commit(srs, t_lo),
+        commit(srs, t_mid),
+        commit(srs, t_hi),
+    )
+    transcript.append_point(b"t_lo", c_t_lo)
+    transcript.append_point(b"t_mid", c_t_mid)
+    transcript.append_point(b"t_hi", c_t_hi)
+
+    # ----- Round 4: evaluations at zeta -----------------------------------
+    zeta = transcript.challenge(b"zeta")
+    a_bar = poly.evaluate(a_poly, zeta)
+    b_bar = poly.evaluate(b_poly, zeta)
+    c_bar = poly.evaluate(c_poly, zeta)
+    s1_bar = poly.evaluate(list(pk.s_polys[0]), zeta)
+    s2_bar = poly.evaluate(list(pk.s_polys[1]), zeta)
+    z_omega_bar = poly.evaluate(z_poly, zeta * omega % R)
+    for label, value in (
+        (b"a_bar", a_bar),
+        (b"b_bar", b_bar),
+        (b"c_bar", c_bar),
+        (b"s1_bar", s1_bar),
+        (b"s2_bar", s2_bar),
+        (b"z_omega_bar", z_omega_bar),
+    ):
+        transcript.append_scalar(label, value)
+
+    # ----- Round 5: linearization + opening proofs ------------------------
+    v = transcript.challenge(b"v")
+    zh_zeta = domain.vanishing_eval(zeta)
+    l1_zeta = domain.lagrange_basis_eval(0, zeta)
+    pi_zeta = poly.evaluate(pi_poly, zeta)
+
+    pa = (
+        (a_bar + beta * zeta + gamma)
+        * (b_bar + beta * K1 * zeta % R + gamma)
+        % R
+        * (c_bar + beta * K2 * zeta % R + gamma)
+        % R
+    )
+    pb = (a_bar + beta * s1_bar + gamma) * (b_bar + beta * s2_bar + gamma) % R
+
+    d_poly: list[int] = []
+    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qm"], a_bar * b_bar % R))
+    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["ql"], a_bar))
+    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qr"], b_bar))
+    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qo"], c_bar))
+    d_poly = poly.add(d_poly, pk.q_polys["qc"])
+    z_scalar = (alpha * pa + alpha2 * l1_zeta) % R
+    d_poly = poly.add(d_poly, poly.scale(z_poly, z_scalar))
+    s3_scalar = (-(alpha * pb % R) * beta % R) * z_omega_bar % R
+    d_poly = poly.add(d_poly, poly.scale(list(pk.s_polys[2]), s3_scalar))
+    t_combined = poly.add(
+        poly.add(t_lo, poly.scale(t_mid, pow(zeta, n, R))),
+        poly.scale(t_hi, pow(zeta, 2 * n, R)),
+    )
+    d_poly = poly.sub(d_poly, poly.scale(t_combined, zh_zeta))
+
+    r0 = (
+        pi_zeta
+        - l1_zeta * alpha2
+        - alpha * pb % R * ((c_bar + gamma) % R) % R * z_omega_bar
+    ) % R
+    if (poly.evaluate(d_poly, zeta) + r0) % R != 0:
+        raise ProofError("internal linearization check failed")
+
+    numerator = poly.add(d_poly, [r0])
+    vk_pow = v
+    for opened, value in (
+        (a_poly, a_bar),
+        (b_poly, b_bar),
+        (c_poly, c_bar),
+        (list(pk.s_polys[0]), s1_bar),
+        (list(pk.s_polys[1]), s2_bar),
+    ):
+        numerator = poly.add(numerator, poly.scale(poly.sub(opened, [value]), vk_pow))
+        vk_pow = vk_pow * v % R
+    w_zeta_poly = poly.divide_by_linear(numerator, zeta)
+    w_zeta_omega_poly = poly.divide_by_linear(
+        poly.sub(z_poly, [z_omega_bar]), zeta * omega % R
+    )
+    w_zeta = commit(srs, w_zeta_poly)
+    w_zeta_omega = commit(srs, w_zeta_omega_poly)
+    transcript.append_point(b"w_zeta", w_zeta)
+    transcript.append_point(b"w_zeta_omega", w_zeta_omega)
+    transcript.challenge(b"u")  # keeps prover/verifier transcripts aligned
+
+    return Proof(
+        c_a=c_a,
+        c_b=c_b,
+        c_c=c_c,
+        c_z=c_z,
+        c_t_lo=c_t_lo,
+        c_t_mid=c_t_mid,
+        c_t_hi=c_t_hi,
+        w_zeta=w_zeta,
+        w_zeta_omega=w_zeta_omega,
+        a_bar=a_bar,
+        b_bar=b_bar,
+        c_bar=c_bar,
+        s1_bar=s1_bar,
+        s2_bar=s2_bar,
+        z_omega_bar=z_omega_bar,
+    )

@@ -1,0 +1,51 @@
+"""Fiat-Shamir transcript for non-interactive proofs.
+
+Both prover and verifier feed the same protocol messages into a running
+SHA-256 state; challenges are derived from the state so that neither party
+can grind them independently of the messages.  Labels provide domain
+separation between rounds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.curve.g1 import G1
+from repro.field.fr import MODULUS as R
+
+
+class Transcript:
+    """An append-only Fiat-Shamir transcript."""
+
+    def __init__(self, domain_tag: bytes):
+        self._state = hashlib.sha256(b"repro.transcript.v1:" + domain_tag).digest()
+
+    def _absorb(self, label: bytes, data: bytes) -> None:
+        self._state = hashlib.sha256(
+            self._state + len(label).to_bytes(2, "little") + label + data
+        ).digest()
+
+    def append_bytes(self, label: bytes, data: bytes) -> None:
+        """Absorb raw bytes under a label."""
+        self._absorb(label, data)
+
+    def append_scalar(self, label: bytes, value: int) -> None:
+        """Absorb a field element."""
+        self._absorb(label, (value % R).to_bytes(32, "little"))
+
+    def append_point(self, label: bytes, point: G1) -> None:
+        """Absorb a G1 point (64-byte uncompressed form)."""
+        self._absorb(label, point.to_bytes())
+
+    def challenge(self, label: bytes) -> int:
+        """Derive a field-element challenge and fold it back into the state.
+
+        Two independent SHA-256 outputs are combined so the result is
+        statistically close to uniform mod r (a single 256-bit digest has
+        noticeable bias for a 254-bit modulus).
+        """
+        h1 = hashlib.sha256(self._state + b"chal:0:" + label).digest()
+        h2 = hashlib.sha256(self._state + b"chal:1:" + label).digest()
+        value = int.from_bytes(h1 + h2, "little") % R
+        self._absorb(b"challenge:" + label, value.to_bytes(32, "little"))
+        return value

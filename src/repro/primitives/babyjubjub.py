@@ -1,0 +1,131 @@
+"""Baby Jubjub: the twisted Edwards curve embedded in the BN254 scalar
+field, plus Schnorr signatures over it.
+
+The paper's gadget library lists "elliptic curves and pairing" among its
+cryptographic primitives (Section IV-D).  Baby Jubjub is *the* curve for
+that job in the Circom ecosystem the prototype uses: its base field is
+exactly the SNARK's scalar field, so point arithmetic costs a handful of
+constraints.  We use it for data-owner signatures: a seller can sign
+listings/attestations and prove knowledge of a valid signature inside a
+circuit (see repro.gadgets.babyjubjub).
+
+Curve: a*x^2 + y^2 = 1 + d*x^2*y^2 over F_r with a = 168700, d = 168696;
+complete twisted Edwards addition (no special cases).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CurveError
+from repro.field.fr import MODULUS as R, inv, rand_fr
+from repro.primitives.poseidon import poseidon_hash
+
+A = 168700
+D = 168696
+
+#: Order of the prime-order subgroup (cofactor 8).
+SUBGROUP_ORDER = 2736030358979909402780800718157159386076813972158567259200215660948447373041
+
+#: The conventional prime-order generator ("Base8").
+BASE_X = 5299619240641551281634865583518297030282874472190772894086521144482721001553
+BASE_Y = 16950150798460657717958625567821834550301663161624707787222815936182638968203
+
+
+@dataclass(frozen=True)
+class JubjubPoint:
+    """An affine point of Baby Jubjub (the identity is (0, 1))."""
+
+    x: int
+    y: int
+
+    def __post_init__(self):
+        x, y = self.x % R, self.y % R
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+        lhs = (A * x * x + y * y) % R
+        rhs = (1 + D * x * x % R * y % R * y) % R
+        if lhs != rhs:
+            raise CurveError("point is not on Baby Jubjub")
+
+    @staticmethod
+    def identity() -> "JubjubPoint":
+        return JubjubPoint(0, 1)
+
+    @staticmethod
+    def base() -> "JubjubPoint":
+        return JubjubPoint(BASE_X, BASE_Y)
+
+    def is_identity(self) -> bool:
+        return self.x == 0 and self.y == 1
+
+    def __add__(self, other: "JubjubPoint") -> "JubjubPoint":
+        if not isinstance(other, JubjubPoint):
+            return NotImplemented
+        x1, y1, x2, y2 = self.x, self.y, other.x, other.y
+        prod = D * x1 % R * x2 % R * y1 % R * y2 % R
+        x3 = (x1 * y2 + y1 * x2) % R * inv((1 + prod) % R) % R
+        y3 = (y1 * y2 - A * x1 % R * x2) % R * inv((1 - prod) % R) % R
+        return JubjubPoint(x3, y3)
+
+    def __neg__(self) -> "JubjubPoint":
+        return JubjubPoint(-self.x % R, self.y)
+
+    def __mul__(self, k: int) -> "JubjubPoint":
+        k = int(k) % SUBGROUP_ORDER
+        result = JubjubPoint.identity()
+        base = self
+        while k:
+            if k & 1:
+                result = result + base
+            base = base + base
+            k >>= 1
+        return result
+
+    __rmul__ = __mul__
+
+    def in_subgroup(self) -> bool:
+        return (self * SUBGROUP_ORDER).is_identity()
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """A Schnorr signature (R, s) over Baby Jubjub with a Poseidon
+    challenge — the construction that verifies cheaply in-circuit."""
+
+    r_point: JubjubPoint
+    s: int
+
+
+def schnorr_keygen(sk: int | None = None) -> tuple[int, JubjubPoint]:
+    """Generate (secret key, public key = sk * Base)."""
+    sk = rand_fr() % SUBGROUP_ORDER if sk is None else sk % SUBGROUP_ORDER
+    if sk == 0:
+        raise CurveError("secret key must be non-zero")
+    return sk, JubjubPoint.base() * sk
+
+
+def _challenge(r_point: JubjubPoint, pk: JubjubPoint, message: int) -> int:
+    return poseidon_hash([r_point.x, r_point.y, pk.x, pk.y, message % R]) % SUBGROUP_ORDER
+
+
+def schnorr_sign(sk: int, message: int, nonce: int | None = None) -> SchnorrSignature:
+    """Sign a field-element message: R = r*B, s = r + H(R,pk,m)*sk."""
+    sk %= SUBGROUP_ORDER
+    base = JubjubPoint.base()
+    pk = base * sk
+    r = (rand_fr() if nonce is None else nonce) % SUBGROUP_ORDER
+    if r == 0:
+        r = 1
+    r_point = base * r
+    e = _challenge(r_point, pk, message)
+    s = (r + e * sk) % SUBGROUP_ORDER
+    return SchnorrSignature(r_point, s)
+
+
+def schnorr_verify(pk: JubjubPoint, message: int, sig: SchnorrSignature) -> bool:
+    """Check s*B == R + H(R,pk,m)*pk."""
+    e = _challenge(sig.r_point, pk, message)
+    lhs = JubjubPoint.base() * (sig.s % SUBGROUP_ORDER)
+    rhs = sig.r_point + pk * e
+    return lhs == rhs

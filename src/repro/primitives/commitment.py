@@ -1,0 +1,47 @@
+"""The commitment scheme Gamma = (Commit, Open) of Definition 2.1.
+
+Instantiated with the Poseidon sponge:
+
+    Commit(m) = (c, o)  with  c = Poseidon(o || m),  o random.
+
+Binding follows from Poseidon's collision resistance, hiding from the
+uniformly random blinder ``o`` absorbed before the message.  Both dataset
+vectors and single keys are committed through the same interface, which is
+what lets the transformation and exchange protocols share commitments
+(the commit-and-prove composition of Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.field.fr import MODULUS as R, rand_fr
+from repro.primitives.poseidon import poseidon_hash
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A binding, hiding commitment to a message vector."""
+
+    value: int
+
+    def to_bytes(self) -> bytes:
+        return self.value.to_bytes(32, "little")
+
+
+def _as_vector(message) -> list[int]:
+    if isinstance(message, int):
+        return [message % R]
+    return [int(m) % R for m in message]
+
+
+def commit(message, blinder: int | None = None) -> tuple[Commitment, int]:
+    """Commit to a field element or vector; returns ``(c, o)``."""
+    o = rand_fr() if blinder is None else blinder % R
+    c = poseidon_hash([o] + _as_vector(message))
+    return Commitment(c), o
+
+
+def open_commitment(message, commitment: Commitment, blinder: int) -> bool:
+    """The Open algorithm: 1 (True) iff the commitment matches."""
+    return poseidon_hash([blinder % R] + _as_vector(message)) == commitment.value

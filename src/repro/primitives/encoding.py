@@ -1,0 +1,42 @@
+"""Byte <-> field-element codecs.
+
+Datasets arrive as bytes; circuits, ciphers and commitments work on field
+elements.  We pack 31 bytes per element (the largest whole-byte chunk
+guaranteed below the 254-bit modulus), with an explicit length prefix so
+decoding is unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.field.fr import MODULUS as R
+
+#: Payload bytes carried by one field element.
+CHUNK = 31
+
+
+def bytes_to_elements(data: bytes) -> list[int]:
+    """Encode bytes as field elements; element 0 carries the byte length."""
+    out = [len(data)]
+    for i in range(0, len(data), CHUNK):
+        out.append(int.from_bytes(data[i : i + CHUNK], "little"))
+    return out
+
+
+def elements_to_bytes(elements: list[int]) -> bytes:
+    """Decode the output of :func:`bytes_to_elements`."""
+    if not elements:
+        raise ReproError("cannot decode an empty element list")
+    length = elements[0]
+    expected_chunks = (length + CHUNK - 1) // CHUNK
+    if len(elements) - 1 != expected_chunks:
+        raise ReproError(
+            "length prefix %d implies %d chunks, got %d"
+            % (length, expected_chunks, len(elements) - 1)
+        )
+    data = bytearray()
+    for e in elements[1:]:
+        if not 0 <= e < R:
+            raise ReproError("element out of field range")
+        data += e.to_bytes(CHUNK, "little")
+    return bytes(data[:length])

@@ -1,0 +1,5 @@
+"""Rank-1 constraint systems (the arithmetisation Groth16 consumes)."""
+
+from repro.r1cs.system import LinearCombination, R1CSBuilder, R1CSSystem, R1CSWitness
+
+__all__ = ["LinearCombination", "R1CSBuilder", "R1CSSystem", "R1CSWitness"]

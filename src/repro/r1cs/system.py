@@ -1,0 +1,169 @@
+"""Rank-1 constraint systems.
+
+Each constraint enforces <A_i, w> * <B_i, w> = <C_i, w> over the witness
+vector w, whose layout is the Groth16 convention:
+
+    w = (1, public_1 .. public_ell, private_1 .. private_m)
+
+This substrate exists for the ZKCP baseline: the original protocol builds
+on Groth16, whose verification work grows with the number of public
+inputs — the asymmetry Figure 7 of the paper measures against Plonk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitError, UnsatisfiedConstraintError
+from repro.field.fr import MODULUS as R
+
+#: A linear combination is a sparse {variable_index: coefficient} map.
+LinearCombination = dict
+
+
+@dataclass(frozen=True)
+class R1CSSystem:
+    """An immutable compiled constraint system."""
+
+    num_variables: int
+    num_public: int  # count of public inputs (excluding the constant ONE)
+    constraints: tuple  # of (A, B, C) LinearCombination triples
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def eval_lc(self, lc: LinearCombination, witness: list[int]) -> int:
+        acc = 0
+        for var, coeff in lc.items():
+            acc += coeff * witness[var]
+        return acc % R
+
+    def check(self, witness: "R1CSWitness") -> None:
+        """Verify the witness satisfies every constraint."""
+        values = witness.values
+        if len(values) != self.num_variables:
+            raise CircuitError("witness length mismatch")
+        if values[0] != 1:
+            raise CircuitError("witness slot 0 must hold the constant 1")
+        for i, (a, b, c) in enumerate(self.constraints):
+            lhs = self.eval_lc(a, values) * self.eval_lc(b, values) % R
+            if lhs != self.eval_lc(c, values):
+                raise UnsatisfiedConstraintError("R1CS constraint %d violated" % i)
+
+
+@dataclass
+class R1CSWitness:
+    """A full variable assignment for an :class:`R1CSSystem`."""
+
+    values: list[int]
+    num_public: int
+
+    @property
+    def public_inputs(self) -> list[int]:
+        return list(self.values[1 : 1 + self.num_public])
+
+
+class R1CSBuilder:
+    """Synthesis-style builder: records constraints and computes values."""
+
+    ONE = 0
+
+    def __init__(self):
+        self._values: list[int] = [1]
+        self._num_public = 0
+        self._constraints: list[tuple] = []
+        self._public_done = False
+        self._constants: dict[int, int] = {}
+
+    def public_input(self, value: int) -> int:
+        """Allocate a public input (must precede all private variables)."""
+        if self._public_done:
+            raise CircuitError("public inputs must be allocated first")
+        self._values.append(int(value) % R)
+        self._num_public += 1
+        return len(self._values) - 1
+
+    def var(self, value: int) -> int:
+        """Allocate a private witness variable."""
+        self._public_done = True
+        self._values.append(int(value) % R)
+        return len(self._values) - 1
+
+    def value(self, index: int) -> int:
+        return self._values[index]
+
+    def enforce(
+        self, a: LinearCombination, b: LinearCombination, c: LinearCombination
+    ) -> None:
+        """Add the constraint <a, w> * <b, w> = <c, w>."""
+        norm = lambda lc: {k: v % R for k, v in lc.items() if v % R}
+        self._constraints.append((norm(a), norm(b), norm(c)))
+
+    # ----- helpers -------------------------------------------------------------
+    #
+    # The signatures below mirror repro.plonk.circuit.CircuitBuilder, so
+    # the gadget library (MiMC, Poseidon, ...) runs unchanged on both
+    # arithmetisations; the ZKCP baseline's Groth16 circuits reuse it.
+
+    def constant(self, value: int) -> int:
+        value = int(value) % R
+        if value in self._constants:
+            return self._constants[value]
+        out = self.var(value)
+        self.assert_constant(out, value)
+        self._constants[value] = out
+        return out
+
+    def add_const(self, x: int, k: int) -> int:
+        out = self.var(self._values[x] + k)
+        self.enforce({x: 1, self.ONE: k % R}, {self.ONE: 1}, {out: 1})
+        return out
+
+    def scale(self, x: int, k: int) -> int:
+        out = self.var(self._values[x] * k)
+        self.enforce({x: k % R}, {self.ONE: 1}, {out: 1})
+        return out
+
+    def mul(self, x: int, y: int) -> int:
+        out = self.var(self._values[x] * self._values[y])
+        self.enforce({x: 1}, {y: 1}, {out: 1})
+        return out
+
+    def add(self, x: int, y: int) -> int:
+        out = self.var(self._values[x] + self._values[y])
+        self.enforce({x: 1, y: 1}, {self.ONE: 1}, {out: 1})
+        return out
+
+    def assert_equal(self, x: int, y: int) -> None:
+        self.enforce({x: 1, y: -1}, {self.ONE: 1}, {})
+
+    def assert_constant(self, x: int, k: int) -> None:
+        self.enforce({x: 1}, {self.ONE: 1}, {self.ONE: k % R})
+
+    def linear_combination(self, terms: list[tuple[int, int]], constant: int = 0) -> int:
+        """Allocate a variable equal to sum(coeff * var) + constant."""
+        value = constant
+        lc: LinearCombination = {self.ONE: constant % R}
+        for coeff, var in terms:
+            value += coeff * self._values[var]
+            lc[var] = (lc.get(var, 0) + coeff) % R
+        out = self.var(value)
+        self.enforce(lc, {self.ONE: 1}, {out: 1})
+        return out
+
+    def compile(self, check: bool = True) -> tuple[R1CSSystem, R1CSWitness]:
+        """Finalize into an immutable system plus the computed witness.
+
+        ``check=False`` skips witness validation (used when rebuilding a
+        circuit's structure from dummy values, e.g. for key generation).
+        """
+        system = R1CSSystem(
+            num_variables=len(self._values),
+            num_public=self._num_public,
+            constraints=tuple(self._constraints),
+        )
+        witness = R1CSWitness(list(self._values), self._num_public)
+        if check:
+            system.check(witness)
+        return system, witness

@@ -1,0 +1,14 @@
+"""Content-addressed distributed storage (the IPFS stand-in).
+
+The paper's threat model assumes datasets live in a public storage
+network where (i) content is addressed by its digest, so tampering is
+detectable, and (ii) anything published can be fetched by anyone holding
+the URI.  :class:`~repro.storage.dht.DHTNetwork` simulates the node-level
+behaviour (replication, lookup, churn); the ZKDET core talks to the
+simpler :class:`~repro.storage.content_store.ContentStore` interface.
+"""
+
+from repro.storage.content_store import ContentStore
+from repro.storage.dht import DHTNetwork
+
+__all__ = ["ContentStore", "DHTNetwork"]

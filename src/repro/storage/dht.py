@@ -1,0 +1,115 @@
+"""A Kademlia-flavoured DHT simulation.
+
+Models the node-level behaviour of the storage network: content is
+replicated onto the k nodes whose identifiers are XOR-closest to the
+content digest; lookups walk greedily closer per hop; nodes can join and
+leave with automatic re-replication.  Used to show that dataset
+availability survives churn — the availability assumption the ZKDET
+protocols rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import StorageError
+
+#: Identifier width in bits.
+ID_BITS = 64
+
+
+def _node_id(name: str) -> int:
+    return int.from_bytes(hashlib.sha256(b"node:" + name.encode()).digest()[:8], "big")
+
+
+def _content_id(uri: str) -> int:
+    return int.from_bytes(hashlib.sha256(b"content:" + uri.encode()).digest()[:8], "big")
+
+
+class DHTNode:
+    """One storage node: an id plus its local blob map."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.node_id = _node_id(name)
+        self.blobs: dict[str, bytes] = {}
+
+
+class DHTNetwork:
+    """The full network: placement, lookup, and churn handling."""
+
+    def __init__(self, node_names: list[str], replication: int = 3):
+        if not node_names:
+            raise StorageError("a DHT needs at least one node")
+        if replication < 1:
+            raise StorageError("replication factor must be positive")
+        self.replication = replication
+        self.nodes: dict[str, DHTNode] = {}
+        for name in node_names:
+            self.nodes[name] = DHTNode(name)
+
+    def _closest(self, key: int, count: int) -> list[DHTNode]:
+        ranked = sorted(self.nodes.values(), key=lambda n: n.node_id ^ key)
+        return ranked[:count]
+
+    def put(self, data: bytes) -> str:
+        """Store bytes on the ``replication`` closest nodes."""
+        uri = hashlib.sha256(data).hexdigest()
+        key = _content_id(uri)
+        for node in self._closest(key, self.replication):
+            node.blobs[uri] = bytes(data)
+        return uri
+
+    def get(self, uri: str) -> bytes:
+        """Fetch content, verifying the digest."""
+        data, _hops = self.get_with_hops(uri)
+        return data
+
+    def get_with_hops(self, uri: str) -> tuple[bytes, int]:
+        """Fetch content and report how many nodes were contacted.
+
+        Walks the nodes in XOR-closeness order (each probe is one "hop")
+        until a replica is found.
+        """
+        key = _content_id(uri)
+        for hops, node in enumerate(self._closest(key, len(self.nodes)), start=1):
+            data = node.blobs.get(uri)
+            if data is not None:
+                if hashlib.sha256(data).hexdigest() != uri:
+                    raise StorageError("replica on %s is corrupt" % node.name)
+                return data, hops
+        raise StorageError("content %s not found in the network" % uri)
+
+    def replica_count(self, uri: str) -> int:
+        return sum(1 for n in self.nodes.values() if uri in n.blobs)
+
+    def join(self, name: str) -> None:
+        """Add a node and migrate content it should now host."""
+        if name in self.nodes:
+            raise StorageError("node %s already present" % name)
+        node = DHTNode(name)
+        self.nodes[name] = node
+        # Re-place every blob under the new topology.
+        self._rebalance()
+
+    def leave(self, name: str) -> None:
+        """Remove a node; surviving replicas are re-replicated."""
+        if name not in self.nodes:
+            raise StorageError("node %s not present" % name)
+        if len(self.nodes) == 1:
+            raise StorageError("cannot remove the last node")
+        departing = self.nodes.pop(name)
+        self._rebalance(extra_blobs=departing.blobs)
+
+    def _rebalance(self, extra_blobs: dict | None = None) -> None:
+        all_blobs: dict[str, bytes] = {}
+        for node in self.nodes.values():
+            all_blobs.update(node.blobs)
+        if extra_blobs:
+            all_blobs.update(extra_blobs)
+        for node in self.nodes.values():
+            node.blobs.clear()
+        for uri, data in all_blobs.items():
+            key = _content_id(uri)
+            for node in self._closest(key, self.replication):
+                node.blobs[uri] = data

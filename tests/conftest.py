@@ -1,0 +1,20 @@
+"""Shared fixtures.
+
+The SNARK context (SRS + circuit-key cache) is expensive to build, so one
+session-scoped instance is shared by every protocol-level test; circuit
+keys accumulate in its cache across tests, exactly as a deployed system
+would reuse them.
+"""
+
+import pytest
+
+from repro.core.snark import SnarkContext
+
+#: Supports circuits up to n = 16384 (plus blinding margin) — the
+#: logistic-regression convergence predicate is the largest test circuit.
+_SRS_DEGREE = 16400
+
+
+@pytest.fixture(scope="session")
+def snark_ctx():
+    return SnarkContext.with_fresh_srs(_SRS_DEGREE, tau=0xC0FFEE)

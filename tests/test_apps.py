@@ -1,0 +1,167 @@
+"""Tests for the data-processing applications (Section IV-E).
+
+Most checks run at constraint-satisfaction speed; one full pi_t
+prove/verify per application is marked slow.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError, UnsatisfiedConstraintError
+from repro.apps.logistic import LR_SPEC, LogisticRegressionTask, logistic_processing
+from repro.apps.transformer import TransformerBlock, transformer_processing
+from repro.plonk.circuit import CircuitBuilder
+
+
+@pytest.fixture(scope="module")
+def task():
+    return LogisticRegressionTask(
+        xs=[[0.5], [1.5], [-0.5], [-1.5]],
+        ys=[1, 1, 0, 0],
+        learning_rate=0.8,
+        epsilon=0.05,
+    )
+
+
+@pytest.fixture(scope="module")
+def trained_beta(task):
+    return task.train(iterations=30)
+
+
+class TestLogisticRegression:
+    def test_training_separates_the_classes(self, task, trained_beta):
+        spec = task.spec
+        slope = spec.decode(trained_beta[1])
+        assert slope > 0.5  # positive class has positive x
+        assert task.loss_of(trained_beta) < 0.2
+
+    def test_convergence_predicate_native(self, task, trained_beta):
+        assert task.converged(trained_beta)
+        # An untrained model is NOT converged.
+        assert not task.converged([spec_encode for spec_encode in [0, 0]])
+
+    def test_predicate_circuit_satisfied(self, task, trained_beta):
+        proc = logistic_processing(task, iterations=30)
+        flat = task.encode_dataset()
+        derived = proc.apply([flat])
+        assert derived == [trained_beta]
+        b = CircuitBuilder()
+        src = [[b.var(v) for v in flat]]
+        dst = [[b.var(v) for v in derived[0]]]
+        proc.constrain(b, src, dst)
+        layout, assignment = b.compile()
+        layout.check(assignment)
+
+    def test_predicate_circuit_rejects_bad_model(self, task):
+        from repro.errors import CircuitError
+
+        proc = logistic_processing(task)
+        flat = task.encode_dataset()
+        bogus = [task.spec.encode(0.0), task.spec.encode(-1.0)]  # wrong sign
+        b = CircuitBuilder()
+        src = [[b.var(v) for v in flat]]
+        dst = [[b.var(v) for v in bogus]]
+        # Either the convergence bound fails or a range check trips —
+        # both mean no witness exists for the bogus model.
+        with pytest.raises((UnsatisfiedConstraintError, CircuitError)):
+            proc.constrain(b, src, dst)
+            b.compile()
+
+    def test_dataset_encoding_shape(self, task):
+        flat = task.encode_dataset()
+        assert len(flat) == task.num_points * (task.num_features + 1)
+
+    def test_invalid_tasks_rejected(self):
+        with pytest.raises(ProtocolError):
+            LogisticRegressionTask(xs=[], ys=[])
+        with pytest.raises(ProtocolError):
+            LogisticRegressionTask(xs=[[1.0]], ys=[1, 0])
+        with pytest.raises(ProtocolError):
+            LogisticRegressionTask(xs=[[1.0], [1.0, 2.0]], ys=[1, 0])
+
+    def test_wrong_beta_size_rejected(self, task):
+        b = CircuitBuilder()
+        src = [[b.var(v) for v in task.encode_dataset()]]
+        with pytest.raises(ProtocolError):
+            task.constrain(b, src, [[b.var(0)]])
+
+
+class TestTransformer:
+    @pytest.fixture(scope="class")
+    def block(self):
+        return TransformerBlock.random(seq_len=2, d_model=2, d_ff=2)
+
+    @pytest.fixture(scope="class")
+    def sequence(self):
+        return [[0.3, -0.2], [0.1, 0.4]]
+
+    def test_inference_shape_and_determinism(self, block, sequence):
+        out1 = block.infer(sequence)
+        out2 = block.infer(sequence)
+        assert out1 == out2
+        assert len(out1) == block.seq_len * block.d_model
+
+    def test_attention_mixes_positions(self, block):
+        # Changing position 1's input must influence position 0's output.
+        base = block.infer([[0.3, -0.2], [0.1, 0.4]])
+        moved = block.infer([[0.3, -0.2], [0.4, -0.3]])
+        assert base[: block.d_model] != moved[: block.d_model]
+
+    def test_predicate_circuit_satisfied(self, block, sequence):
+        proc = transformer_processing(block)
+        x_flat = block.encode_input(sequence)
+        w_flat = block.encode_weights()
+        derived = proc.apply([x_flat, w_flat])
+        assert derived == [block.infer(sequence)]
+        b = CircuitBuilder()
+        src = [[b.var(v) for v in x_flat], [b.var(v) for v in w_flat]]
+        dst = [[b.var(v) for v in derived[0]]]
+        proc.constrain(b, src, dst)
+        layout, assignment = b.compile()
+        layout.check(assignment)
+
+    def test_predicate_rejects_wrong_output(self, block, sequence):
+        proc = transformer_processing(block)
+        x_flat = block.encode_input(sequence)
+        w_flat = block.encode_weights()
+        wrong = [(v + 1) for v in block.infer(sequence)]
+        b = CircuitBuilder()
+        src = [[b.var(v) for v in x_flat], [b.var(v) for v in w_flat]]
+        dst = [[b.var(v) for v in wrong]]
+        with pytest.raises(UnsatisfiedConstraintError):
+            proc.constrain(b, src, dst)
+            b.compile()
+
+    def test_weight_roundtrip(self, block):
+        flat = block.encode_weights()
+        assert len(flat) == block.num_parameters
+        b = CircuitBuilder()
+        wires = [b.var(v) for v in flat]
+        w = block._unflatten_weights(wires)
+        assert len(w["w_q"]) == block.d_model
+        assert len(w["b_2"]) == block.d_model
+        with pytest.raises(ProtocolError):
+            block._unflatten_weights(wires + [b.var(0)])
+
+    def test_shape_validation(self):
+        with pytest.raises(ProtocolError):
+            TransformerBlock(1, 2, 2, [[1]], [[1]], [[1]], [[1]], [1], [[1]], [1])
+        block = TransformerBlock.random(2, 2, 2)
+        with pytest.raises(ProtocolError):
+            block.encode_input([[0.1, 0.2]])  # wrong seq_len
+
+
+@pytest.mark.slow
+class TestAppProofs:
+    def test_logistic_pi_t_end_to_end(self, snark_ctx, task):
+        """Full prove/verify of the LR convergence predicate (Table I)."""
+        from repro.core.tokens import DataAsset
+        from repro.core.transform_protocol import prove_transformation, verify_transformation
+
+        small = LogisticRegressionTask(
+            xs=[[0.5], [-0.5]], ys=[1, 0], learning_rate=0.8, epsilon=0.1
+        )
+        proc = logistic_processing(small, iterations=25)
+        source = DataAsset.create(small.encode_dataset())
+        derived, pi_t = prove_transformation(snark_ctx, [source], proc)
+        assert verify_transformation(snark_ctx, proc, pi_t)
+        assert derived[0].plaintext == small.train(iterations=25)

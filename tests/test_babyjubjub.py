@@ -1,0 +1,163 @@
+"""Tests for Baby Jubjub (native + in-circuit) and Schnorr signatures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CurveError, UnsatisfiedConstraintError
+from repro.gadgets.babyjubjub import (
+    assert_on_curve,
+    assert_schnorr_verifies,
+    fixed_base_mul,
+    point_add,
+    point_double,
+    scalar_mul,
+)
+from repro.plonk.circuit import CircuitBuilder
+from repro.primitives.babyjubjub import (
+    JubjubPoint,
+    SUBGROUP_ORDER,
+    schnorr_keygen,
+    schnorr_sign,
+    schnorr_verify,
+)
+
+scalars = st.integers(min_value=1, max_value=SUBGROUP_ORDER - 1)
+
+
+class TestNativeCurve:
+    def test_base_point_on_curve_and_in_subgroup(self):
+        base = JubjubPoint.base()
+        assert base.in_subgroup()
+        assert (base * SUBGROUP_ORDER).is_identity()
+
+    def test_group_law(self):
+        base = JubjubPoint.base()
+        assert base + JubjubPoint.identity() == base
+        assert (base + base) == base * 2
+        assert base * 3 == base * 2 + base
+        assert (base + (-base)).is_identity()
+
+    @given(scalars, scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_mul_homomorphic(self, a, b):
+        base = JubjubPoint.base()
+        assert base * a + base * b == base * ((a + b) % SUBGROUP_ORDER)
+
+    def test_off_curve_rejected(self):
+        with pytest.raises(CurveError):
+            JubjubPoint(1, 1)
+
+    def test_identity(self):
+        ident = JubjubPoint.identity()
+        assert ident.is_identity()
+        assert (ident * 12345).is_identity()
+
+
+class TestSchnorr:
+    def test_sign_verify_roundtrip(self):
+        sk, pk = schnorr_keygen(sk=987654321)
+        sig = schnorr_sign(sk, message=42, nonce=111222333)
+        assert schnorr_verify(pk, 42, sig)
+
+    def test_wrong_message_or_key_rejected(self):
+        sk, pk = schnorr_keygen(sk=987654321)
+        sig = schnorr_sign(sk, message=42, nonce=111222333)
+        assert not schnorr_verify(pk, 43, sig)
+        _, other_pk = schnorr_keygen(sk=555)
+        assert not schnorr_verify(other_pk, 42, sig)
+
+    def test_tampered_signature_rejected(self):
+        sk, pk = schnorr_keygen(sk=987654321)
+        sig = schnorr_sign(sk, message=42)
+        bad = type(sig)(sig.r_point, (sig.s + 1) % SUBGROUP_ORDER)
+        assert not schnorr_verify(pk, 42, bad)
+
+    def test_zero_key_rejected(self):
+        with pytest.raises(CurveError):
+            schnorr_keygen(sk=0)
+
+    def test_randomised_nonces(self):
+        sk, pk = schnorr_keygen(sk=777)
+        s1 = schnorr_sign(sk, 9)
+        s2 = schnorr_sign(sk, 9)
+        assert s1.r_point != s2.r_point  # nonce reuse would leak sk
+        assert schnorr_verify(pk, 9, s1) and schnorr_verify(pk, 9, s2)
+
+
+def _wires(builder, point):
+    return (builder.var(point.x), builder.var(point.y))
+
+
+class TestCurveGadgets:
+    def test_on_curve_constraint(self):
+        b = CircuitBuilder()
+        assert_on_curve(b, _wires(b, JubjubPoint.base()))
+        b.compile()
+        b2 = CircuitBuilder()
+        assert_on_curve(b2, (b2.var(1), b2.var(1)))
+        with pytest.raises(UnsatisfiedConstraintError):
+            b2.compile()
+
+    def test_point_add_matches_native(self):
+        base = JubjubPoint.base()
+        p, q = base * 5, base * 9
+        b = CircuitBuilder()
+        out = point_add(b, _wires(b, p), _wires(b, q))
+        native = p + q
+        assert (b.value(out[0]), b.value(out[1])) == (native.x, native.y)
+        b.compile()
+
+    def test_point_double_matches_native(self):
+        base = JubjubPoint.base()
+        b = CircuitBuilder()
+        out = point_double(b, _wires(b, base))
+        native = base * 2
+        assert (b.value(out[0]), b.value(out[1])) == (native.x, native.y)
+        b.compile()
+
+    @pytest.mark.parametrize("k", [1, 2, 7, 1023])
+    def test_scalar_mul_matches_native(self, k):
+        base = JubjubPoint.base()
+        b = CircuitBuilder()
+        out = scalar_mul(b, b.var(k), _wires(b, base), bits=12)
+        native = base * k
+        assert (b.value(out[0]), b.value(out[1])) == (native.x, native.y)
+        b.compile()
+
+    def test_fixed_base_mul_matches_native(self):
+        b = CircuitBuilder()
+        out = fixed_base_mul(b, b.var(300), bits=10)
+        native = JubjubPoint.base() * 300
+        assert (b.value(out[0]), b.value(out[1])) == (native.x, native.y)
+        b.compile()
+
+    def test_schnorr_gadget_accepts_valid_signature(self):
+        sk, pk = schnorr_keygen(sk=424242)
+        message = 777
+        sig = schnorr_sign(sk, message, nonce=999)
+        assert schnorr_verify(pk, message, sig)
+        b = CircuitBuilder()
+        assert_schnorr_verifies(
+            b,
+            _wires(b, pk),
+            b.var(message),
+            _wires(b, sig.r_point),
+            b.var(sig.s),
+        )
+        layout, assignment = b.compile()
+        layout.check(assignment)
+
+    def test_schnorr_gadget_rejects_forgery(self):
+        sk, pk = schnorr_keygen(sk=424242)
+        sig = schnorr_sign(sk, 777, nonce=999)
+        b = CircuitBuilder()
+        assert_schnorr_verifies(
+            b,
+            _wires(b, pk),
+            b.var(778),  # wrong message
+            _wires(b, sig.r_point),
+            b.var(sig.s),
+        )
+        with pytest.raises(UnsatisfiedConstraintError):
+            b.compile()

@@ -1,0 +1,78 @@
+"""Tests for batched Plonk verification."""
+
+import pytest
+
+from repro.curve.g1 import G1
+from repro.errors import VerificationError
+from repro.field.fr import MODULUS as R
+from repro.kzg import SRS
+from repro.plonk import CircuitBuilder, batch_verify, prove, setup, verify
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def instances():
+    """Three proofs: two from one circuit, one from another."""
+    srs = SRS.generate(64, tau=13579)
+
+    def square(x_val, w_val):
+        b = CircuitBuilder()
+        x = b.public_input(x_val)
+        w = b.var(w_val)
+        b.assert_equal(b.mul(w, w), x)
+        return b.compile()
+
+    def cube(x_val, w_val):
+        b = CircuitBuilder()
+        x = b.public_input(x_val)
+        w = b.var(w_val)
+        b.assert_equal(b.mul(b.mul(w, w), w), x)
+        return b.compile()
+
+    layout_sq, a1 = square(9, 3)
+    pk_sq, vk_sq = setup(srs, layout_sq)
+    _, a2 = square(25, 5)
+    layout_cu, a3 = cube(27, 3)
+    pk_cu, vk_cu = setup(srs, layout_cu)
+
+    return [
+        (vk_sq, [9], prove(pk_sq, a1)),
+        (vk_sq, [25], prove(pk_sq, a2)),
+        (vk_cu, [27], prove(pk_cu, a3)),
+    ]
+
+
+class TestBatchVerify:
+    def test_valid_batch_accepts(self, instances):
+        assert batch_verify(instances)
+
+    def test_empty_batch(self):
+        assert batch_verify([])
+
+    def test_single_item_matches_plain_verify(self, instances):
+        vk, publics, proof = instances[0]
+        assert verify(vk, publics, proof)
+        assert batch_verify([instances[0]])
+
+    def test_one_bad_proof_poisons_the_batch(self, instances):
+        vk, publics, proof = instances[1]
+        bad = proof.replace(c_a=proof.c_a + G1.generator())
+        assert not batch_verify([instances[0], (vk, publics, bad), instances[2]])
+
+    def test_wrong_publics_poison_the_batch(self, instances):
+        vk, _, proof = instances[0]
+        assert not batch_verify([(vk, [10], proof), instances[1]])
+        assert not batch_verify([(vk, [], proof)])  # structural reject
+
+    def test_mixed_srs_rejected(self, instances):
+        other_srs = SRS.generate(32, tau=24680)
+        b = CircuitBuilder()
+        x = b.public_input(4)
+        w = b.var(2)
+        b.assert_equal(b.mul(w, w), x)
+        layout, assignment = b.compile()
+        pk, vk = setup(other_srs, layout)
+        foreign = (vk, [4], prove(pk, assignment))
+        with pytest.raises(VerificationError):
+            batch_verify([instances[0], foreign])

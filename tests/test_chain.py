@@ -1,0 +1,175 @@
+"""Tests for the blockchain substrate: gas metering, atomicity, blocks."""
+
+import pytest
+
+from repro.chain import Blockchain, Contract, external, view
+from repro.chain.blockchain import encode_calldata
+from repro.chain.gas import DEFAULT_SCHEDULE
+from repro.errors import ChainError, ContractError, OutOfGasError
+
+
+class Counter(Contract):
+    """Minimal test contract."""
+
+    @external
+    def increment(self, by: int = 1) -> int:
+        value = (self._sload("count") or 0) + by
+        self._sstore("count", value)
+        self.emit("Incremented", value=value)
+        return value
+
+    @external
+    def fail_after_write(self) -> None:
+        self._sstore("count", 999)
+        self.require(False, "always reverts")
+
+    @external
+    def pay_out(self, to: str, amount: int) -> None:
+        self.transfer_out(to, amount)
+
+    @view
+    def count(self) -> int:
+        return self._storage.get("count") or 0
+
+
+@pytest.fixture
+def chain():
+    return Blockchain()
+
+
+@pytest.fixture
+def deployed(chain):
+    deployer = chain.create_account(funded=10**18)
+    contract = Counter()
+    chain.deploy(contract, deployer)
+    return chain, deployer, contract
+
+
+class TestAccounts:
+    def test_create_and_fund(self, chain):
+        a = chain.create_account(funded=100)
+        assert chain.balance_of(a) == 100
+        chain.faucet(a, 50)
+        assert chain.balance_of(a) == 150
+        assert chain.balance_of("0xnobody") == 0
+
+
+class TestDeployment:
+    def test_deploy_charges_code_deposit(self, deployed):
+        chain, _, contract = deployed
+        receipt = chain.receipts[0]
+        expected = DEFAULT_SCHEDULE.deployment_cost(Counter().code_size())
+        assert receipt.gas_used == expected
+        assert receipt.gas_used > 50000
+        assert contract.address in chain.contracts
+
+    def test_transact_on_undeployed_contract(self, chain):
+        sender = chain.create_account()
+        with pytest.raises(ChainError):
+            chain.transact(sender, Counter(), "increment")
+
+
+class TestTransactions:
+    def test_basic_call_and_event(self, deployed):
+        chain, sender, contract = deployed
+        receipt = chain.transact(sender, contract, "increment", 5)
+        assert receipt.status
+        assert receipt.return_value == 5
+        assert chain.call_view(contract, "count") == 5
+        events = chain.events("Incremented")
+        assert len(events) == 1 and events[0].get("value") == 5
+
+    def test_gas_components(self, deployed):
+        chain, sender, contract = deployed
+        receipt = chain.transact(sender, contract, "increment", 5)
+        # tx base + calldata + cold sload + sstore set + log
+        assert receipt.gas_used > 21000 + 2100 + 20000
+        # Second call rewrites a nonzero slot: cheaper.
+        receipt2 = chain.transact(sender, contract, "increment", 5)
+        assert receipt2.gas_used < receipt.gas_used
+
+    def test_revert_restores_state_atomically(self, deployed):
+        chain, sender, contract = deployed
+        chain.transact(sender, contract, "increment", 7)
+        receipt = chain.transact(sender, contract, "fail_after_write")
+        assert not receipt.status
+        assert "always reverts" in receipt.error
+        assert chain.call_view(contract, "count") == 7
+        assert receipt.events == []
+
+    def test_out_of_gas_reverts(self, deployed):
+        chain, sender, contract = deployed
+        receipt = chain.transact(sender, contract, "increment", 1, gas_limit=21001)
+        assert not receipt.status
+        assert chain.call_view(contract, "count") == 0
+
+    def test_value_transfer_and_payout(self, deployed):
+        chain, sender, contract = deployed
+        recipient = chain.create_account()
+        chain.transact(sender, contract, "increment", value=500)
+        assert chain.balance_of(contract.address) == 500
+        chain.transact(sender, contract, "pay_out", recipient, 300)
+        assert chain.balance_of(recipient) == 300
+        assert chain.balance_of(contract.address) == 200
+
+    def test_value_reverts_with_tx(self, deployed):
+        chain, sender, contract = deployed
+        before = chain.balance_of(sender)
+        receipt = chain.transact(sender, contract, "fail_after_write", value=100)
+        assert not receipt.status
+        assert chain.balance_of(sender) == before
+
+    def test_view_is_free_and_guarded(self, deployed):
+        chain, _, contract = deployed
+        before = len(chain.receipts)
+        assert chain.call_view(contract, "count") == 0
+        assert len(chain.receipts) == before
+        with pytest.raises(ChainError):
+            chain.call_view(contract, "increment")
+
+    def test_external_requires_transaction(self, deployed):
+        _, _, contract = deployed
+        with pytest.raises(ContractError):
+            contract.increment(1)
+
+    def test_unknown_method_rejected(self, deployed):
+        chain, sender, contract = deployed
+        with pytest.raises(ChainError):
+            chain.transact(sender, contract, "count")  # view, not external
+        with pytest.raises(ChainError):
+            chain.transact(sender, contract, "missing")
+
+
+class TestBlocks:
+    def test_seal_and_verify(self, deployed):
+        chain, sender, contract = deployed
+        chain.transact(sender, contract, "increment")
+        block = chain.seal_block()
+        assert block.number == 1
+        assert chain.verify_chain()
+        receipt = chain.receipts[-1]
+        assert receipt.block_number == 1
+
+    def test_tampering_detected(self, deployed):
+        chain, sender, contract = deployed
+        chain.transact(sender, contract, "increment")
+        chain.seal_block()
+        chain.transact(sender, contract, "increment")
+        chain.seal_block()
+        from repro.chain.blockchain import Block
+
+        chain.blocks[1] = Block(1, "f" * 64, chain.blocks[1].tx_hashes)
+        assert not chain.verify_chain()
+
+
+class TestCalldata:
+    def test_encoding_is_deterministic_and_type_aware(self):
+        a = encode_calldata("m", (1, "abc", b"\x01", (1, 2), None, True))
+        b = encode_calldata("m", (1, "abc", b"\x01", (1, 2), None, True))
+        assert a == b
+        assert encode_calldata("m", (1,)) != encode_calldata("m", (2,))
+        with pytest.raises(ChainError):
+            encode_calldata("m", (object(),))
+
+    def test_calldata_cost(self):
+        assert DEFAULT_SCHEDULE.calldata_cost(b"\x00\x01") == 4 + 16

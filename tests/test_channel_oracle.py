@@ -1,0 +1,170 @@
+"""Tests for the payment-channel and oracle-committee extension contracts."""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts import OracleCommitteeContract, PaymentChannelContract
+from repro.contracts.channel import voucher_message
+from repro.contracts.oracle import attestation_message
+from repro.primitives.babyjubjub import schnorr_keygen, schnorr_sign
+
+
+@pytest.fixture
+def chain():
+    return Blockchain()
+
+
+class TestPaymentChannel:
+    @pytest.fixture
+    def channel_env(self, chain):
+        buyer = chain.create_account(funded=10**9)
+        seller = chain.create_account(funded=10**9)
+        contract = PaymentChannelContract()
+        chain.deploy(contract, buyer)
+        sk, pk = schnorr_keygen(sk=321321)
+        cid = chain.transact(
+            buyer, contract, "open_channel", seller, pk.x, pk.y, 5, value=10_000
+        ).return_value
+        return chain, contract, buyer, seller, sk, cid
+
+    def _voucher(self, sk, cid, amount):
+        return schnorr_sign(sk, voucher_message(cid, amount), nonce=777 + amount)
+
+    def test_off_chain_payments_settle_once(self, channel_env):
+        chain, contract, buyer, seller, sk, cid = channel_env
+        # Many off-chain vouchers, strictly increasing; only the last settles.
+        final = 0
+        sig = None
+        for amount in (1_000, 2_500, 7_000):
+            sig = self._voucher(sk, cid, amount)
+            final = amount
+        seller_before = chain.balance_of(seller)
+        buyer_before = chain.balance_of(buyer)
+        r = chain.transact(
+            seller, contract, "close", cid, final,
+            sig.r_point.x, sig.r_point.y, sig.s,
+        )
+        assert r.status, r.error
+        assert chain.balance_of(seller) == seller_before + 7_000
+        assert chain.balance_of(buyer) == buyer_before + 3_000  # refund
+
+    def test_forged_voucher_rejected(self, channel_env):
+        chain, contract, _buyer, seller, sk, cid = channel_env
+        sig = self._voucher(sk, cid, 1_000)
+        # Claim a larger amount with a signature for a smaller one.
+        r = chain.transact(
+            seller, contract, "close", cid, 9_999,
+            sig.r_point.x, sig.r_point.y, sig.s,
+        )
+        assert not r.status
+
+    def test_voucher_cannot_exceed_collateral(self, channel_env):
+        chain, contract, _buyer, seller, sk, cid = channel_env
+        sig = self._voucher(sk, cid, 50_000)
+        r = chain.transact(
+            seller, contract, "close", cid, 50_000,
+            sig.r_point.x, sig.r_point.y, sig.s,
+        )
+        assert not r.status
+
+    def test_only_payee_settles(self, channel_env):
+        chain, contract, buyer, _seller, sk, cid = channel_env
+        sig = self._voucher(sk, cid, 1_000)
+        r = chain.transact(
+            buyer, contract, "close", cid, 1_000,
+            sig.r_point.x, sig.r_point.y, sig.s,
+        )
+        assert not r.status
+
+    def test_reclaim_after_timeout(self, channel_env):
+        chain, contract, buyer, _seller, _sk, cid = channel_env
+        early = chain.transact(buyer, contract, "reclaim", cid)
+        assert not early.status  # not expired yet
+        for _ in range(6):
+            chain.seal_block()
+        before = chain.balance_of(buyer)
+        r = chain.transact(buyer, contract, "reclaim", cid)
+        assert r.status
+        assert chain.balance_of(buyer) == before + 10_000
+        assert chain.call_view(contract, "channel_info", cid) is None
+
+    def test_open_requires_collateral(self, chain):
+        buyer = chain.create_account(funded=10**9)
+        contract = PaymentChannelContract()
+        chain.deploy(contract, buyer)
+        _, pk = schnorr_keygen(sk=1)
+        r = chain.transact(buyer, contract, "open_channel", buyer, pk.x, pk.y)
+        assert not r.status
+
+
+class TestOracleCommittee:
+    @pytest.fixture
+    def committee(self, chain):
+        operator = chain.create_account(funded=10**9)
+        contract = OracleCommitteeContract(threshold=2)
+        chain.deploy(contract, operator)
+        oracles = []
+        for i in range(3):
+            addr = chain.create_account(funded=10**9)
+            sk, pk = schnorr_keygen(sk=1000 + i)
+            chain.transact(addr, contract, "register_oracle", pk.x, pk.y)
+            oracles.append((addr, sk))
+        return chain, contract, oracles
+
+    def _attest(self, chain, contract, oracle, commitment, tag):
+        addr, sk = oracle
+        sig = schnorr_sign(sk, attestation_message(commitment, tag), nonce=5555)
+        return chain.transact(
+            addr, contract, "attest", commitment, tag,
+            sig.r_point.x, sig.r_point.y, sig.s,
+        )
+
+    def test_threshold_attestation(self, committee):
+        chain, contract, oracles = committee
+        commitment, tag = 123456, 42
+        assert not chain.call_view(contract, "is_attested", commitment, tag)
+        assert self._attest(chain, contract, oracles[0], commitment, tag).status
+        assert not chain.call_view(contract, "is_attested", commitment, tag)
+        assert self._attest(chain, contract, oracles[1], commitment, tag).status
+        assert chain.call_view(contract, "is_attested", commitment, tag)
+        assert chain.call_view(contract, "attestation_count", commitment, tag) == 2
+        assert chain.call_view(contract, "num_oracles") == 3
+
+    def test_double_attestation_rejected(self, committee):
+        chain, contract, oracles = committee
+        assert self._attest(chain, contract, oracles[0], 1, 1).status
+        assert not self._attest(chain, contract, oracles[0], 1, 1).status
+
+    def test_unregistered_oracle_rejected(self, committee):
+        chain, contract, _ = committee
+        stranger = chain.create_account(funded=10**9)
+        sk, _pk = schnorr_keygen(sk=9)
+        sig = schnorr_sign(sk, attestation_message(1, 1))
+        r = chain.transact(
+            stranger, contract, "attest", 1, 1, sig.r_point.x, sig.r_point.y, sig.s
+        )
+        assert not r.status
+
+    def test_wrong_key_signature_rejected(self, committee):
+        chain, contract, oracles = committee
+        addr, _sk = oracles[0]
+        wrong_sk, _ = schnorr_keygen(sk=31415)
+        sig = schnorr_sign(wrong_sk, attestation_message(7, 7))
+        r = chain.transact(
+            addr, contract, "attest", 7, 7, sig.r_point.x, sig.r_point.y, sig.s
+        )
+        assert not r.status
+
+    def test_double_registration_rejected(self, committee):
+        chain, contract, oracles = committee
+        addr, _ = oracles[0]
+        _, pk = schnorr_keygen(sk=2222)
+        r = chain.transact(addr, contract, "register_oracle", pk.x, pk.y)
+        assert not r.status
+
+    def test_bad_key_rejected(self, chain):
+        operator = chain.create_account(funded=10**9)
+        contract = OracleCommitteeContract()
+        chain.deploy(contract, operator)
+        r = chain.transact(operator, contract, "register_oracle", 1, 1)
+        assert not r.status

@@ -1,0 +1,214 @@
+"""Integration tests for the ZKDET protocols (real proofs, marked slow).
+
+These exercise Theorems 5.1 and 5.2 end to end: transformation integrity,
+exchange fairness for both parties, and — the headline property — that the
+key-secure protocol never puts the decryption key on chain, while ZKCP
+demonstrably does.
+"""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts import KeySecureArbiterContract, PlonkVerifierContract, ZKCPArbiterContract
+from repro.errors import ProtocolError
+from repro.field.fr import MODULUS as R
+from repro.core.exchange import Buyer, KeySecureExchange, Seller, key_negotiation_keys
+from repro.core.tokens import DataAsset
+from repro.core.transform_protocol import (
+    EncryptionProof,
+    prove_encryption,
+    prove_transformation,
+    verify_encryption,
+    verify_proof_chain,
+    verify_transformation,
+)
+from repro.core.transformations import Aggregation, Duplication, Partition
+from repro.core.zkcp import ZKCPExchange
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def asset():
+    a = DataAsset.create([101, 202], key=31337, nonce=777)
+    return a
+
+
+@pytest.fixture(scope="module")
+def pi_e(snark_ctx, asset):
+    return prove_encryption(snark_ctx, asset)
+
+
+class TestTransformationProtocol:
+    def test_pi_e_verifies(self, snark_ctx, asset, pi_e):
+        assert verify_encryption(snark_ctx, asset.public_view(), pi_e)
+
+    def test_pi_e_bound_to_statement(self, snark_ctx, asset, pi_e):
+        other = DataAsset.create([101, 202], key=999, nonce=777)
+        other.uri = "other"
+        # Same plaintext, different key: the proof must not transfer.
+        assert not verify_encryption(snark_ctx, other.public_view(), pi_e)
+        # Tampered commitment in the claimed statement.
+        forged = EncryptionProof(
+            proof=pi_e.proof,
+            ciphertext_blocks=pi_e.ciphertext_blocks,
+            nonce=pi_e.nonce,
+            data_commitment=(pi_e.data_commitment + 1) % R,
+            key_commitment=pi_e.key_commitment,
+        )
+        view = asset.public_view()
+        assert not verify_encryption(snark_ctx, view, forged)
+
+    def test_pi_t_duplication_roundtrip(self, snark_ctx, asset):
+        derived, pi_t = prove_transformation(snark_ctx, [asset], Duplication())
+        assert len(derived) == 1
+        assert derived[0].plaintext == asset.plaintext
+        assert derived[0].key != asset.key  # fresh key for the replica
+        assert verify_transformation(snark_ctx, Duplication(), pi_t)
+
+    def test_pi_t_rejects_forged_commitments(self, snark_ctx, asset):
+        derived, pi_t = prove_transformation(snark_ctx, [asset], Duplication())
+        forged = pi_t.__class__(
+            proof=pi_t.proof,
+            transformation_name=pi_t.transformation_name,
+            source_sizes=pi_t.source_sizes,
+            derived_sizes=pi_t.derived_sizes,
+            source_commitments=pi_t.source_commitments,
+            derived_commitments=((pi_t.derived_commitments[0] + 1) % R,),
+        )
+        assert not verify_transformation(snark_ctx, Duplication(), forged)
+        wrong_name = pi_t.__class__(
+            proof=pi_t.proof,
+            transformation_name="aggregation",
+            source_sizes=pi_t.source_sizes,
+            derived_sizes=pi_t.derived_sizes,
+            source_commitments=pi_t.source_commitments,
+            derived_commitments=pi_t.derived_commitments,
+        )
+        assert not verify_transformation(snark_ctx, Duplication(), wrong_name)
+
+    def test_proof_chain(self, snark_ctx, asset):
+        """Figure 3: chained pi_t from the source to a grandchild."""
+        mid, pi_t1 = prove_transformation(snark_ctx, [asset], Duplication())
+        final, pi_t2 = prove_transformation(snark_ctx, mid, Duplication())
+        chain = [(Duplication(), pi_t1), (Duplication(), pi_t2)]
+        assert verify_proof_chain(
+            snark_ctx, chain, asset.data_commitment.value,
+            final[0].data_commitment.value,
+        )
+        # Broken linkage: wrong root or wrong tail.
+        assert not verify_proof_chain(
+            snark_ctx, chain, (asset.data_commitment.value + 1) % R,
+            final[0].data_commitment.value,
+        )
+        assert not verify_proof_chain(
+            snark_ctx, chain, asset.data_commitment.value, 12345
+        )
+        # Empty chain degenerates to commitment equality.
+        assert verify_proof_chain(snark_ctx, [], 5, 5)
+        assert not verify_proof_chain(snark_ctx, [], 5, 6)
+
+
+class TestKeySecureExchange:
+    @pytest.fixture()
+    def market(self, snark_ctx):
+        chain = Blockchain()
+        operator = chain.create_account(funded=10**12)
+        verifier = PlonkVerifierContract(key_negotiation_keys(snark_ctx).vk)
+        chain.deploy(verifier, operator)
+        arbiter = KeySecureArbiterContract(verifier)
+        chain.deploy(arbiter, operator)
+        seller_addr = chain.create_account(funded=10**9)
+        buyer_addr = chain.create_account(funded=10**9)
+        return chain, arbiter, seller_addr, buyer_addr
+
+    @pytest.fixture()
+    def sale_asset(self):
+        a = DataAsset.create([42, 84], key=555, nonce=666)
+        return a
+
+    def test_honest_exchange(self, snark_ctx, market, sale_asset):
+        chain, arbiter, seller_addr, buyer_addr = market
+        store_uri = "fake-uri"
+        sale_asset.uri = store_uri
+        seller = Seller(snark_ctx, sale_asset, seller_addr)
+        buyer = Buyer(snark_ctx, sale_asset.public_view(), buyer_addr)
+        protocol = KeySecureExchange(snark_ctx, chain, arbiter)
+        seller_before = chain.balance_of(seller_addr)
+
+        result = protocol.run(seller, buyer, price=5000)
+        assert result.success, result.reason
+        assert result.plaintext == [42, 84]
+        assert chain.balance_of(seller_addr) == seller_before + 5000
+        # THE key property: the chain never saw k, only k_c = k + k_v.
+        masked = chain.call_view(arbiter, "masked_key", result.exchange_id)
+        assert masked is not None
+        assert masked != sale_asset.key
+        assert (masked - buyer.k_v) % R == sale_asset.key  # only the buyer can unmask
+
+    def test_malicious_seller_cannot_collect(self, snark_ctx, market, sale_asset):
+        """Buyer fairness: wrong k_c fails on-chain verification; the
+        buyer's funds come back."""
+        chain, arbiter, seller_addr, buyer_addr = market
+        sale_asset.uri = "u"
+        seller = Seller(snark_ctx, sale_asset, seller_addr)
+        buyer = Buyer(snark_ctx, sale_asset.public_view(), buyer_addr)
+        protocol = KeySecureExchange(snark_ctx, chain, arbiter)
+        seller_before = chain.balance_of(seller_addr)
+        buyer_before = chain.balance_of(buyer_addr)
+        result = protocol.run(seller, buyer, price=5000, tamper_k_c=True)
+        assert not result.success
+        assert "pi_k rejected" in result.reason
+        assert chain.balance_of(seller_addr) == seller_before
+        assert chain.balance_of(buyer_addr) == buyer_before
+
+    def test_malicious_buyer_aborts_cleanly(self, snark_ctx, market, sale_asset):
+        """Seller fairness: a buyer lying about k_v makes the seller abort
+        before any key material is produced; funds are refunded."""
+        chain, arbiter, seller_addr, buyer_addr = market
+        sale_asset.uri = "u"
+        seller = Seller(snark_ctx, sale_asset, seller_addr)
+        buyer = Buyer(snark_ctx, sale_asset.public_view(), buyer_addr)
+        protocol = KeySecureExchange(snark_ctx, chain, arbiter)
+        buyer_before = chain.balance_of(buyer_addr)
+        result = protocol.run(seller, buyer, price=5000, tamper_k_v=True)
+        assert not result.success
+        assert "aborting" in result.reason
+        assert chain.balance_of(buyer_addr) == buyer_before
+
+    def test_seller_requires_published_asset(self, snark_ctx, market):
+        _chain, _arbiter, seller_addr, _ = market
+        unpublished = DataAsset.create([1], key=2, nonce=3)
+        with pytest.raises(ProtocolError):
+            Seller(snark_ctx, unpublished, seller_addr)
+
+
+class TestZKCPBaseline:
+    @pytest.fixture()
+    def market(self):
+        chain = Blockchain()
+        operator = chain.create_account(funded=10**12)
+        arbiter = ZKCPArbiterContract()
+        chain.deploy(arbiter, operator)
+        seller = chain.create_account(funded=10**9)
+        buyer = chain.create_account(funded=10**9)
+        return chain, arbiter, seller, buyer
+
+    def test_zkcp_works_but_leaks_key(self, market):
+        chain, arbiter, seller, buyer = market
+        asset = DataAsset.create([7, 8], key=4242, nonce=1)
+        protocol = ZKCPExchange(chain, arbiter)
+        result = protocol.run(seller, buyer, asset, price=3000)
+        assert result.success
+        assert result.plaintext == [7, 8]
+        # The vulnerability ZKDET fixes: the key is public chain data.
+        assert result.leaked_key == asset.key
+
+    def test_zkcp_wrong_key_rejected(self, market):
+        chain, arbiter, seller, buyer = market
+        asset = DataAsset.create([7, 8], key=4242, nonce=1)
+        protocol = ZKCPExchange(chain, arbiter)
+        buyer_before = chain.balance_of(buyer)
+        result = protocol.run(seller, buyer, asset, price=3000, tamper_key=True)
+        assert not result.success
+        assert chain.balance_of(buyer) == buyer_before  # refunded

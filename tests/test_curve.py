@@ -1,0 +1,163 @@
+"""Tests for the BN254 curve substrate: groups, MSM, tower fields, pairing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curve import G1, G2, msm_g1, pairing, pairing_check
+from repro.curve.fq import FQ2_ONE, Q, fq2_inv, fq2_mul, fq2_pow
+from repro.curve.fq12 import FQ12_ONE, fq12, fq12_eq, fq12_inv, fq12_mul, fq12_pow
+from repro.curve.msm import msm_jacobian
+from repro.errors import CurveError
+from repro.field.fr import MODULUS as R
+
+scalars = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestG1:
+    def test_generator_on_curve_and_order(self):
+        g = G1.generator()
+        assert (g * R).inf
+        assert not (g * (R - 1)).inf
+
+    def test_group_law(self):
+        g = G1.generator()
+        assert g + g == g * 2
+        assert g * 2 + g == g * 3
+        assert g - g == G1.identity()
+        assert g + G1.identity() == g
+        assert -(-g) == g
+        assert (g * 5) + (g * 7) == g * 12
+
+    @given(scalars, scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_mul_distributes(self, a, b):
+        g = G1.generator()
+        assert g * a + g * b == g * ((a + b) % R)
+
+    def test_rejects_off_curve_point(self):
+        with pytest.raises(CurveError):
+            G1(1, 3)
+
+    def test_serialisation_roundtrip(self):
+        g = G1.generator() * 12345
+        assert G1.from_bytes(g.to_bytes()) == g
+        assert G1.from_bytes(G1.identity().to_bytes()).inf
+        with pytest.raises(CurveError):
+            G1.from_bytes(b"\x01" * 63)
+
+    def test_scalar_reduced_mod_r(self):
+        g = G1.generator()
+        assert g * (R + 3) == g * 3
+        assert (g * 0).inf
+
+
+class TestG2:
+    def test_generator_on_curve_and_order(self):
+        h = G2.generator()
+        assert (h * R).inf
+        assert h.in_subgroup()
+
+    def test_group_law(self):
+        h = G2.generator()
+        assert h + h == h * 2
+        assert h * 3 - h == h * 2
+        assert h + G2.identity() == h
+        assert -(-h) == h
+
+    def test_rejects_off_curve_point(self):
+        with pytest.raises(CurveError):
+            G2((1, 0), (1, 0))
+
+    def test_serialisation_roundtrip(self):
+        h = G2.generator() * 99
+        assert G2.from_bytes(h.to_bytes()) == h
+        assert G2.from_bytes(G2.identity().to_bytes()).inf
+
+
+class TestTowerFields:
+    def test_fq2_inverse(self):
+        a = (12345, 67890)
+        assert fq2_mul(a, fq2_inv(a)) == FQ2_ONE
+
+    def test_fq2_frobenius_is_conjugation(self):
+        a = (12345, 67890)
+        frob = fq2_pow(a, Q)
+        assert frob == (a[0], -a[1] % Q)
+
+    def test_fq12_mul_one_and_inverse(self):
+        a = fq12(list(range(1, 13)))
+        assert fq12_eq(fq12_mul(a, FQ12_ONE), a)
+        assert fq12_eq(fq12_mul(a, fq12_inv(a)), FQ12_ONE)
+
+    def test_fq12_pow_laws(self):
+        a = fq12([3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8])
+        assert fq12_eq(fq12_mul(fq12_pow(a, 5), fq12_pow(a, 7)), fq12_pow(a, 12))
+        assert fq12_eq(fq12_pow(a, 0), FQ12_ONE)
+
+    def test_fq12_associativity(self):
+        a = fq12(list(range(2, 14)))
+        b = fq12(list(range(5, 17)))
+        c = fq12(list(range(11, 23)))
+        assert fq12_eq(fq12_mul(fq12_mul(a, b), c), fq12_mul(a, fq12_mul(b, c)))
+
+
+class TestMSM:
+    def test_msm_matches_naive(self):
+        g = G1.generator()
+        points = [g * i for i in range(1, 40)]
+        ks = [(i * 7919 + 13) % R for i in range(1, 40)]
+        expected = G1.identity()
+        for p, k in zip(points, ks):
+            expected = expected + p * k
+        assert msm_g1(points, ks) == expected
+
+    def test_msm_empty_and_zero_scalars(self):
+        assert msm_g1([], []) == G1.identity()
+        g = G1.generator()
+        assert msm_g1([g, g * 2], [0, 0]) == G1.identity()
+
+    def test_msm_single_point(self):
+        g = G1.generator()
+        assert msm_g1([g], [42]) == g * 42
+
+    def test_msm_mismatched_lengths(self):
+        with pytest.raises(CurveError):
+            msm_g1([G1.generator()], [1, 2])
+
+    def test_msm_jacobian_with_infinity(self):
+        g = G1.generator().to_jacobian()
+        inf = (1, 1, 0)
+        out = msm_jacobian([g, inf], [5, 9])
+        assert G1.from_jacobian(out) == G1.generator() * 5
+
+
+@pytest.mark.slow
+class TestPairing:
+    def test_bilinearity(self):
+        g1, g2 = G1.generator(), G2.generator()
+        lhs = pairing(g1 * 6, g2)
+        rhs = pairing(g1, g2 * 6)
+        assert fq12_eq(lhs, rhs)
+        base = pairing(g1, g2)
+        assert fq12_eq(lhs, fq12_pow(base, 6))
+
+    def test_nondegeneracy(self):
+        e = pairing(G1.generator(), G2.generator())
+        assert not fq12_eq(e, FQ12_ONE)
+        assert fq12_eq(fq12_pow(e, R), FQ12_ONE)
+
+    def test_identity_inputs(self):
+        assert fq12_eq(pairing(G1.identity(), G2.generator()), FQ12_ONE)
+        assert fq12_eq(pairing(G1.generator(), G2.identity()), FQ12_ONE)
+
+    def test_pairing_check_product(self):
+        g1, g2 = G1.generator(), G2.generator()
+        # e(aG, bH) * e(-abG, H) == 1
+        a, b = 5, 11
+        assert pairing_check([(g1 * a, g2 * b), (-(g1 * (a * b)), g2)])
+        assert not pairing_check([(g1 * a, g2 * b), (-(g1 * (a * b + 1)), g2)])
+
+    def test_pairing_type_check(self):
+        with pytest.raises(CurveError):
+            pairing(G2.generator(), G1.generator())

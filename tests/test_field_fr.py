@@ -1,0 +1,100 @@
+"""Unit and property tests for the BN254 scalar field."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.field import Fr, MODULUS, batch_inverse, inv, root_of_unity
+
+elements = st.integers(min_value=0, max_value=MODULUS - 1)
+
+
+def test_modulus_is_prime_ish():
+    # Fermat tests with several bases; MODULUS is the standard BN254 r.
+    for base in (2, 3, 5, 7, 11, 13):
+        assert pow(base, MODULUS - 1, MODULUS) == 1
+
+
+def test_fr_basic_arithmetic():
+    a, b = Fr(3), Fr(5)
+    assert a + b == Fr(8)
+    assert a - b == Fr(MODULUS - 2)
+    assert a * b == Fr(15)
+    assert b / a * a == b
+    assert -a == Fr(MODULUS - 3)
+    assert a**3 == Fr(27)
+    assert int(Fr(MODULUS + 4)) == 4
+
+
+def test_fr_mixes_with_ints():
+    a = Fr(10)
+    assert a + 1 == Fr(11)
+    assert 1 + a == Fr(11)
+    assert 2 * a == Fr(20)
+    assert a - 12 == Fr(MODULUS - 2)
+    assert 12 - a == Fr(2)
+    assert 20 / a == Fr(2)
+
+
+def test_fr_is_immutable_and_hashable():
+    a = Fr(7)
+    with pytest.raises(AttributeError):
+        a.value = 8
+    assert len({Fr(1), Fr(1), Fr(2)}) == 2
+
+
+def test_fr_bytes_roundtrip():
+    a = Fr.random()
+    assert Fr.from_bytes(a.to_bytes()) == a
+    with pytest.raises(FieldError):
+        Fr.from_bytes(b"\x00" * 31)
+
+
+def test_inverse_of_zero_raises():
+    with pytest.raises(FieldError):
+        inv(0)
+    with pytest.raises(FieldError):
+        Fr(0).inverse()
+    with pytest.raises(FieldError):
+        batch_inverse([1, 0, 2])
+
+
+@given(elements)
+def test_inverse_property(a):
+    if a == 0:
+        return
+    assert a * inv(a) % MODULUS == 1
+
+
+@given(st.lists(st.integers(min_value=1, max_value=MODULUS - 1), max_size=20))
+def test_batch_inverse_matches_single(values):
+    assert batch_inverse(values) == [inv(v) for v in values]
+
+
+@given(elements, elements, elements)
+@settings(max_examples=50)
+def test_field_axioms(a, b, c):
+    fa, fb, fc = Fr(a), Fr(b), Fr(c)
+    assert fa + fb == fb + fa
+    assert fa * fb == fb * fa
+    assert (fa + fb) + fc == fa + (fb + fc)
+    assert fa * (fb + fc) == fa * fb + fa * fc
+
+
+@pytest.mark.parametrize("log", [0, 1, 2, 5, 10, 20, 28])
+def test_roots_of_unity(log):
+    n = 1 << log
+    w = root_of_unity(n)
+    assert pow(w, n, MODULUS) == 1
+    if n > 1:
+        assert pow(w, n // 2, MODULUS) != 1
+
+
+def test_root_of_unity_rejects_bad_orders():
+    with pytest.raises(FieldError):
+        root_of_unity(3)
+    with pytest.raises(FieldError):
+        root_of_unity(1 << 29)
+    with pytest.raises(FieldError):
+        root_of_unity(0)

@@ -1,0 +1,149 @@
+"""Tests for polynomial arithmetic and NTT evaluation domains."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.field import Domain, MODULUS, poly
+
+small_polys = st.lists(st.integers(min_value=0, max_value=MODULUS - 1), max_size=12)
+elements = st.integers(min_value=0, max_value=MODULUS - 1)
+
+
+class TestPoly:
+    def test_trim_and_degree(self):
+        assert poly.trim([1, 2, 0, 0]) == [1, 2]
+        assert poly.degree([]) == -1
+        assert poly.degree([0, 0]) == -1
+        assert poly.degree([5, 0, 3]) == 2
+
+    @given(small_polys, small_polys, elements)
+    @settings(max_examples=40)
+    def test_add_mul_consistent_with_eval(self, p, q, x):
+        assert poly.evaluate(poly.add(p, q), x) == (
+            poly.evaluate(p, x) + poly.evaluate(q, x)
+        ) % MODULUS
+        assert poly.evaluate(poly.mul(p, q), x) == (
+            poly.evaluate(p, x) * poly.evaluate(q, x)
+        ) % MODULUS
+        assert poly.evaluate(poly.sub(p, q), x) == (
+            poly.evaluate(p, x) - poly.evaluate(q, x)
+        ) % MODULUS
+
+    def test_large_mul_uses_ntt_and_matches_schoolbook(self):
+        p = list(range(1, 70))
+        q = list(range(3, 90))
+        prod = poly.mul(p, q)
+        out = [0] * (len(p) + len(q) - 1)
+        for i, a in enumerate(p):
+            for j, b in enumerate(q):
+                out[i + j] = (out[i + j] + a * b) % MODULUS
+        assert prod == poly.trim(out)
+
+    def test_divide_by_linear_exact(self):
+        # p = (X - 3)(X + 5) = X^2 + 2X - 15
+        p = [-15 % MODULUS, 2, 1]
+        assert poly.trim(poly.divide_by_linear(p, 3)) == [5, 1]
+        with pytest.raises(FieldError):
+            poly.divide_by_linear(p, 4)
+
+    @given(small_polys, elements)
+    @settings(max_examples=30)
+    def test_divide_by_linear_property(self, q, z):
+        q = poly.trim(q)
+        if not q:
+            return
+        p = poly.mul(q, [(-z) % MODULUS, 1])
+        assert poly.trim(poly.divide_by_linear(p, z)) == q
+
+    def test_divide_by_vanishing(self):
+        n = 8
+        q = [3, 1, 4, 1, 5]
+        vanish = [-1 % MODULUS] + [0] * (n - 1) + [1]
+        p = poly.mul(q, vanish)
+        assert poly.divide_by_vanishing(p, n) == poly.trim(q)
+
+    def test_divide_by_vanishing_rejects_nondivisible(self):
+        with pytest.raises(FieldError):
+            poly.divide_by_vanishing([1, 2, 3, 4, 5, 6, 7, 8, 9, 10], 4)
+
+    @given(small_polys, small_polys)
+    @settings(max_examples=30)
+    def test_divmod_general(self, p, d):
+        d = poly.trim(d)
+        if not d:
+            return
+        q, r = poly.divmod_general(p, d)
+        assert poly.trim(poly.add(poly.mul(q, d), r)) == poly.trim(p)
+        assert poly.degree(r) < poly.degree(d) or not r
+
+    def test_interpolate(self):
+        pts = [(1, 2), (2, 5), (3, 10)]  # y = x^2 + 1
+        p = poly.interpolate(pts)
+        assert p == [1, 0, 1]
+        with pytest.raises(FieldError):
+            poly.interpolate([(1, 2), (1, 3)])
+
+    def test_shift_degree(self):
+        assert poly.shift_degree([1, 2], 2) == [0, 0, 1, 2]
+        with pytest.raises(FieldError):
+            poly.shift_degree([1], -1)
+
+
+class TestDomain:
+    @pytest.mark.parametrize("n", [1, 2, 8, 64, 256])
+    def test_fft_roundtrip(self, n):
+        dom = Domain.get(n)
+        coeffs = [(i * 7 + 1) % MODULUS for i in range(n)]
+        assert dom.ifft(dom.fft(coeffs)) == coeffs
+
+    def test_fft_matches_naive_evaluation(self):
+        dom = Domain.get(8)
+        coeffs = [5, 1, 0, 2, 7, 0, 0, 1]
+        evals = dom.fft(coeffs)
+        for x, e in zip(dom.elements, evals):
+            assert poly.evaluate(coeffs, x) == e
+
+    def test_coset_fft_roundtrip_and_values(self):
+        dom = Domain.get(16)
+        coeffs = [i + 1 for i in range(10)]
+        evals = dom.coset_fft(coeffs)
+        shift = 7
+        for i, x in enumerate(dom.elements):
+            assert poly.evaluate(coeffs, shift * x % MODULUS) == evals[i]
+        assert poly.trim(dom.coset_ifft(evals)) == coeffs
+
+    def test_vanishing_on_coset(self):
+        base = Domain.get(4)
+        vals = base.vanishing_on_coset(16)
+        big = Domain.get(16)
+        for x, v in zip(big.elements, vals):
+            assert base.vanishing_eval(7 * x % MODULUS) == v
+        assert all(v != 0 for v in vals)
+
+    def test_lagrange_basis(self):
+        dom = Domain.get(8)
+        pts = dom.elements
+        for i in range(3):
+            for j, x in enumerate(pts):
+                assert dom.lagrange_basis_eval(i, x) == (1 if i == j else 0)
+        x = 12345
+        batch = dom.lagrange_basis_evals(5, x)
+        assert batch == [dom.lagrange_basis_eval(i, x) for i in range(5)]
+        # Batch path at a domain point falls back to the safe path.
+        on_point = dom.lagrange_basis_evals(3, pts[1])
+        assert on_point == [0, 1, 0]
+
+    def test_domain_rejects_bad_sizes(self):
+        with pytest.raises(FieldError):
+            Domain(3)
+        with pytest.raises(FieldError):
+            Domain(0)
+
+    def test_fft_rejects_oversized_input(self):
+        dom = Domain.get(4)
+        with pytest.raises(FieldError):
+            dom.fft([1] * 5)
+        with pytest.raises(FieldError):
+            dom.ifft([1] * 3)

@@ -1,0 +1,193 @@
+"""End-to-end tests for the Plonk proving system.
+
+Covers Definition 2.5 (completeness), the rejection surface that knowledge
+soundness implies for concrete attacks (Definition 2.6), and the succinct
+proof shape the paper reports (9 G1 + 6 field elements).
+"""
+
+import pytest
+
+from repro.errors import (
+    CircuitError,
+    ProofError,
+    SerializationError,
+    SRSError,
+    UnsatisfiedConstraintError,
+)
+from repro.curve.g1 import G1
+from repro.field.fr import MODULUS as R
+from repro.kzg import SRS
+from repro.plonk import CircuitBuilder, Proof, prove, setup, verify
+
+
+@pytest.fixture(scope="module")
+def srs():
+    return SRS.generate(64, tau=987654321)
+
+
+def _square_circuit(x_value, y_value, w_value=3):
+    """Public x, y; private w with w^2 = x and w + x = y (toy relation)."""
+    builder = CircuitBuilder()
+    x = builder.public_input(x_value)
+    y = builder.public_input(y_value)
+    w = builder.var(w_value)
+    w2 = builder.mul(w, w)
+    builder.assert_equal(w2, x)
+    s = builder.add(w, x)
+    builder.assert_equal(s, y)
+    return builder.compile()
+
+
+class TestCircuitBuilder:
+    def test_compile_pads_to_power_of_two(self):
+        layout, assignment = _square_circuit(9, 12)
+        assert layout.n & (layout.n - 1) == 0
+        assert layout.ell == 2
+        assert assignment.public_inputs == [9, 12]
+
+    def test_layout_check_catches_bad_witness(self):
+        layout, assignment = _square_circuit(9, 12)
+        assignment.c[layout.ell] = 999
+        with pytest.raises(UnsatisfiedConstraintError):
+            layout.check(assignment)
+
+    def test_builder_operations_compute_values(self):
+        b = CircuitBuilder()
+        x = b.var(6)
+        y = b.var(7)
+        assert b.value(b.mul(x, y)) == 42
+        assert b.value(b.add(x, y)) == 13
+        assert b.value(b.sub(x, y)) == R - 1
+        assert b.value(b.scale(x, 10)) == 60
+        assert b.value(b.add_const(x, 4)) == 10
+        assert b.value(b.mul_add(x, y, x)) == 48
+        assert b.value(b.mul_add_const(x, y, 8)) == 50
+        assert b.value(b.linear_combination([(2, x), (3, y), (5, x)], 1)) == 64
+        assert b.value(b.linear_combination([(2, x)], 4)) == 16
+        assert b.value(b.linear_combination([], 9)) == 9
+        b.assert_bool(b.var(1))
+        b.assert_not_zero(x)
+        b.assert_mul(x, y, b.var(42))
+        b.assert_zero(b.var(0))
+        layout, assignment = b.compile()
+        layout.check(assignment)
+
+    def test_constants_are_deduplicated(self):
+        b = CircuitBuilder()
+        c1 = b.constant(5)
+        c2 = b.constant(5)
+        assert c1 == c2
+
+    def test_gate_after_compile_fails(self):
+        b = CircuitBuilder()
+        b.var(1)
+        b.compile()
+        with pytest.raises(CircuitError):
+            b.gate(ql=1)
+
+    def test_identical_circuits_share_layout(self):
+        layout1, _ = _square_circuit(9, 12)
+        layout2, _ = _square_circuit(16, 20, w_value=4)
+        assert layout1.digest() == layout2.digest()
+
+    def test_sigma_is_permutation(self):
+        layout, _ = _square_circuit(9, 12)
+        assert sorted(layout.sigma) == list(range(3 * layout.n))
+
+
+@pytest.mark.slow
+class TestPlonkEndToEnd:
+    def test_completeness(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        proof = prove(pk, assignment)
+        assert verify(vk, [9, 12], proof)
+
+    def test_same_vk_different_witness(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        # Different public inputs (and witness) under the SAME keys.
+        builder = CircuitBuilder()
+        x = builder.public_input(25)
+        y = builder.public_input(30)
+        w = builder.var(5)
+        builder.assert_equal(builder.mul(w, w), x)
+        builder.assert_equal(builder.add(w, x), y)
+        layout2, assignment2 = builder.compile()
+        assert layout2.digest() == layout.digest()
+        proof = prove(pk, assignment2)
+        assert verify(vk, [25, 30], proof)
+        assert not verify(vk, [9, 12], proof)
+
+    def test_wrong_public_inputs_rejected(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        proof = prove(pk, assignment)
+        assert not verify(vk, [9, 13], proof)
+        assert not verify(vk, [9], proof)
+
+    def test_tampered_proof_rejected(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        proof = prove(pk, assignment)
+        bad_point = proof.c_a + G1.generator()
+        assert not verify(vk, [9, 12], proof.replace(c_a=bad_point))
+        assert not verify(vk, [9, 12], proof.replace(a_bar=(proof.a_bar + 1) % R))
+        assert not verify(vk, [9, 12], proof.replace(z_omega_bar=0))
+        assert not verify(vk, [9, 12], proof.replace(w_zeta=G1.generator()))
+
+    def test_unsatisfied_witness_cannot_be_proved(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, _vk = setup(srs, layout)
+        assignment.a[layout.ell] = 4  # break the witness
+        with pytest.raises((UnsatisfiedConstraintError, ProofError)):
+            prove(pk, assignment)
+
+    def test_proof_shape_matches_paper(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        proof = prove(pk, assignment)
+        assert proof.num_g1_elements == 9
+        assert proof.num_field_elements == 6
+        data = proof.to_bytes()
+        assert len(data) == proof.size_bytes == 9 * 64 + 6 * 32
+        restored = Proof.from_bytes(data)
+        assert verify(vk, [9, 12], restored)
+
+    def test_proof_deserialisation_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            Proof.from_bytes(b"\x00" * 10)
+        good = b"\x00" * (9 * 64) + (R).to_bytes(32, "little") + b"\x00" * (5 * 32)
+        with pytest.raises(SerializationError):
+            Proof.from_bytes(good)
+
+    def test_proofs_are_randomised(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        p1 = prove(pk, assignment)
+        p2 = prove(pk, assignment)
+        assert p1.to_bytes() != p2.to_bytes()  # zero-knowledge blinding
+        assert verify(vk, [9, 12], p1) and verify(vk, [9, 12], p2)
+
+    def test_deterministic_mode(self, srs):
+        layout, assignment = _square_circuit(9, 12)
+        pk, vk = setup(srs, layout)
+        p1 = prove(pk, assignment, blinding=False)
+        p2 = prove(pk, assignment, blinding=False)
+        assert p1.to_bytes() == p2.to_bytes()
+        assert verify(vk, [9, 12], p1)
+
+    def test_setup_rejects_small_srs(self):
+        layout, _ = _square_circuit(9, 12)
+        small = SRS.generate(4, tau=5)
+        with pytest.raises(SRSError):
+            setup(small, layout)
+
+    def test_no_public_inputs(self, srs):
+        builder = CircuitBuilder()
+        w = builder.var(6)
+        builder.assert_constant(builder.mul(w, w), 36)
+        layout, assignment = builder.compile()
+        pk, vk = setup(srs, layout)
+        proof = prove(pk, assignment)
+        assert verify(vk, [], proof)

@@ -1,0 +1,152 @@
+"""Tests for MiMC, Poseidon, the commitment scheme, and codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError, ReproError
+from repro.field.fr import MODULUS as R
+from repro.primitives import (
+    MiMC,
+    Poseidon,
+    bytes_to_elements,
+    commit,
+    elements_to_bytes,
+    field_hash,
+    mimc_decrypt_ctr,
+    mimc_encrypt_ctr,
+    open_commitment,
+    poseidon_hash,
+)
+
+elements = st.integers(min_value=0, max_value=R - 1)
+
+
+class TestMiMC:
+    def test_block_roundtrip(self):
+        cipher = MiMC()
+        key, block = 12345, 67890
+        assert cipher.decrypt_block(key, cipher.encrypt_block(key, block)) == block
+
+    @given(elements, elements)
+    @settings(max_examples=5, deadline=None)
+    def test_block_roundtrip_property(self, key, block):
+        cipher = MiMC(rounds=8)  # fewer rounds keeps the property test fast
+        assert cipher.decrypt_block(key, cipher.encrypt_block(key, block)) == block
+
+    def test_permutation_is_keyed(self):
+        cipher = MiMC()
+        assert cipher.encrypt_block(1, 5) != cipher.encrypt_block(2, 5)
+        assert cipher.encrypt_block(1, 5) != cipher.encrypt_block(1, 6)
+
+    def test_ctr_roundtrip(self):
+        plaintext = [3, 1, 4, 1, 5, 9, 2, 6]
+        ct = mimc_encrypt_ctr(key=777, plaintext=plaintext, nonce=42)
+        assert len(ct) == len(plaintext)
+        assert ct.blocks != tuple(plaintext)
+        assert mimc_decrypt_ctr(777, ct) == plaintext
+
+    def test_ctr_wrong_key_garbles(self):
+        plaintext = [3, 1, 4]
+        ct = mimc_encrypt_ctr(key=777, plaintext=plaintext, nonce=42)
+        assert mimc_decrypt_ctr(778, ct) != plaintext
+
+    def test_ctr_keystream_is_position_dependent(self):
+        ct = mimc_encrypt_ctr(key=1, plaintext=[0, 0, 0], nonce=9)
+        assert len(set(ct.blocks)) == 3
+
+    def test_first_round_constant_is_zero(self):
+        assert MiMC().constants[0] == 0
+        assert len(MiMC().constants) == 91
+
+
+class TestPoseidon:
+    def test_permutation_deterministic_and_width_checked(self):
+        p = Poseidon.get(3)
+        out1 = p.permute([1, 2, 3])
+        out2 = p.permute([1, 2, 3])
+        assert out1 == out2
+        assert out1 != [1, 2, 3]
+        with pytest.raises(FieldError):
+            p.permute([1, 2])
+
+    def test_hash_varies_with_input(self):
+        assert poseidon_hash([1, 2]) != poseidon_hash([2, 1])
+        assert poseidon_hash([1]) != poseidon_hash([1, 0])  # length tagged
+        assert poseidon_hash([]) != poseidon_hash([0])
+
+    def test_hash_long_input(self):
+        out = poseidon_hash(list(range(20)))
+        assert 0 <= out < R
+
+    def test_width_cached(self):
+        assert Poseidon.get(3) is Poseidon.get(3)
+        assert Poseidon.get(3) is not Poseidon.get(4)
+
+    def test_invalid_width(self):
+        with pytest.raises(FieldError):
+            Poseidon(1)
+
+    @given(st.lists(elements, max_size=6), st.lists(elements, max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_no_trivial_collisions(self, a, b):
+        if a != b:
+            assert poseidon_hash(a) != poseidon_hash(b)
+
+
+class TestCommitment:
+    def test_commit_open_roundtrip(self):
+        c, o = commit([1, 2, 3])
+        assert open_commitment([1, 2, 3], c, o)
+
+    def test_open_rejects_wrong_message_or_blinder(self):
+        c, o = commit([1, 2, 3])
+        assert not open_commitment([1, 2, 4], c, o)
+        assert not open_commitment([1, 2, 3], c, o + 1)
+
+    def test_scalar_message(self):
+        c, o = commit(42)
+        assert open_commitment(42, c, o)
+        assert open_commitment([42], c, o)  # scalar == singleton vector
+
+    def test_hiding_blinder_randomised(self):
+        c1, _ = commit([7])
+        c2, _ = commit([7])
+        assert c1 != c2  # fresh blinders
+
+    def test_deterministic_with_fixed_blinder(self):
+        c1, _ = commit([7], blinder=99)
+        c2, _ = commit([7], blinder=99)
+        assert c1 == c2
+
+    @given(st.lists(elements, min_size=1, max_size=5), st.lists(elements, min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_binding_property(self, m1, m2):
+        c, o = commit(m1, blinder=5)
+        if m1 != m2:
+            assert not open_commitment(m2, c, o)
+
+
+class TestEncoding:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=50)
+    def test_roundtrip(self, data):
+        assert elements_to_bytes(bytes_to_elements(data)) == data
+
+    def test_elements_fit_field(self):
+        elems = bytes_to_elements(b"\xff" * 100)
+        assert all(0 <= e < R for e in elems)
+
+    def test_decode_rejects_malformed(self):
+        with pytest.raises(ReproError):
+            elements_to_bytes([])
+        with pytest.raises(ReproError):
+            elements_to_bytes([100])  # claims 100 bytes but no chunks
+        with pytest.raises(ReproError):
+            elements_to_bytes([1, R])
+
+
+class TestFieldHash:
+    def test_multi_arg(self):
+        assert field_hash(1, 2) != field_hash(2, 1)
+        assert field_hash(5) == field_hash(5)

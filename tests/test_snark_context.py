@@ -1,0 +1,80 @@
+"""Tests for the shared SNARK context and on-chain verifier contract."""
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.contracts import PlonkVerifierContract
+from repro.errors import SRSError
+from repro.core.snark import SnarkContext
+from repro.plonk import CircuitBuilder, prove
+
+
+def _toy_layout(value=3):
+    builder = CircuitBuilder()
+    x = builder.public_input(value * value)
+    w = builder.var(value)
+    builder.assert_equal(builder.mul(w, w), x)
+    return builder.compile()
+
+
+class TestSnarkContext:
+    def test_keys_are_cached_per_layout(self):
+        ctx = SnarkContext.with_fresh_srs(32, tau=777)
+        layout, _ = _toy_layout()
+        k1 = ctx.keys_for(layout)
+        k2 = ctx.keys_for(layout)
+        assert k1 is k2
+        assert ctx.cached_circuits == 1
+        # A different witness, same structure: still one cache entry.
+        layout2, _ = _toy_layout(value=5)
+        ctx.keys_for(layout2)
+        assert ctx.cached_circuits == 1
+
+    def test_oversized_circuit_rejected_with_guidance(self):
+        ctx = SnarkContext.with_fresh_srs(16, tau=777)
+        builder = CircuitBuilder()
+        x = builder.var(1)
+        for _ in range(40):
+            x = builder.mul(x, x)
+        layout, _ = builder.compile()
+        with pytest.raises(SRSError, match="larger ceremony"):
+            ctx.keys_for(layout)
+
+
+@pytest.mark.slow
+class TestVerifierContract:
+    def test_on_chain_verification(self, snark_ctx):
+        layout, assignment = _toy_layout()
+        keys = snark_ctx.keys_for(layout)
+        proof = prove(keys.pk, assignment)
+
+        chain = Blockchain()
+        operator = chain.create_account(funded=10**12)
+        contract = PlonkVerifierContract(keys.vk)
+        deploy = chain.deploy(contract, operator)
+        assert deploy.gas_used > 1_000_000  # hardcoded vk + pairing lib
+
+        receipt = chain.transact(
+            operator, contract, "verify", tuple(assignment.public_inputs), proof.to_bytes()
+        )
+        assert receipt.status and receipt.return_value is True
+        # Verification gas is dominated by the pairing precompile.
+        assert receipt.gas_used > 113_000
+
+        bad = chain.transact(operator, contract, "verify", (12345,), proof.to_bytes())
+        assert bad.status and bad.return_value is False
+
+        revert = chain.transact(
+            operator, contract, "require_valid", (12345,), proof.to_bytes()
+        )
+        assert not revert.status
+
+        malformed = chain.transact(operator, contract, "verify", (), b"junk")
+        assert not malformed.status
+
+        # Free off-chain verification via the view ("unlimited free
+        # verifications", Section VI-C2).
+        assert chain.call_view(
+            contract, "verify_view", tuple(assignment.public_inputs), proof.to_bytes()
+        )
+        assert chain.call_view(contract, "circuit_size") == keys.vk.n

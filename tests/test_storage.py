@@ -1,0 +1,95 @@
+"""Tests for the content-addressed store and the DHT simulation."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import ContentStore, DHTNetwork
+
+
+class TestContentStore:
+    def test_put_get_roundtrip(self):
+        store = ContentStore()
+        uri = store.put(b"hello world")
+        assert store.get(uri) == b"hello world"
+        assert store.has(uri)
+
+    def test_uri_is_content_commitment(self):
+        store = ContentStore()
+        assert store.put(b"a") != store.put(b"b")
+        assert store.put(b"a") == store.put(b"a")  # dedup by content
+
+    def test_missing_content(self):
+        store = ContentStore()
+        with pytest.raises(StorageError):
+            store.get("deadbeef")
+        with pytest.raises(StorageError):
+            store.put("not bytes")  # type: ignore[arg-type]
+
+    def test_tampering_detected(self):
+        store = ContentStore()
+        uri = store.put(b"original")
+        store.tamper(uri, b"malicious")
+        with pytest.raises(StorageError):
+            store.get(uri)
+        with pytest.raises(StorageError):
+            store.tamper("missing", b"x")
+
+    def test_unpin_semantics(self):
+        store = ContentStore()
+        uri = store.put(b"shared", owner="alice")
+        store.put(b"shared", owner="bob")
+        store.unpin(uri, "alice")
+        assert store.has(uri)  # bob still pins
+        store.unpin(uri, "bob")
+        assert not store.has(uri)
+        with pytest.raises(StorageError):
+            store.unpin(uri, "carol")
+
+
+class TestDHT:
+    def test_put_get_with_replication(self):
+        net = DHTNetwork(["n%d" % i for i in range(8)], replication=3)
+        uri = net.put(b"payload")
+        assert net.get(uri) == b"payload"
+        assert net.replica_count(uri) == 3
+
+    def test_lookup_hops_bounded(self):
+        net = DHTNetwork(["n%d" % i for i in range(16)], replication=4)
+        uri = net.put(b"data")
+        _, hops = net.get_with_hops(uri)
+        assert 1 <= hops <= 16
+
+    def test_content_survives_node_departure(self):
+        net = DHTNetwork(["n%d" % i for i in range(6)], replication=3)
+        uri = net.put(b"durable")
+        # Remove every original replica holder one at a time.
+        holders = [n.name for n in net.nodes.values() if uri in n.blobs]
+        for name in holders[:2]:
+            net.leave(name)
+            assert net.get(uri) == b"durable"
+            assert net.replica_count(uri) == 3  # re-replicated
+
+    def test_join_rebalances(self):
+        net = DHTNetwork(["a", "b", "c"], replication=2)
+        uri = net.put(b"x")
+        net.join("d")
+        assert net.get(uri) == b"x"
+        assert net.replica_count(uri) == 2
+
+    def test_invalid_topologies(self):
+        with pytest.raises(StorageError):
+            DHTNetwork([])
+        with pytest.raises(StorageError):
+            DHTNetwork(["a"], replication=0)
+        net = DHTNetwork(["a"])
+        with pytest.raises(StorageError):
+            net.leave("a")
+        with pytest.raises(StorageError):
+            net.leave("ghost")
+        with pytest.raises(StorageError):
+            net.join("a")
+
+    def test_missing_content_raises(self):
+        net = DHTNetwork(["a", "b"])
+        with pytest.raises(StorageError):
+            net.get("0" * 64)
