@@ -14,7 +14,6 @@ from conftest import print_table, run_once
 from repro.costmodel import (
     encryption_circuit_gates,
     mimc_ctr_element_gates,
-    poseidon_hash_gates,
     poseidon_permutation_gates,
     transformation_circuit_gates,
 )

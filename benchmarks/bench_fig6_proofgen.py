@@ -27,7 +27,6 @@ from conftest import print_table, run_once
 from repro.costmodel import (
     TimingModel,
     encryption_circuit_gates,
-    key_negotiation_gates,
     padded_circuit_size,
     transformation_circuit_gates,
 )

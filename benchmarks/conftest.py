@@ -4,7 +4,16 @@ Every benchmark runs real cryptography once (``rounds=1``) — a Plonk proof
 takes seconds in pure Python, so statistical repetition is pointless —
 then prints a paper-vs-measured table.  Extrapolated rows (marked `model`)
 come from the cost model calibrated on the measured points.
+
+Each table is also written as machine-readable JSON (``BENCH_<slug>.json``
+under ``REPRO_BENCH_DIR``, default ``benchmarks/results/``) so CI runs and
+regression tooling can diff numbers without scraping stdout.
 """
+
+import json
+import os
+import re
+import time
 
 import pytest
 
@@ -25,8 +34,31 @@ def run_once(benchmark, fn):
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
 
 
+def _slugify(title: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+
+
+def _emit_json(title: str, headers: list, rows: list) -> None:
+    out_dir = os.environ.get(
+        "REPRO_BENCH_DIR",
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "results"),
+    )
+    os.makedirs(out_dir, exist_ok=True)
+    payload = {
+        "title": title,
+        "headers": [str(h) for h in headers],
+        "rows": [[c for c in row] for row in rows],
+        "unix_time": time.time(),
+        "backend": os.environ.get("REPRO_BACKEND", "serial"),
+    }
+    path = os.path.join(out_dir, "BENCH_%s.json" % _slugify(title))
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+        fh.write("\n")
+
+
 def print_table(title: str, headers: list, rows: list) -> None:
-    """Render an aligned comparison table to stdout."""
+    """Render an aligned comparison table to stdout and mirror it to JSON."""
     widths = [
         max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
         for i, h in enumerate(headers)
@@ -37,3 +69,4 @@ def print_table(title: str, headers: list, rows: list) -> None:
     print("-" * len(line))
     for row in rows:
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    _emit_json(title, headers, rows)

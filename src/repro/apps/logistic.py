@@ -22,7 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
-from repro.field.fr import MODULUS as R
 from repro.gadgets.fixedpoint import (
     FixedPointSpec,
     fp_abs,

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ProtocolError
 from repro.gadgets.fixedpoint import FixedPointSpec, fp_mul, fp_relu
-from repro.gadgets.linalg import fp_dot, fp_matvec, fp_softmax, fp_vec_add
+from repro.gadgets.linalg import fp_dot, fp_softmax, fp_vec_add
 from repro.plonk.circuit import CircuitBuilder, Wire
 from repro.core.transformations import Processing
 

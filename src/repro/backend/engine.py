@@ -1,0 +1,303 @@
+"""The compute-engine abstraction: one interface over every hot kernel.
+
+An :class:`Engine` owns the arithmetic substrate the protocol layers run
+on — NTT plans, multi-scalar multiplication, batched field inversion,
+fixed-base scalar multiplication — together with the caches that amortise
+repeated work across proofs:
+
+- **NTT plans**: twiddle/inverse-twiddle tables per domain size (shared
+  with :class:`repro.field.ntt.Domain`'s global cache, so plans built by
+  one engine are visible to all);
+- **SRS Jacobian views**: the one-time conversion of an SRS's affine G1
+  powers to Jacobian tuples, shared by every KZG commitment under that
+  SRS;
+- **fixed-base windowed tables** for the G1/G2 generators (and any other
+  repeated base), used by SRS generation and Groth16 setup;
+- **coset-evaluation cache**: an LRU of coset-NTT outputs for polynomials
+  that are fixed per proving key (Plonk selectors and permutation
+  columns), so the second proof onward skips 8 of the prover's 15 big
+  FFTs.
+
+Protocol code never touches raw kernels directly: it asks its engine.
+The base class implements every kernel serially; subclasses override the
+batch entry points (:meth:`ntt_batch`, :meth:`msm_jac`, ...) to change
+the execution strategy.  See :class:`repro.backend.parallel.ParallelEngine`
+for the multiprocessing implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import BackendError
+from repro.curve.g1 import (
+    G1,
+    JAC_INF,
+    jac_add,
+    jac_batch_normalize,
+    jac_double,
+)
+from repro.curve.g2 import (
+    G2,
+    JAC_INF as JAC2_INF,
+    jac2_add,
+    jac2_batch_normalize,
+    jac2_double,
+)
+from repro.curve.msm import msm_g2_jacobian, msm_jacobian
+from repro.field.fr import MODULUS as _R, batch_inverse as _fr_batch_inverse
+from repro.field.ntt import COSET_SHIFT, Domain
+
+#: Scalars are at most 254 bits on BN254.
+_SCALAR_BITS = 254
+
+#: Window width for fixed-base tables: 43 windows of 63 entries each —
+#: table construction costs ~2.7k additions, each multiplication then
+#: costs at most 43 mixed additions (vs ~380 ops for double-and-add).
+_FB_WINDOW = 6
+
+
+def apply_ntt_job(job: tuple) -> list[int]:
+    """Execute one NTT job ``(kind, n, values, shift)``.
+
+    Module-level so multiprocessing workers can run jobs directly; the
+    per-process :class:`Domain` cache makes repeated sizes cheap.
+    """
+    kind, n, values, shift = job
+    dom = Domain.get(n)
+    if kind == "fft":
+        return dom.fft(values)
+    if kind == "ifft":
+        return dom.ifft(values)
+    if kind == "coset_fft":
+        return dom.coset_fft(values, shift)
+    if kind == "coset_ifft":
+        return dom.coset_ifft(values, shift)
+    raise BackendError("unknown NTT job kind %r" % (kind,))
+
+
+class _FixedBaseTable:
+    """Windowed precomputation for repeated scalar multiples of one base.
+
+    ``rows[j][d-1]`` holds ``d * 2**(j*w) * P`` with every entry batch-
+    normalised to ``z = 1``, so a multiplication is at most
+    ``ceil(254/w)`` mixed additions and no doublings.
+    """
+
+    __slots__ = ("window", "rows", "_add", "_inf")
+
+    def __init__(self, jac_point, add, double, normalize, inf, window=_FB_WINDOW):
+        self.window = window
+        self._add = add
+        self._inf = inf
+        num_windows = (_SCALAR_BITS + window - 1) // window
+        row_len = (1 << window) - 1
+        flat = []
+        base = jac_point
+        for _ in range(num_windows):
+            cur = base
+            flat.append(cur)
+            for _ in range(row_len - 1):
+                cur = add(cur, base)
+                flat.append(cur)
+            for _ in range(window):
+                base = double(base)
+        flat = normalize(flat)
+        self.rows = [flat[j * row_len : (j + 1) * row_len] for j in range(num_windows)]
+
+    def mul(self, k: int):
+        """Return ``k * P`` as a Jacobian tuple (``k`` already reduced)."""
+        acc = self._inf
+        add = self._add
+        mask = (1 << self.window) - 1
+        j = 0
+        while k:
+            d = k & mask
+            if d:
+                acc = add(acc, self.rows[j][d - 1])
+            k >>= self.window
+            j += 1
+        return acc
+
+
+class Engine:
+    """Serial reference implementation of the compute-backend interface.
+
+    Subclasses override the batch kernels to change execution strategy;
+    every override must be *observationally identical* — the engine-
+    equivalence property tests enforce bit-identical outputs.
+    """
+
+    name = "serial"
+
+    def __init__(self):
+        self._srs_jac: dict[int, tuple] = {}
+        self._fb_tables: dict[tuple, _FixedBaseTable] = {}
+        self._eval_cache: OrderedDict = OrderedDict()
+        self.eval_cache_capacity = 64
+
+    # ------------------------------------------------------------------ NTT
+
+    def domain(self, n: int) -> Domain:
+        """Return the (cached) NTT plan for a size-``n`` domain."""
+        return Domain.get(n)
+
+    def ntt(self, coeffs: list[int], n: int) -> list[int]:
+        """Evaluate ``coeffs`` over the size-``n`` domain."""
+        return Domain.get(n).fft(coeffs)
+
+    def intt(self, evals: list[int]) -> list[int]:
+        """Interpolate coefficients from evaluations (n = len(evals))."""
+        return Domain.get(len(evals)).ifft(evals)
+
+    def coset_ntt(self, coeffs: list[int], n: int, shift: int = COSET_SHIFT) -> list[int]:
+        """Evaluate ``coeffs`` over the coset ``shift * H`` of size ``n``."""
+        return Domain.get(n).coset_fft(coeffs, shift)
+
+    def coset_intt(self, evals: list[int], shift: int = COSET_SHIFT) -> list[int]:
+        """Interpolate from coset evaluations (n = len(evals))."""
+        return Domain.get(len(evals)).coset_ifft(evals, shift)
+
+    def ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
+        """Run many independent NTT jobs ``(kind, n, values, shift)``.
+
+        The serial engine loops; parallel engines fan jobs out to
+        workers.  Job order is preserved in the result list.
+        """
+        return [apply_ntt_job(job) for job in jobs]
+
+    # -------------------------------------------------------------- caching
+
+    def _eval_cache_get(self, key: tuple, owner) -> list[int] | None:
+        hit = self._eval_cache.get(key)
+        if hit is not None and hit[0] is owner:
+            self._eval_cache.move_to_end(key)
+            return hit[1]
+        return None
+
+    def _eval_cache_put(self, key: tuple, owner, value: list[int]) -> None:
+        self._eval_cache[key] = (owner, value)
+        self._eval_cache.move_to_end(key)
+        while len(self._eval_cache) > self.eval_cache_capacity:
+            self._eval_cache.popitem(last=False)
+
+    def coset_ntt_cached(
+        self, owner, tag: str, coeffs: list[int], n: int, shift: int = COSET_SHIFT
+    ) -> list[int]:
+        """Coset-NTT with memoisation for per-key-fixed polynomials.
+
+        ``owner`` anchors the cache entry's lifetime (typically the
+        proving key); the entry is valid only while the exact same owner
+        object is passed, which makes ``id()`` reuse after garbage
+        collection harmless.  Entries are evicted LRU.
+        """
+        key = ("coset", id(owner), tag, n, shift)
+        cached = self._eval_cache_get(key, owner)
+        if cached is None:
+            cached = Domain.get(n).coset_fft(list(coeffs), shift)
+            self._eval_cache_put(key, owner, cached)
+        return cached
+
+    def coset_points(self, n: int, shift: int = COSET_SHIFT) -> list[int]:
+        """The coset ``[shift * omega**i]`` of the size-``n`` domain, cached."""
+        key = ("coset_points", n, shift)
+        cached = self._eval_cache_get(key, None)
+        if cached is None:
+            cached = [shift * w % _R for w in Domain.get(n).elements]
+            self._eval_cache_put(key, None, cached)
+        return cached
+
+    def srs_g1_jacobian(self, srs) -> tuple:
+        """The SRS's G1 powers as Jacobian tuples, converted exactly once.
+
+        Cached per SRS object identity for the lifetime of the SRS (the
+        entry pins the SRS, so ``id`` reuse cannot alias).
+        """
+        key = id(srs)
+        hit = self._srs_jac.get(key)
+        if hit is not None and hit[0] is srs:
+            return hit[1]
+        jac = tuple(p.to_jacobian() for p in srs.g1_powers)
+        self._srs_jac[key] = (srs, jac)
+        return jac
+
+    # ------------------------------------------------------------------ MSM
+
+    def msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
+        """MSM over G1 Jacobian tuples; returns a Jacobian tuple."""
+        return msm_jacobian(points, scalars)
+
+    def msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
+        """MSM over G2 Jacobian tuples; returns a Jacobian tuple."""
+        return msm_g2_jacobian(points, scalars)
+
+    def msm_g1(self, points: list[G1], scalars: list[int]) -> G1:
+        """MSM over affine G1 points; returns an affine point."""
+        jac = self.msm_jac([p.to_jacobian() for p in points], [int(s) for s in scalars])
+        return G1.from_jacobian(jac)
+
+    def msm_g2(self, points: list[G2], scalars: list[int]) -> G2:
+        """MSM over affine G2 points; returns an affine point."""
+        jac = self.msm_jac_g2([p.to_jacobian() for p in points], [int(s) for s in scalars])
+        return G2.from_jacobian(jac)
+
+    # ----------------------------------------------------------- fixed base
+
+    def _fb_table(self, base) -> _FixedBaseTable:
+        if isinstance(base, G1):
+            key = ("g1", base.x, base.y)
+            table = self._fb_tables.get(key)
+            if table is None:
+                table = _FixedBaseTable(
+                    base.to_jacobian(), jac_add, jac_double, jac_batch_normalize, JAC_INF
+                )
+                self._fb_tables[key] = table
+            return table
+        if isinstance(base, G2):
+            key = ("g2", base.x, base.y)
+            table = self._fb_tables.get(key)
+            if table is None:
+                table = _FixedBaseTable(
+                    base.to_jacobian(), jac2_add, jac2_double, jac2_batch_normalize, JAC2_INF
+                )
+                self._fb_tables[key] = table
+            return table
+        raise BackendError("fixed-base multiplication expects a G1 or G2 point")
+
+    def fixed_base_mul_jac(self, base, scalar: int) -> tuple:
+        """``scalar * base`` as a Jacobian tuple via a cached window table.
+
+        Callers doing many multiples of the same base should use this and
+        batch-convert to affine at the end.
+        """
+        k = int(scalar) % _R
+        if k == 0 or getattr(base, "inf", False):
+            return JAC_INF if isinstance(base, G1) else JAC2_INF
+        return self._fb_table(base).mul(k)
+
+    def fixed_base_mul(self, base, scalar: int):
+        """``scalar * base`` for a repeated base point (G1 or G2)."""
+        jac = self.fixed_base_mul_jac(base, scalar)
+        if isinstance(base, G1):
+            return G1.from_jacobian(jac)
+        return G2.from_jacobian(jac)
+
+    # ---------------------------------------------------------------- field
+
+    def batch_inverse(self, values: list[int]) -> list[int]:
+        """Invert many scalar-field elements (Montgomery's trick)."""
+        return _fr_batch_inverse(values)
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Release backend resources (worker pools); caches survive."""
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "<%s backend=%r>" % (type(self).__name__, self.name)

@@ -1,0 +1,167 @@
+"""The parallel compute engine: kernels fan out over worker processes.
+
+CPython's GIL rules out thread-level parallelism for big-int arithmetic,
+so :class:`ParallelEngine` shards work across a lazily created
+``multiprocessing`` pool:
+
+- **MSM**: the (point, scalar) pairs are split into per-worker chunks;
+  each worker runs the full Pippenger bucket method on its chunk and the
+  partial sums are folded with one Jacobian addition per chunk.  (Points
+  are sharded rather than Pippenger windows: window sharding would ship
+  the whole input to every worker, and in CPython the pickling cost of
+  the duplicated inputs dominates the saved additions.)
+- **NTT batches**: independent transforms — e.g. the prover's 6 live
+  coset FFTs of round 3 — map one job per worker task.  Per-process
+  :class:`~repro.field.ntt.Domain` caches mean twiddle tables are built
+  once per worker, not once per job.
+- **batch inversion**: Montgomery's trick is sequential within a chain,
+  so long inputs are split into independent chains, one per worker.
+
+Small inputs fall back to the serial kernels (fork/pickle overhead would
+swamp the win); the thresholds are constructor arguments so tests can
+force the parallel paths.  All outputs are bit-identical to
+:class:`~repro.backend.serial.SerialEngine` by construction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.backend.engine import Engine, apply_ntt_job
+from repro.curve.g1 import jac_add
+from repro.curve.g2 import jac2_add
+from repro.curve.msm import msm_g2_jacobian, msm_jacobian
+from repro.errors import BackendError, FieldError
+from repro.field.fr import MODULUS as _R, batch_inverse as _fr_batch_inverse
+
+
+def _msm_chunk_g1(args: tuple) -> tuple:
+    points, scalars = args
+    return msm_jacobian(points, scalars)
+
+
+def _msm_chunk_g2(args: tuple) -> tuple:
+    points, scalars = args
+    return msm_g2_jacobian(points, scalars)
+
+
+def _batch_inverse_chunk(values: list[int]) -> list[int]:
+    return _fr_batch_inverse(values)
+
+
+def _chunk(seq: list, pieces: int) -> list[list]:
+    """Split ``seq`` into at most ``pieces`` contiguous, balanced chunks."""
+    pieces = max(1, min(pieces, len(seq)))
+    size, extra = divmod(len(seq), pieces)
+    out = []
+    start = 0
+    for i in range(pieces):
+        end = start + size + (1 if i < extra else 0)
+        out.append(seq[start:end])
+        start = end
+    return out
+
+
+class ParallelEngine(Engine):
+    """Engine that chunks MSMs, NTT batches and inversions across workers."""
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_msm_points: int = 128,
+        min_ntt_jobs: int = 2,
+        min_ntt_size: int = 256,
+        min_inverse_size: int = 8192,
+    ):
+        super().__init__()
+        if workers is None:
+            env = os.environ.get("REPRO_WORKERS")
+            if env:
+                try:
+                    workers = int(env)
+                except ValueError:
+                    raise BackendError(
+                        "REPRO_WORKERS must be an integer, got %r" % env
+                    ) from None
+            else:
+                workers = os.cpu_count() or 1
+        self.workers = max(1, workers)
+        self.min_msm_points = min_msm_points
+        self.min_ntt_jobs = min_ntt_jobs
+        self.min_ntt_size = min_ntt_size
+        self.min_inverse_size = min_inverse_size
+        self._pool = None
+
+    # ------------------------------------------------------------ pool mgmt
+
+    def _get_pool(self):
+        if self._pool is None:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+            self._pool = ctx.Pool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------- kernels
+
+    def _use_pool(self, n_items: int, threshold: int) -> bool:
+        return self.workers > 1 and n_items >= threshold
+
+    def ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
+        big_jobs = sum(1 for job in jobs if job[1] >= self.min_ntt_size)
+        if not self._use_pool(big_jobs, self.min_ntt_jobs):
+            return [apply_ntt_job(job) for job in jobs]
+        return self._get_pool().map(apply_ntt_job, jobs)
+
+    def msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
+        if not self._use_pool(len(points), self.min_msm_points):
+            return msm_jacobian(points, scalars)
+        chunks = list(
+            zip(_chunk(list(points), self.workers), _chunk(list(scalars), self.workers))
+        )
+        partials = self._get_pool().map(_msm_chunk_g1, chunks)
+        result = partials[0]
+        for part in partials[1:]:
+            result = jac_add(result, part)
+        return result
+
+    def msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
+        if not self._use_pool(len(points), self.min_msm_points):
+            return msm_g2_jacobian(points, scalars)
+        chunks = list(
+            zip(_chunk(list(points), self.workers), _chunk(list(scalars), self.workers))
+        )
+        partials = self._get_pool().map(_msm_chunk_g2, chunks)
+        result = partials[0]
+        for part in partials[1:]:
+            result = jac2_add(result, part)
+        return result
+
+    def batch_inverse(self, values: list[int]) -> list[int]:
+        if not self._use_pool(len(values), self.min_inverse_size):
+            return _fr_batch_inverse(values)
+        # Surface the zero-element error with its *global* index before
+        # sharding, preserving the serial error contract.
+        for i, v in enumerate(values):
+            if v % _R == 0:
+                raise FieldError("batch inverse of zero at index %d" % i)
+        chunks = _chunk(list(values), self.workers)
+        parts = self._get_pool().map(_batch_inverse_chunk, chunks)
+        out: list[int] = []
+        for part in parts:
+            out.extend(part)
+        return out

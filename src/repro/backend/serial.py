@@ -1,0 +1,17 @@
+"""The serial compute engine: every kernel runs in-process, in order.
+
+:class:`SerialEngine` is the reference implementation — it *is* the base
+:class:`~repro.backend.engine.Engine` behaviour under its canonical name.
+It exists as a distinct class so backend selection, ``repr`` output and
+equivalence tests can name the serial strategy explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.backend.engine import Engine
+
+
+class SerialEngine(Engine):
+    """Single-process engine; the default backend."""
+
+    name = "serial"

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ChainError, ContractError, OutOfGasError
 from repro.chain.contract import Contract, ExecutionContext

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import functools
 
-from repro.errors import ChainError, ContractError, OutOfGasError
+from repro.errors import ContractError, OutOfGasError
 from repro.chain.events import Event
 from repro.chain.gas import GasSchedule
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SRSError
+from repro.backend import get_engine
 from repro.kzg.srs import SRS
 from repro.plonk.circuit import CircuitBuilder, Layout
 from repro.plonk.keys import DEGREE_MARGIN, ProvingKey, VerifyingKey, setup
@@ -26,14 +27,18 @@ class CircuitKeys:
 class SnarkContext:
     """An SRS plus a cache of per-circuit proving/verifying keys."""
 
-    def __init__(self, srs: SRS):
+    def __init__(self, srs: SRS, engine=None):
         self.srs = srs
+        self.engine = engine or get_engine()
         self._cache: dict = {}
 
     @staticmethod
-    def with_fresh_srs(max_degree: int, tau: int | None = None) -> "SnarkContext":
+    def with_fresh_srs(
+        max_degree: int, tau: int | None = None, engine=None
+    ) -> "SnarkContext":
         """Convenience constructor running a single-party setup."""
-        return SnarkContext(SRS.generate(max_degree, tau=tau))
+        engine = engine or get_engine()
+        return SnarkContext(SRS.generate(max_degree, tau=tau, engine=engine), engine)
 
     def keys_for(self, layout: Layout) -> CircuitKeys:
         """Return (cached) keys for a compiled circuit layout."""
@@ -45,7 +50,7 @@ class SnarkContext:
                     "circuit of size %d exceeds this context's SRS (degree %d); "
                     "run a larger ceremony" % (layout.n, self.srs.max_degree)
                 )
-            pk, vk = setup(self.srs, layout)
+            pk, vk = setup(self.srs, layout, engine=self.engine)
             keys = CircuitKeys(layout, pk, vk)
             self._cache[digest] = keys
         return keys

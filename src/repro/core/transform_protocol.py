@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
-from repro.field.fr import MODULUS as R
 from repro.gadgets.mimc import assert_ctr_encryption
 from repro.gadgets.poseidon import assert_commitment_opens
 from repro.plonk.circuit import CircuitBuilder

@@ -14,7 +14,7 @@ follow the paper's predicates:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ProtocolError

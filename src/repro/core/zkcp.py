@@ -14,7 +14,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ProtocolError
 from repro.gadgets.mimc import assert_ctr_encryption
 from repro.gadgets.poseidon import poseidon_hash_gadget
 from repro.groth16 import groth16_prove, groth16_setup, groth16_verify

@@ -29,6 +29,32 @@ def fq_inv(a: int) -> int:
     return pow(a, Q - 2, Q)
 
 
+def fq_batch_inverse(values: list[int]) -> list[int]:
+    """Invert many F_q elements with a single modular inversion.
+
+    Montgomery's trick, mirroring :func:`repro.field.fr.batch_inverse` but
+    over the base field.  Used to normalise whole batches of Jacobian
+    points to affine form with one inversion instead of one per point.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    prefix = [0] * n
+    acc = 1
+    for i, v in enumerate(values):
+        v %= Q
+        if v == 0:
+            raise FieldError("batch inverse of zero in Fq at index %d" % i)
+        prefix[i] = acc
+        acc = acc * v % Q
+    acc_inv = fq_inv(acc)
+    out = [0] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = acc_inv * prefix[i] % Q
+        acc_inv = acc_inv * values[i] % Q
+    return out
+
+
 def fq2_add(a: Fq2, b: Fq2) -> Fq2:
     return ((a[0] + b[0]) % Q, (a[1] + b[1]) % Q)
 
@@ -63,6 +89,30 @@ def fq2_inv(a: Fq2) -> Fq2:
         raise FieldError("inverse of zero in Fq2")
     ninv = fq_inv(norm)
     return (a0 * ninv % Q, -a1 * ninv % Q)
+
+
+def fq2_batch_inverse(values: list[Fq2]) -> list[Fq2]:
+    """Invert many F_q2 elements with a single F_q inversion.
+
+    Montgomery's trick over the extension field; the one true inversion
+    happens inside :func:`fq2_inv` of the running product.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    prefix: list[Fq2] = [FQ2_ONE] * n
+    acc = FQ2_ONE
+    for i, v in enumerate(values):
+        if fq2_is_zero(v):
+            raise FieldError("batch inverse of zero in Fq2 at index %d" % i)
+        prefix[i] = acc
+        acc = fq2_mul(acc, v)
+    acc_inv = fq2_inv(acc)
+    out: list[Fq2] = [FQ2_ONE] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = fq2_mul(acc_inv, prefix[i])
+        acc_inv = fq2_mul(acc_inv, values[i])
+    return out
 
 
 def fq2_pow(a: Fq2, e: int) -> Fq2:

@@ -8,7 +8,7 @@ for protocol-level code and (de)serialisation.
 from __future__ import annotations
 
 from repro.errors import CurveError
-from repro.curve.fq import B, Q, fq_inv
+from repro.curve.fq import B, Q, fq_batch_inverse, fq_inv
 from repro.field.fr import MODULUS as R
 
 #: Jacobian point-at-infinity sentinel.
@@ -91,9 +91,18 @@ def jac_neg(p: tuple) -> tuple:
     return (p[0], -p[1] % Q, p[2])
 
 
+def reduce_scalar(k: int) -> int:
+    """Canonical scalar reduction modulo the group order r.
+
+    Shared by :func:`jac_mul` and the MSM so every kernel agrees on how
+    out-of-range scalars fold into the group.
+    """
+    return k % R
+
+
 def jac_mul(p: tuple, k: int) -> tuple:
     """Scalar multiplication by double-and-add (scalar reduced mod r)."""
-    k %= R
+    k = reduce_scalar(k)
     if k == 0 or p[2] == 0:
         return JAC_INF
     result = JAC_INF
@@ -111,6 +120,24 @@ def jac_to_affine(p: tuple) -> tuple | None:
     zinv = fq_inv(p[2])
     zinv2 = zinv * zinv % Q
     return (p[0] * zinv2 % Q, p[1] * zinv2 * zinv % Q)
+
+
+def jac_batch_normalize(points: list[tuple]) -> list[tuple]:
+    """Normalise finite Jacobian points to ``z = 1`` with one inversion.
+
+    Every returned triple has ``z == 1`` so subsequent :func:`jac_add`
+    calls with these points as the second operand take the cheap mixed-
+    addition path.  Points at infinity are not accepted (callers filter
+    them first).
+    """
+    if all(p[2] == 1 for p in points):
+        return list(points)
+    zinvs = fq_batch_inverse([p[2] for p in points])
+    out = []
+    for (x, y, _), zi in zip(points, zinvs):
+        zi2 = zi * zi % Q
+        out.append((x * zi2 % Q, y * zi2 * zi % Q, 1))
+    return out
 
 
 class G1:
@@ -149,6 +176,21 @@ class G1:
         if aff is None:
             return G1.identity()
         return G1(aff[0], aff[1])
+
+    @staticmethod
+    def batch_from_jacobian(points: list[tuple]) -> list["G1"]:
+        """Convert many Jacobian tuples to affine points with one inversion.
+
+        The SRS generator and Groth16 setup convert thousands of points at
+        once; per-point :func:`fq_inv` calls would each cost a full modular
+        exponentiation.
+        """
+        finite = [(i, p) for i, p in enumerate(points) if p[2] != 0]
+        normalized = jac_batch_normalize([p for _, p in finite])
+        out: list[G1] = [G1.identity()] * len(points)
+        for (i, _), q in zip(finite, normalized):
+            out[i] = G1(q[0], q[1])
+        return out
 
     def to_jacobian(self) -> tuple:
         if self.inf:

@@ -12,6 +12,7 @@ from repro.curve.fq import (
     FQ2_ONE,
     FQ2_ZERO,
     fq2_add,
+    fq2_batch_inverse,
     fq2_eq,
     fq2_inv,
     fq2_is_zero,
@@ -64,6 +65,25 @@ def jac2_add(p: tuple, q: tuple) -> tuple:
     x1, y1, z1 = p
     x2, y2, z2 = q
     z1z1 = fq2_square(z1)
+    if z2 == FQ2_ONE:
+        # Mixed addition (q affine), mirroring the G1 fast path; the G2
+        # MSM batch-normalises its inputs so bucket insertion lands here.
+        u1, s1 = x1, y1
+        u2 = fq2_mul(x2, z1z1)
+        s2 = fq2_mul(fq2_mul(y2, z1), z1z1)
+        if fq2_eq(u1, u2):
+            if not fq2_eq(s1, s2):
+                return JAC_INF
+            return jac2_double(p)
+        h = fq2_sub(u2, u1)
+        i = fq2_scalar(fq2_square(h), 4)
+        j = fq2_mul(h, i)
+        rr = fq2_scalar(fq2_sub(s2, s1), 2)
+        v = fq2_mul(u1, i)
+        x3 = fq2_sub(fq2_sub(fq2_square(rr), j), fq2_scalar(v, 2))
+        y3 = fq2_sub(fq2_mul(rr, fq2_sub(v, x3)), fq2_scalar(fq2_mul(s1, j), 2))
+        z3 = fq2_scalar(fq2_mul(z1, h), 2)
+        return (x3, y3, z3)
     z2z2 = fq2_square(z2)
     u1 = fq2_mul(x1, z2z2)
     u2 = fq2_mul(x2, z1z1)
@@ -105,6 +125,23 @@ def jac2_to_affine(p: tuple) -> tuple | None:
     return (fq2_mul(p[0], zinv2), fq2_mul(fq2_mul(p[1], zinv2), zinv))
 
 
+def jac2_batch_normalize(points: list[tuple]) -> list[tuple]:
+    """Normalise finite G2 Jacobian points to ``z = 1`` with one inversion.
+
+    The G2 analogue of :func:`repro.curve.g1.jac_batch_normalize`: makes
+    every point eligible for the mixed-addition fast path in
+    :func:`jac2_add`.  Points at infinity are not accepted.
+    """
+    if all(p[2] == FQ2_ONE for p in points):
+        return list(points)
+    zinvs = fq2_batch_inverse([p[2] for p in points])
+    out = []
+    for (x, y, _), zi in zip(points, zinvs):
+        zi2 = fq2_square(zi)
+        out.append((fq2_mul(x, zi2), fq2_mul(fq2_mul(y, zi2), zi), FQ2_ONE))
+    return out
+
+
 class G2:
     """An affine point of G2 (immutable); coordinates are F_q2 tuples."""
 
@@ -143,6 +180,20 @@ class G2:
         if aff is None:
             return G2.identity()
         return G2(aff[0], aff[1])
+
+    @staticmethod
+    def batch_from_jacobian(points: list[tuple]) -> list["G2"]:
+        """Convert many Jacobian tuples to affine points with one inversion.
+
+        The G2 analogue of :meth:`G1.batch_from_jacobian`, used by the
+        Groth16 setup's per-variable [V_j(tau)]_2 query.
+        """
+        finite = [(i, p) for i, p in enumerate(points) if not fq2_is_zero(p[2])]
+        normalized = jac2_batch_normalize([p for _, p in finite])
+        out: list[G2] = [G2.identity()] * len(points)
+        for (i, _), q in zip(finite, normalized):
+            out[i] = G2(q[0], q[1])
+        return out
 
     def to_jacobian(self) -> tuple:
         if self.inf:

@@ -13,6 +13,10 @@ class FieldError(ReproError):
     """Invalid finite-field operation (e.g. inverting zero)."""
 
 
+class BackendError(ReproError):
+    """Compute-backend selection or kernel dispatch failed."""
+
+
 class CurveError(ReproError):
     """Point is not on the curve or group operation is invalid."""
 

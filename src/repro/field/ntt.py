@@ -83,6 +83,7 @@ class Domain:
             wi = wi * self.omega_inv % _R
             self._twiddles[i] = w
             self._inv_twiddles[i] = wi
+        self._elements: list[int] | None = None
 
     @classmethod
     def get(cls, n: int) -> "Domain":
@@ -95,13 +96,19 @@ class Domain:
 
     @property
     def elements(self) -> list[int]:
-        """All domain points in order ``omega**0 .. omega**(n-1)``."""
-        out = [1] * self.n
-        acc = 1
-        for i in range(1, self.n):
-            acc = acc * self.omega % _R
-            out[i] = acc
-        return out
+        """All domain points in order ``omega**0 .. omega**(n-1)``.
+
+        Computed once and cached; callers must treat the list as
+        read-only.
+        """
+        if self._elements is None:
+            out = [1] * self.n
+            acc = 1
+            for i in range(1, self.n):
+                acc = acc * self.omega % _R
+                out[i] = acc
+            self._elements = out
+        return self._elements
 
     def fft(self, coeffs: list[int]) -> list[int]:
         """Evaluate the polynomial with ``coeffs`` over H.

@@ -10,10 +10,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import CircuitError, ProofError
+from repro.errors import ProofError
+from repro.backend import get_engine
 from repro.curve.g1 import G1
 from repro.curve.g2 import G2
-from repro.curve.msm import msm_g1
 from repro.curve.pairing import pairing_check
 from repro.field.fr import MODULUS as R, inv, rand_fr
 from repro.groth16.qap import QAP
@@ -58,50 +58,89 @@ class Groth16Proof:
         return 64 * 2 + 128
 
 
-def groth16_setup(system: R1CSSystem) -> tuple[Groth16ProvingKey, Groth16VerifyingKey]:
-    """Circuit-specific trusted setup (toxic waste sampled and discarded)."""
+def _g1_fixed_base_batch(engine, scalars: list[int]) -> list[G1]:
+    """Many multiples of the G1 generator via the engine's window table."""
+    gen = G1.generator()
+    return G1.batch_from_jacobian([engine.fixed_base_mul_jac(gen, s) for s in scalars])
+
+
+def _g2_fixed_base_batch(engine, scalars: list[int]) -> list[G2]:
+    """Many multiples of the G2 generator via the engine's window table."""
+    gen = G2.generator()
+    return G2.batch_from_jacobian([engine.fixed_base_mul_jac(gen, s) for s in scalars])
+
+
+def groth16_setup(
+    system: R1CSSystem, engine=None
+) -> tuple[Groth16ProvingKey, Groth16VerifyingKey]:
+    """Circuit-specific trusted setup (toxic waste sampled and discarded).
+
+    Every query is a multiple of a *fixed* generator, so the whole setup
+    runs off the engine's windowed G1/G2 tables with batched affine
+    conversion instead of per-point double-and-add.
+    """
+    engine = engine or get_engine()
     qap = QAP.from_r1cs(system)
     tau, alpha, beta, gamma, delta = (rand_fr() for _ in range(5))
     while tau == 0 or pow(tau, qap.m, R) == 1:
         tau = rand_fr()
-    g1, g2 = G1.generator(), G2.generator()
     gamma_inv, delta_inv = inv(gamma), inv(delta)
 
-    u_at, v_at, w_at = qap.evaluations_at(tau)
+    u_at, v_at, w_at = qap.evaluations_at(tau, engine=engine)
 
     ell = qap.num_public
-    ic = []
-    for j in range(ell + 1):
-        coeff = (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * gamma_inv % R
-        ic.append(g1 * coeff)
-    l_query = []
-    for j in range(ell + 1, qap.num_variables):
-        coeff = (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * delta_inv % R
-        l_query.append(g1 * coeff)
+    ic_coeffs = [
+        (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * gamma_inv % R
+        for j in range(ell + 1)
+    ]
+    l_coeffs = [
+        (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * delta_inv % R
+        for j in range(ell + 1, qap.num_variables)
+    ]
     z_tau = (pow(tau, qap.m, R) - 1) % R
-    h_query = []
+    h_coeffs = []
     acc = z_tau * delta_inv % R
     for _ in range(qap.m - 1):
-        h_query.append(g1 * acc)
+        h_coeffs.append(acc)
         acc = acc * tau % R
 
+    g1_points = _g1_fixed_base_batch(
+        engine,
+        [alpha, beta, delta] + ic_coeffs + l_coeffs + h_coeffs + u_at + v_at,
+    )
+    alpha_g1, beta_g1, delta_g1 = g1_points[0], g1_points[1], g1_points[2]
+    pos = 3
+    ic = g1_points[pos : pos + len(ic_coeffs)]
+    pos += len(ic_coeffs)
+    l_query = g1_points[pos : pos + len(l_coeffs)]
+    pos += len(l_coeffs)
+    h_query = g1_points[pos : pos + len(h_coeffs)]
+    pos += len(h_coeffs)
+    a_query = g1_points[pos : pos + len(u_at)]
+    pos += len(u_at)
+    b_g1_query = g1_points[pos:]
+
+    g2_points = _g2_fixed_base_batch(engine, [beta, gamma, delta] + v_at)
+    beta_g2, gamma_g2, delta_g2 = g2_points[0], g2_points[1], g2_points[2]
+    b_g2_query = g2_points[3:]
+
     vk = Groth16VerifyingKey(
-        alpha_g1=g1 * alpha,
-        beta_g2=g2 * beta,
-        gamma_g2=g2 * gamma,
-        delta_g2=g2 * delta,
+        alpha_g1=alpha_g1,
+        beta_g2=beta_g2,
+        gamma_g2=gamma_g2,
+        delta_g2=delta_g2,
         ic=tuple(ic),
     )
     pk = Groth16ProvingKey(
         qap=qap,
-        alpha_g1=g1 * alpha,
-        beta_g1=g1 * beta,
-        beta_g2=g2 * beta,
-        delta_g1=g1 * delta,
-        delta_g2=g2 * delta,
-        a_query=tuple(g1 * u for u in u_at),
-        b_g1_query=tuple(g1 * v for v in v_at),
-        b_g2_query=tuple(g2 * v for v in v_at),
+        alpha_g1=alpha_g1,
+        beta_g1=beta_g1,
+        beta_g2=beta_g2,
+        delta_g1=delta_g1,
+        delta_g2=delta_g2,
+        a_query=tuple(a_query),
+        b_g1_query=tuple(b_g1_query),
+        b_g2_query=tuple(b_g2_query),
         l_query=tuple(l_query),
         h_query=tuple(h_query),
         vk=vk,
@@ -109,30 +148,30 @@ def groth16_setup(system: R1CSSystem) -> tuple[Groth16ProvingKey, Groth16Verifyi
     return pk, vk
 
 
-def groth16_prove(pk: Groth16ProvingKey, witness: R1CSWitness) -> Groth16Proof:
+def groth16_prove(
+    pk: Groth16ProvingKey, witness: R1CSWitness, engine=None
+) -> Groth16Proof:
     """Produce a Groth16 proof (randomised over r, s for zero-knowledge)."""
+    engine = engine or get_engine()
     values = [v % R for v in witness.values]
     if len(values) != pk.qap.num_variables:
         raise ProofError("witness does not match the proving key's QAP")
-    h = pk.qap.quotient(values)  # raises CircuitError when unsatisfied
+    h = pk.qap.quotient(values, engine=engine)  # raises CircuitError when unsatisfied
     r, s = rand_fr(), rand_fr()
     ell = pk.qap.num_public
 
-    a_acc = msm_g1(list(pk.a_query), values)
+    a_acc = engine.msm_g1(list(pk.a_query), values)
     proof_a = pk.alpha_g1 + a_acc + pk.delta_g1 * r
 
-    b_g2_acc = G2.identity()
-    for v, point in zip(values, pk.b_g2_query):
-        if v:
-            b_g2_acc = b_g2_acc + point * v
+    b_g2_acc = engine.msm_g2(list(pk.b_g2_query), values)
     proof_b = pk.beta_g2 + b_g2_acc + pk.delta_g2 * s
 
-    b_g1_acc = msm_g1(list(pk.b_g1_query), values)
+    b_g1_acc = engine.msm_g1(list(pk.b_g1_query), values)
     b_g1_full = pk.beta_g1 + b_g1_acc + pk.delta_g1 * s
 
-    c_acc = msm_g1(list(pk.l_query), values[ell + 1 :])
+    c_acc = engine.msm_g1(list(pk.l_query), values[ell + 1 :])
     if h:
-        c_acc = c_acc + msm_g1(list(pk.h_query[: len(h)]), h)
+        c_acc = c_acc + engine.msm_g1(list(pk.h_query[: len(h)]), h)
     proof_c = (
         c_acc + proof_a * s + b_g1_full * r - pk.delta_g1 * (r * s % R)
     )
@@ -140,16 +179,20 @@ def groth16_prove(pk: Groth16ProvingKey, witness: R1CSWitness) -> Groth16Proof:
 
 
 def groth16_verify(
-    vk: Groth16VerifyingKey, public_inputs: list[int], proof: Groth16Proof
+    vk: Groth16VerifyingKey,
+    public_inputs: list[int],
+    proof: Groth16Proof,
+    engine=None,
 ) -> bool:
     """Check e(A, B) == e(alpha, beta) e(vk_x, gamma) e(C, delta).
 
     The vk_x MSM over the public inputs is the ell-scalar-multiplication
     cost the paper contrasts against Plonk's input-independent verifier.
     """
+    engine = engine or get_engine()
     if len(public_inputs) != len(vk.ic) - 1:
         return False
-    vk_x = vk.ic[0] + msm_g1(list(vk.ic[1:]), [w % R for w in public_inputs])
+    vk_x = vk.ic[0] + engine.msm_g1(list(vk.ic[1:]), [w % R for w in public_inputs])
     return pairing_check(
         [
             (proof.a, proof.b),

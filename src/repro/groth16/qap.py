@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import CircuitError
+from repro.backend import get_engine
 from repro.field import poly as poly_mod
-from repro.field.fr import MODULUS as R, batch_inverse, inv
-from repro.field.ntt import Domain
+from repro.field.fr import MODULUS as R, inv
+from repro.field.ntt import COSET_SHIFT
 from repro.r1cs.system import R1CSSystem
 
 
@@ -47,18 +48,21 @@ class QAP:
             m <<= 1
         return QAP(system=system, m=m)
 
-    def evaluations_at(self, tau: int) -> tuple[list[int], list[int], list[int]]:
+    def evaluations_at(
+        self, tau: int, engine=None
+    ) -> tuple[list[int], list[int], list[int]]:
         """Per-variable evaluations (U_j(tau), V_j(tau), W_j(tau)).
 
         Uses L_i(tau) = omega^i * Z(tau) / (m * (tau - omega^i)) and walks
         the sparse constraint entries once.
         """
-        domain = Domain.get(self.m)
+        engine = engine or get_engine()
+        domain = engine.domain(self.m)
         points = domain.elements
         z_tau = domain.vanishing_eval(tau)
         if z_tau == 0:
             raise CircuitError("tau lies in the evaluation domain")
-        denoms = batch_inverse([(tau - p) % R for p in points])
+        denoms = engine.batch_inverse([(tau - p) % R for p in points])
         m_inv = inv(self.m)
         lagrange = [
             points[i] * z_tau % R * m_inv % R * denoms[i] % R for i in range(self.m)
@@ -77,12 +81,15 @@ class QAP:
                 w_at[var] = (w_at[var] + coeff * li) % R
         return u_at, v_at, w_at
 
-    def combine(self, witness: list[int]) -> tuple[list[int], list[int], list[int]]:
+    def combine(
+        self, witness: list[int], engine=None
+    ) -> tuple[list[int], list[int], list[int]]:
         """Aggregated U, V, W polynomials (coefficients) under a witness.
 
         Evaluates the per-constraint inner products <A_i, w> etc. (sparse)
-        and interpolates each aggregate with a single size-m iFFT.
+        and interpolates each aggregate with one batched size-m iFFT pass.
         """
+        engine = engine or get_engine()
         if len(witness) != self.num_variables:
             raise CircuitError("witness length mismatch")
         u_evals = [0] * self.m
@@ -92,20 +99,23 @@ class QAP:
             u_evals[i] = self.system.eval_lc(a, witness)
             v_evals[i] = self.system.eval_lc(b, witness)
             w_evals[i] = self.system.eval_lc(c, witness)
-        domain = Domain.get(self.m)
-        return domain.ifft(u_evals), domain.ifft(v_evals), domain.ifft(w_evals)
+        u, v, w = engine.ntt_batch(
+            [("ifft", self.m, evals, 0) for evals in (u_evals, v_evals, w_evals)]
+        )
+        return u, v, w
 
-    def quotient(self, witness: list[int]) -> list[int]:
+    def quotient(self, witness: list[int], engine=None) -> list[int]:
         """Compute H(X) = (U V - W)/Z over a coset (exact division)."""
-        u, v, w = self.combine(witness)
-        big = Domain.get(2 * self.m)
-        ue = big.coset_fft(u)
-        ve = big.coset_fft(v)
-        we = big.coset_fft(w)
-        z_vals = Domain.get(self.m).vanishing_on_coset(big.n)
-        z_inv = batch_inverse(z_vals)
-        h_evals = [(ue[i] * ve[i] - we[i]) % R * z_inv[i] % R for i in range(big.n)]
-        h = poly_mod.trim(big.coset_ifft(h_evals))
+        engine = engine or get_engine()
+        u, v, w = self.combine(witness, engine=engine)
+        big_n = 2 * self.m
+        ue, ve, we = engine.ntt_batch(
+            [("coset_fft", big_n, coeffs, COSET_SHIFT) for coeffs in (u, v, w)]
+        )
+        z_vals = engine.domain(self.m).vanishing_on_coset(big_n)
+        z_inv = engine.batch_inverse(z_vals)
+        h_evals = [(ue[i] * ve[i] - we[i]) % R * z_inv[i] % R for i in range(big_n)]
+        h = poly_mod.trim(engine.coset_intt(h_evals))
         # Degree check: H must have degree <= m - 2 for a satisfied witness.
         if len(h) > self.m - 1:
             raise CircuitError("witness does not satisfy the QAP (H too large)")

@@ -4,37 +4,42 @@ A commitment to p(X) is [p(tau)]_1; an opening proof at z is the quotient
 commitment [ (p(X) - p(z)) / (X - z) ]_1, verified with one pairing check:
 
     e(W, [tau - z]_2) == e([p(tau)]_1 - [p(z)]_1, [1]_2)
+
+All group kernels run through the compute backend: the engine keeps a
+one-time Jacobian view of the SRS powers, so repeated commitments under
+the same SRS skip the per-call affine-to-Jacobian conversion.
 """
 
 from __future__ import annotations
 
 from repro.errors import SRSError
+from repro.backend import get_engine
 from repro.curve.g1 import G1
-from repro.curve.msm import msm_jacobian
 from repro.curve.pairing import pairing_check
 from repro.field import poly
 from repro.field.fr import MODULUS as R
 from repro.kzg.srs import SRS
 
 
-def commit(srs: SRS, coeffs: list[int]) -> G1:
+def commit(srs: SRS, coeffs: list[int], engine=None) -> G1:
     """Commit to the polynomial with coefficients ``coeffs``."""
+    engine = engine or get_engine()
     coeffs = poly.trim(coeffs)
     if len(coeffs) - 1 > srs.max_degree:
         raise SRSError(
             "polynomial degree %d exceeds SRS bound %d" % (len(coeffs) - 1, srs.max_degree)
         )
-    points = [p.to_jacobian() for p in srs.g1_powers[: len(coeffs)]]
-    return G1.from_jacobian(msm_jacobian(points, coeffs))
+    points = engine.srs_g1_jacobian(srs)
+    return G1.from_jacobian(engine.msm_jac(list(points[: len(coeffs)]), coeffs))
 
 
-def open_at(srs: SRS, coeffs: list[int], z: int) -> tuple[int, G1]:
+def open_at(srs: SRS, coeffs: list[int], z: int, engine=None) -> tuple[int, G1]:
     """Return ``(p(z), proof)`` for the polynomial ``coeffs`` at point ``z``."""
     z %= R
     value = poly.evaluate(coeffs, z)
     numerator = poly.sub(coeffs, [value])
     quotient = poly.divide_by_linear(numerator, z)
-    return value, commit(srs, quotient)
+    return value, commit(srs, quotient, engine=engine)
 
 
 def verify_opening(srs: SRS, commitment: G1, z: int, value: int, proof: G1) -> bool:

@@ -13,8 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SRSError
+from repro.backend import get_engine
 from repro.curve.fq12 import fq12_eq
-from repro.curve.g1 import G1, jac_mul, jac_to_affine
+from repro.curve.g1 import G1
 from repro.curve.g2 import G2
 from repro.curve.pairing import pairing
 from repro.field.fr import MODULUS as R, rand_fr
@@ -40,24 +41,30 @@ class SRS:
         return len(self.g1_powers) - 1
 
     @staticmethod
-    def generate(max_degree: int, tau: int | None = None) -> "SRS":
+    def generate(max_degree: int, tau: int | None = None, engine=None) -> "SRS":
         """Generate a fresh SRS from a (then discarded) secret ``tau``.
 
         A single-party trusted setup; :class:`Ceremony` builds the
         multi-party version on top of repeated calls to :meth:`update`.
+        The engine's fixed-base window table for the G1 generator plus a
+        single batched affine conversion replace the per-power
+        double-and-add + inversion of the naive construction.
         """
         if max_degree < 1:
             raise SRSError("SRS degree must be at least 1")
+        engine = engine or get_engine()
         secret = rand_fr() if tau is None else tau % R
         if secret == 0:
             raise SRSError("tau must be non-zero")
-        gen = G1.generator().to_jacobian()
-        powers = []
+        gen = G1.generator()
+        scalars = []
         acc = 1
         for _ in range(max_degree + 1):
-            powers.append(G1.from_jacobian(jac_mul(gen, acc)))
+            scalars.append(acc)
             acc = acc * secret % R
-        return SRS(tuple(powers), G2.generator(), G2.generator() * secret)
+        jacs = [engine.fixed_base_mul_jac(gen, s) for s in scalars]
+        powers = G1.batch_from_jacobian(jacs)
+        return SRS(tuple(powers), G2.generator(), engine.fixed_base_mul(G2.generator(), secret))
 
     def update(self, rho: int | None = None) -> tuple["SRS", "UpdateProof"]:
         """Re-randomise the SRS with a fresh secret ``rho`` (tau' = rho*tau).
@@ -136,22 +143,29 @@ class Ceremony:
         self.transcript.append(proof)
         return proof
 
-    def verify_transcript(self) -> bool:
+    def verify_transcript(self, engine=None) -> bool:
         """Verify every recorded update proof against the chain of strings.
 
-        Checks (i) each update's rho is consistent across G1/G2 via a
-        pairing, and (ii) the chain links: the post-update [tau]_1 matches
-        the pre-update [tau]_1 scaled by rho (verified in the exponent via
-        pairings).
+        Checks (i) each update's rho is consistent across G1/G2, batched:
+        random weights w_i fold all k consistency equations into the
+        single check e(sum w_i rho_g1_i, [1]_2) == e([1]_1, sum w_i
+        rho_g2_i) — one G1 MSM, one G2 MSM and two pairings instead of 2k
+        pairings (standard small-exponent batching); and (ii) the chain
+        links: the post-update [tau]_1 matches the pre-update [tau]_1
+        scaled by rho (verified in the exponent via pairings).
         """
-        prev_tau_g1 = G1.generator()  # bootstrap tau = 1
-        for proof in self.transcript:
-            # rho consistency between the G1 and G2 halves of the proof.
+        engine = engine or get_engine()
+        if self.transcript:
+            weights = [rand_fr() for _ in self.transcript]
+            folded_g1 = engine.msm_g1([p.rho_g1 for p in self.transcript], weights)
+            folded_g2 = engine.msm_g2([p.rho_g2 for p in self.transcript], weights)
             if not fq12_eq(
-                pairing(proof.rho_g1, G2.generator()),
-                pairing(G1.generator(), proof.rho_g2),
+                pairing(folded_g1, G2.generator()),
+                pairing(G1.generator(), folded_g2),
             ):
                 return False
+        prev_tau_g1 = G1.generator()  # bootstrap tau = 1
+        for proof in self.transcript:
             # Chain link: e(tau'_1, [1]_2) == e(tau_1, rho_2).
             if not fq12_eq(
                 pairing(proof.after_tau_g1, G2.generator()),

@@ -17,8 +17,8 @@ volumes").
 from __future__ import annotations
 
 from repro.errors import VerificationError
+from repro.backend import get_engine
 from repro.curve.g1 import G1
-from repro.curve.msm import msm_g1
 from repro.curve.pairing import pairing_check
 from repro.field.fr import rand_fr
 from repro.plonk.keys import VerifyingKey
@@ -28,6 +28,7 @@ from repro.plonk.verifier import prepare_pairing_inputs
 
 def batch_verify(
     items: list[tuple[VerifyingKey, list[int], Proof]],
+    engine=None,
 ) -> bool:
     """Verify many (vk, public_inputs, proof) triples at once.
 
@@ -37,6 +38,7 @@ def batch_verify(
     """
     if not items:
         return True
+    engine = engine or get_engine()
     g2_tau = items[0][0].g2_tau
     g2 = items[0][0].g2
     for vk, _, _ in items:
@@ -47,7 +49,7 @@ def batch_verify(
     rhs_points: list[G1] = []
     weights: list[int] = []
     for vk, publics, proof in items:
-        prepared = prepare_pairing_inputs(vk, publics, proof)
+        prepared = prepare_pairing_inputs(vk, publics, proof, engine=engine)
         if prepared is None:
             return False
         lhs, rhs = prepared
@@ -55,6 +57,6 @@ def batch_verify(
         rhs_points.append(rhs)
         weights.append(rand_fr())
 
-    combined_lhs = msm_g1(lhs_points, weights)
-    combined_rhs = msm_g1(rhs_points, weights)
+    combined_lhs = engine.msm_g1(lhs_points, weights)
+    combined_rhs = engine.msm_g1(rhs_points, weights)
     return pairing_check([(combined_lhs, g2_tau), (-combined_rhs, g2)])

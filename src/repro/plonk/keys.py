@@ -13,9 +13,9 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.errors import SRSError
+from repro.backend import get_engine
 from repro.curve.g1 import G1
 from repro.curve.g2 import G2
-from repro.field.ntt import Domain
 from repro.kzg.commit import commit
 from repro.kzg.srs import SRS
 from repro.plonk.circuit import K1, K2, Layout
@@ -72,35 +72,48 @@ class ProvingKey:
     vk: VerifyingKey
 
 
-def setup(srs: SRS, layout: Layout) -> tuple[ProvingKey, VerifyingKey]:
-    """Preprocess ``layout`` under ``srs`` into proving/verifying keys."""
+def setup(srs: SRS, layout: Layout, engine=None) -> tuple[ProvingKey, VerifyingKey]:
+    """Preprocess ``layout`` under ``srs`` into proving/verifying keys.
+
+    All eight interpolations run as one engine batch (parallel backends
+    fan them out) and the commitments share the engine's cached Jacobian
+    view of the SRS.
+    """
+    engine = engine or get_engine()
     n = layout.n
     if srs.max_degree < n + DEGREE_MARGIN:
         raise SRSError(
             "SRS supports degree %d but circuit of size %d needs %d"
             % (srs.max_degree, n, n + DEGREE_MARGIN)
         )
-    domain = Domain.get(n)
-    q_polys = {
-        "qm": domain.ifft(list(layout.qm)),
-        "ql": domain.ifft(list(layout.ql)),
-        "qr": domain.ifft(list(layout.qr)),
-        "qo": domain.ifft(list(layout.qo)),
-        "qc": domain.ifft(list(layout.qc)),
-    }
     sigma_star = layout.sigma_star()
-    s_polys = tuple(domain.ifft(col) for col in sigma_star)
+    columns = [
+        list(layout.qm),
+        list(layout.ql),
+        list(layout.qr),
+        list(layout.qo),
+        list(layout.qc),
+    ] + [list(col) for col in sigma_star]
+    interpolated = engine.ntt_batch([("ifft", n, col, 0) for col in columns])
+    q_polys = {
+        "qm": interpolated[0],
+        "ql": interpolated[1],
+        "qr": interpolated[2],
+        "qo": interpolated[3],
+        "qc": interpolated[4],
+    }
+    s_polys = tuple(interpolated[5:8])
     vk = VerifyingKey(
         n=n,
         ell=layout.ell,
-        c_qm=commit(srs, q_polys["qm"]),
-        c_ql=commit(srs, q_polys["ql"]),
-        c_qr=commit(srs, q_polys["qr"]),
-        c_qo=commit(srs, q_polys["qo"]),
-        c_qc=commit(srs, q_polys["qc"]),
-        c_s1=commit(srs, s_polys[0]),
-        c_s2=commit(srs, s_polys[1]),
-        c_s3=commit(srs, s_polys[2]),
+        c_qm=commit(srs, q_polys["qm"], engine=engine),
+        c_ql=commit(srs, q_polys["ql"], engine=engine),
+        c_qr=commit(srs, q_polys["qr"], engine=engine),
+        c_qo=commit(srs, q_polys["qo"], engine=engine),
+        c_qc=commit(srs, q_polys["qc"], engine=engine),
+        c_s1=commit(srs, s_polys[0], engine=engine),
+        c_s2=commit(srs, s_polys[1], engine=engine),
+        c_s3=commit(srs, s_polys[2], engine=engine),
         g2=srs.g2,
         g2_tau=srs.g2_tau,
     )

@@ -9,14 +9,15 @@ proof leaks nothing about the witness beyond the statement.
 from __future__ import annotations
 
 from repro.errors import ProofError
+from repro.backend import get_engine
 from repro.field import poly
-from repro.field.fr import MODULUS as R, batch_inverse, rand_fr
-from repro.field.ntt import Domain
-from repro.kzg.commit import commit
+from repro.field.fr import MODULUS as R, rand_fr
 from repro.plonk.circuit import Assignment, K1, K2
 from repro.plonk.keys import ProvingKey
 from repro.plonk.proof import Proof
 from repro.plonk.transcript import Transcript
+
+from repro.kzg.commit import commit
 
 
 def _blind(coeffs: list[int], blinders: list[int], n: int) -> list[int]:
@@ -25,16 +26,25 @@ def _blind(coeffs: list[int], blinders: list[int], n: int) -> list[int]:
     return poly.add(coeffs, poly.mul(blinders, zh))
 
 
-def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proof:
+def prove(
+    pk: ProvingKey, assignment: Assignment, blinding: bool = True, engine=None
+) -> Proof:
     """Generate a Plonk proof for ``assignment`` under ``pk``.
 
     Raises :class:`ProofError` (via the layout check) when the witness does
     not satisfy the circuit; a correct prover never signs false statements.
+
+    All kernel work (NTTs, MSMs, batched inversion) routes through the
+    compute ``engine``.  The engine memoises the coset evaluations of the
+    selector and permutation polynomials — fixed per proving key — so the
+    second proof onward for a circuit skips 9 of the 15 size-8n FFTs of
+    round 3, plus the SRS Jacobian conversion behind every commitment.
     """
+    engine = engine or get_engine()
     layout = pk.layout
     layout.check(assignment)  # raises UnsatisfiedConstraintError early
     n = layout.n
-    domain = Domain.get(n)
+    domain = engine.domain(n)
     omega = domain.omega
     srs = pk.srs
     rand = rand_fr if blinding else (lambda: 0)
@@ -46,10 +56,19 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
         transcript.append_scalar(b"pub", w)
 
     # ----- Round 1: wire polynomials -------------------------------------
-    a_poly = _blind(domain.ifft(assignment.a), [rand(), rand()], n)
-    b_poly = _blind(domain.ifft(assignment.b), [rand(), rand()], n)
-    c_poly = _blind(domain.ifft(assignment.c), [rand(), rand()], n)
-    c_a, c_b, c_c = commit(srs, a_poly), commit(srs, b_poly), commit(srs, c_poly)
+    wire_polys = engine.ntt_batch(
+        [
+            ("ifft", n, list(assignment.a), 0),
+            ("ifft", n, list(assignment.b), 0),
+            ("ifft", n, list(assignment.c), 0),
+        ]
+    )
+    a_poly = _blind(wire_polys[0], [rand(), rand()], n)
+    b_poly = _blind(wire_polys[1], [rand(), rand()], n)
+    c_poly = _blind(wire_polys[2], [rand(), rand()], n)
+    c_a = commit(srs, a_poly, engine=engine)
+    c_b = commit(srs, b_poly, engine=engine)
+    c_c = commit(srs, c_poly, engine=engine)
     transcript.append_point(b"a", c_a)
     transcript.append_point(b"b", c_b)
     transcript.append_point(b"c", c_c)
@@ -78,12 +97,12 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
             * (wc + beta * s3[i] + gamma)
             % R
         )
-    inv_denoms = batch_inverse(denominators)
+    inv_denoms = engine.batch_inverse(denominators)
     z_vals = [1] * n
     for i in range(n - 1):
         z_vals[i + 1] = z_vals[i] * numerators[i] % R * inv_denoms[i] % R
-    z_poly = _blind(domain.ifft(z_vals), [rand(), rand(), rand()], n)
-    c_z = commit(srs, z_poly)
+    z_poly = _blind(engine.intt(z_vals), [rand(), rand(), rand()], n)
+    c_z = commit(srs, z_poly, engine=engine)
     transcript.append_point(b"z", c_z)
 
     # ----- Round 3: quotient polynomial t --------------------------------
@@ -91,8 +110,8 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
     pi_vals = [0] * n
     for i, w in enumerate(public_inputs):
         pi_vals[i] = (-w) % R
-    pi_poly = domain.ifft(pi_vals)
-    l1_poly = domain.ifft([1] + [0] * (n - 1))
+    pi_poly = engine.intt(pi_vals)
+    l1_poly = engine.intt([1] + [0] * (n - 1))
     # z(omega * X): scale coefficient i by omega^i.
     zw_poly = []
     acc = 1
@@ -100,35 +119,38 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
         zw_poly.append(coef * acc % R)
         acc = acc * omega % R
 
-    big = Domain.get(8 * n)  # numerator degree can reach 4n+5 < 8n
-    shift_points = []
-    acc = 1
-    for _ in range(big.n):
-        shift_points.append(acc)
-        acc = acc * big.omega % R
     from repro.field.ntt import COSET_SHIFT
 
-    xs = [COSET_SHIFT * p % R for p in shift_points]
+    big_n = 8 * n  # numerator degree can reach 4n+5 < 8n
+    xs = engine.coset_points(big_n)
+    # Selector / permutation / L1 polynomials are fixed per proving key:
+    # their coset evaluations come from the engine's memo (computed on the
+    # first proof, reused afterwards).
     ev = {
-        "a": big.coset_fft(a_poly),
-        "b": big.coset_fft(b_poly),
-        "c": big.coset_fft(c_poly),
-        "z": big.coset_fft(z_poly),
-        "zw": big.coset_fft(zw_poly),
-        "qm": big.coset_fft(pk.q_polys["qm"]),
-        "ql": big.coset_fft(pk.q_polys["ql"]),
-        "qr": big.coset_fft(pk.q_polys["qr"]),
-        "qo": big.coset_fft(pk.q_polys["qo"]),
-        "qc": big.coset_fft(pk.q_polys["qc"]),
-        "s1": big.coset_fft(list(pk.s_polys[0])),
-        "s2": big.coset_fft(list(pk.s_polys[1])),
-        "s3": big.coset_fft(list(pk.s_polys[2])),
-        "pi": big.coset_fft(pi_poly),
-        "l1": big.coset_fft(l1_poly),
+        name: engine.coset_ntt_cached(pk, name, coeffs, big_n)
+        for name, coeffs in (
+            ("qm", pk.q_polys["qm"]),
+            ("ql", pk.q_polys["ql"]),
+            ("qr", pk.q_polys["qr"]),
+            ("qo", pk.q_polys["qo"]),
+            ("qc", pk.q_polys["qc"]),
+            ("s1", list(pk.s_polys[0])),
+            ("s2", list(pk.s_polys[1])),
+            ("s3", list(pk.s_polys[2])),
+            ("l1", l1_poly),
+        )
     }
+    # The witness-dependent polynomials are transformed fresh each proof,
+    # as one batch so parallel backends can fan them out.
+    live = ("a", a_poly), ("b", b_poly), ("c", c_poly), ("z", z_poly), ("zw", zw_poly), ("pi", pi_poly)
+    live_evals = engine.ntt_batch(
+        [("coset_fft", big_n, coeffs, COSET_SHIFT) for _, coeffs in live]
+    )
+    for (name, _), evals in zip(live, live_evals):
+        ev[name] = evals
     alpha2 = alpha * alpha % R
     num_evals = []
-    for i in range(big.n):
+    for i in range(big_n):
         av, bv, cv = ev["a"][i], ev["b"][i], ev["c"][i]
         zv, zwv = ev["z"][i], ev["zw"][i]
         x = xs[i]
@@ -160,7 +182,7 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
         )
         boundary = (zv - 1) * ev["l1"][i] % R
         num_evals.append((gate + alpha * (perm_a - perm_b) + alpha2 * boundary) % R)
-    numerator = big.coset_ifft(num_evals)
+    numerator = engine.coset_intt(num_evals)
     try:
         t_poly = poly.divide_by_vanishing(numerator, n)
     except Exception as exc:  # exact division fails iff constraints broken
@@ -178,9 +200,9 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
         t_hi = [0]
     t_hi[0] = (t_hi[0] - b11) % R
     c_t_lo, c_t_mid, c_t_hi = (
-        commit(srs, t_lo),
-        commit(srs, t_mid),
-        commit(srs, t_hi),
+        commit(srs, t_lo, engine=engine),
+        commit(srs, t_mid, engine=engine),
+        commit(srs, t_hi, engine=engine),
     )
     transcript.append_point(b"t_lo", c_t_lo)
     transcript.append_point(b"t_mid", c_t_mid)
@@ -258,8 +280,8 @@ def prove(pk: ProvingKey, assignment: Assignment, blinding: bool = True) -> Proo
     w_zeta_omega_poly = poly.divide_by_linear(
         poly.sub(z_poly, [z_omega_bar]), zeta * omega % R
     )
-    w_zeta = commit(srs, w_zeta_poly)
-    w_zeta_omega = commit(srs, w_zeta_omega_poly)
+    w_zeta = commit(srs, w_zeta_poly, engine=engine)
+    w_zeta_omega = commit(srs, w_zeta_omega_poly, engine=engine)
     transcript.append_point(b"w_zeta", w_zeta)
     transcript.append_point(b"w_zeta_omega", w_zeta_omega)
     transcript.challenge(b"u")  # keeps prover/verifier transcripts aligned

@@ -7,20 +7,19 @@ reports in Section VI-B3 and Figure 7.
 
 from __future__ import annotations
 
+from repro.backend import get_engine
 from repro.curve.g1 import G1
-from repro.curve.msm import msm_g1
 from repro.curve.pairing import pairing_check
 from repro.field.fr import MODULUS as R
-from repro.field.ntt import Domain
 from repro.plonk.circuit import K1, K2
 from repro.plonk.keys import VerifyingKey
 from repro.plonk.proof import Proof
 from repro.plonk.transcript import Transcript
 
 
-def verify(vk: VerifyingKey, public_inputs: list[int], proof: Proof) -> bool:
+def verify(vk: VerifyingKey, public_inputs: list[int], proof: Proof, engine=None) -> bool:
     """Check ``proof`` against ``vk`` and the public inputs."""
-    prepared = prepare_pairing_inputs(vk, public_inputs, proof)
+    prepared = prepare_pairing_inputs(vk, public_inputs, proof, engine=engine)
     if prepared is None:
         return False
     lhs_g1, rhs_g1 = prepared
@@ -28,7 +27,7 @@ def verify(vk: VerifyingKey, public_inputs: list[int], proof: Proof) -> bool:
 
 
 def prepare_pairing_inputs(
-    vk: VerifyingKey, public_inputs: list[int], proof: Proof
+    vk: VerifyingKey, public_inputs: list[int], proof: Proof, engine=None
 ) -> tuple | None:
     """Reduce a proof to its final pairing equation.
 
@@ -37,10 +36,11 @@ def prepare_pairing_inputs(
     Exposing this split lets :mod:`repro.plonk.batch` fold many proofs
     into a single two-pairing check.
     """
+    engine = engine or get_engine()
     if len(public_inputs) != vk.ell:
         return None
     n = vk.n
-    domain = Domain.get(n)
+    domain = engine.domain(n)
     omega = domain.omega
 
     # Recompute all Fiat-Shamir challenges from the same transcript.
@@ -138,7 +138,7 @@ def prepare_pairing_inputs(
         pow(v, 4, R),
         pow(v, 5, R),
     ]
-    f_commit = msm_g1(points, scalars)
+    f_commit = engine.msm_g1(points, scalars)
 
     e_scalar = (
         -r0

@@ -12,7 +12,7 @@ inputs — the asymmetry Figure 7 of the paper measures against Plonk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import CircuitError, UnsatisfiedConstraintError
 from repro.field.fr import MODULUS as R

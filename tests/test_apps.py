@@ -7,7 +7,7 @@ prove/verify per application is marked slow.
 import pytest
 
 from repro.errors import ProtocolError, UnsatisfiedConstraintError
-from repro.apps.logistic import LR_SPEC, LogisticRegressionTask, logistic_processing
+from repro.apps.logistic import LogisticRegressionTask, logistic_processing
 from repro.apps.transformer import TransformerBlock, transformer_processing
 from repro.plonk.circuit import CircuitBuilder
 

@@ -1,0 +1,332 @@
+"""The compute-backend layer: engine selection, caches, and equivalence.
+
+The contract under test is the one the protocol layers rely on:
+
+- backend selection (env var, registry, programmatic override) is explicit
+  and fails loudly on unknown names;
+- ``ParallelEngine`` is bit-identical to ``SerialEngine`` on every kernel
+  (NTT batches, G1/G2 MSM, batched inversion, KZG commitments) and on a
+  full Plonk proof;
+- kernel edge cases: ``batch_inverse`` error contracts, ``root_of_unity``
+  bounds, MSM length mismatches, fixed-base multiples of the generators.
+
+The parallel engine under test forces the pool paths with thresholds of 1
+so the multiprocessing code runs even for tiny inputs (the container may
+have a single CPU; ``workers=2`` still exercises chunking and reassembly).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import BackendError, CurveError, FieldError
+from repro.backend import (
+    ParallelEngine,
+    SerialEngine,
+    engine_from_env,
+    get_engine,
+    set_engine,
+    use_engine,
+)
+from repro.curve.fq import fq2_batch_inverse, fq_batch_inverse
+from repro.curve.g1 import G1, jac_mul, jac_to_affine
+from repro.curve.g2 import G2
+from repro.curve.msm import msm_g1, msm_g2
+from repro.field.fr import MODULUS as R, batch_inverse, inv, root_of_unity
+from repro.field.ntt import COSET_SHIFT, Domain
+from repro.kzg.commit import commit
+from repro.kzg.srs import SRS
+
+
+@pytest.fixture(scope="module")
+def parallel_engine():
+    """A ParallelEngine with every pool threshold forced to 1."""
+    engine = ParallelEngine(
+        workers=2,
+        min_msm_points=1,
+        min_ntt_jobs=1,
+        min_ntt_size=1,
+        min_inverse_size=1,
+    )
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def small_srs():
+    return SRS.generate(300, tau=0xFEED)
+
+
+class TestSelection:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        engine = engine_from_env()
+        assert isinstance(engine, SerialEngine)
+        assert engine.name == "serial"
+
+    def test_env_selects_parallel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "parallel")
+        engine = engine_from_env()
+        assert isinstance(engine, ParallelEngine)
+        engine.close()
+
+    def test_env_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "  Serial ")
+        assert isinstance(engine_from_env(), SerialEngine)
+
+    def test_unknown_backend_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "gpu")
+        with pytest.raises(BackendError):
+            engine_from_env()
+
+    def test_get_engine_is_singleton(self):
+        previous = set_engine(None)  # reset the process-wide default
+        try:
+            assert get_engine() is get_engine()
+        finally:
+            set_engine(previous)
+
+    def test_set_engine_returns_previous(self):
+        mine = SerialEngine()
+        previous = set_engine(mine)
+        try:
+            assert get_engine() is mine
+        finally:
+            set_engine(previous)
+
+    def test_use_engine_restores(self):
+        outer = get_engine()
+        mine = SerialEngine()
+        with use_engine(mine):
+            assert get_engine() is mine
+        assert get_engine() is outer
+
+    def test_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        engine = ParallelEngine()
+        assert engine.workers == 3
+        engine.close()
+
+
+class TestEngineEquivalence:
+    """ParallelEngine must be bit-identical to SerialEngine."""
+
+    def test_ntt_batch(self, parallel_engine):
+        rng = random.Random(1)
+        serial = SerialEngine()
+        jobs = []
+        for n in (4, 16, 64, 256):
+            jobs.append(("fft", n, [rng.randrange(R) for _ in range(n)], 0))
+            jobs.append(("ifft", n, [rng.randrange(R) for _ in range(n)], 0))
+            jobs.append(
+                ("coset_fft", n, [rng.randrange(R) for _ in range(n)], COSET_SHIFT)
+            )
+            jobs.append(
+                ("coset_ifft", n, [rng.randrange(R) for _ in range(n)], COSET_SHIFT)
+            )
+        assert parallel_engine.ntt_batch(jobs) == serial.ntt_batch(jobs)
+
+    def test_msm_g1_matches_serial_and_naive(self, parallel_engine):
+        rng = random.Random(2)
+        serial = SerialEngine()
+        for n in (1, 2, 5, 37, 200):
+            points = [G1.generator() * rng.randrange(1, R) for _ in range(n)]
+            scalars = [
+                rng.choice([0, 1, R - 1, rng.randrange(R)]) for _ in range(n)
+            ]
+            expected = G1.identity()
+            for p, s in zip(points, scalars):
+                expected = expected + p * s
+            got_serial = serial.msm_g1(points, scalars)
+            got_parallel = parallel_engine.msm_g1(points, scalars)
+            assert got_serial == expected
+            assert got_parallel == expected
+            assert got_parallel.to_bytes() == got_serial.to_bytes()
+
+    def test_msm_g2_matches_serial_and_naive(self, parallel_engine):
+        rng = random.Random(3)
+        serial = SerialEngine()
+        for n in (1, 3, 11):
+            points = [G2.generator() * rng.randrange(1, R) for _ in range(n)]
+            scalars = [rng.choice([0, 1, R - 1, rng.randrange(R)]) for _ in range(n)]
+            expected = G2.identity()
+            for p, s in zip(points, scalars):
+                expected = expected + p * s
+            assert serial.msm_g2(points, scalars) == expected
+            assert parallel_engine.msm_g2(points, scalars) == expected
+
+    def test_batch_inverse(self, parallel_engine):
+        rng = random.Random(4)
+        values = [rng.randrange(1, R) for _ in range(513)]
+        serial = SerialEngine().batch_inverse(values)
+        parallel = parallel_engine.batch_inverse(values)
+        assert serial == parallel
+        for v, v_inv in zip(values, serial):
+            assert v * v_inv % R == 1
+
+    def test_commitments(self, parallel_engine, small_srs):
+        rng = random.Random(5)
+        serial = SerialEngine()
+        coeffs = [rng.randrange(R) for _ in range(200)]
+        c_serial = commit(small_srs, coeffs, engine=serial)
+        c_parallel = commit(small_srs, coeffs, engine=parallel_engine)
+        assert c_serial == c_parallel
+        assert c_serial.to_bytes() == c_parallel.to_bytes()
+
+    def test_plonk_proof_bit_identical(self, parallel_engine, small_srs):
+        from repro.plonk.circuit import CircuitBuilder
+        from repro.plonk.keys import setup
+        from repro.plonk.prover import prove
+        from repro.plonk.verifier import verify
+
+        builder = CircuitBuilder()
+        a = builder.public_input(25)
+        w = builder.var(5)
+        builder.assert_equal(builder.mul(w, w), a)
+        layout, assignment = builder.compile()
+
+        serial = SerialEngine()
+        pk_s, vk_s = setup(small_srs, layout, engine=serial)
+        pk_p, vk_p = setup(small_srs, layout, engine=parallel_engine)
+        assert vk_s.digest() == vk_p.digest()
+
+        # blinding=False makes the prover deterministic, so the proofs of
+        # the two engines must agree byte for byte.
+        proof_s = prove(pk_s, assignment, blinding=False, engine=serial)
+        proof_p = prove(pk_p, assignment, blinding=False, engine=parallel_engine)
+        assert proof_s == proof_p
+        assert verify(vk_s, assignment.public_inputs, proof_p, engine=serial)
+
+    def test_fixed_base_mul(self, parallel_engine):
+        rng = random.Random(6)
+        serial = SerialEngine()
+        g1, g2 = G1.generator(), G2.generator()
+        for k in (0, 1, 2, R - 1, R, rng.randrange(R)):
+            assert serial.fixed_base_mul(g1, k) == g1 * k
+            assert parallel_engine.fixed_base_mul(g1, k) == g1 * k
+            assert serial.fixed_base_mul(g2, k) == g2 * k
+
+
+class TestEngineCaches:
+    def test_coset_eval_cache_hits(self, small_srs):
+        engine = SerialEngine()
+        owner = object()
+        coeffs = [3, 1, 4, 1]
+        first = engine.coset_ntt_cached(owner, "q", coeffs, 8)
+        second = engine.coset_ntt_cached(owner, "q", coeffs, 8)
+        assert first is second  # cache hit returns the same list
+        other = engine.coset_ntt_cached(object(), "q", coeffs, 8)
+        assert other is not first and other == first
+
+    def test_srs_jacobian_cached_per_srs(self, small_srs):
+        engine = SerialEngine()
+        first = engine.srs_g1_jacobian(small_srs)
+        assert engine.srs_g1_jacobian(small_srs) is first
+        assert len(first) == len(small_srs.g1_powers)
+        assert jac_to_affine(first[0]) == (small_srs.g1_powers[0].x, small_srs.g1_powers[0].y)
+
+
+class TestKernelEdgeCases:
+    def test_batch_inverse_empty(self, parallel_engine):
+        assert batch_inverse([]) == []
+        assert SerialEngine().batch_inverse([]) == []
+        assert parallel_engine.batch_inverse([]) == []
+
+    def test_batch_inverse_zero_raises_with_index(self, parallel_engine):
+        values = [5, 7, 0, 11]
+        with pytest.raises(FieldError, match="index 2"):
+            batch_inverse(values)
+        with pytest.raises(FieldError, match="index 2"):
+            SerialEngine().batch_inverse(values)
+        # The parallel engine must report the *global* index even when the
+        # zero lands in a later chunk.
+        with pytest.raises(FieldError, match="index 2"):
+            parallel_engine.batch_inverse(values)
+        tail_zero = [3] * 100 + [0]
+        with pytest.raises(FieldError, match="index 100"):
+            parallel_engine.batch_inverse(tail_zero)
+
+    def test_fq_batch_inverse_edge_cases(self):
+        assert fq_batch_inverse([]) == []
+        with pytest.raises(FieldError, match="index 1"):
+            fq_batch_inverse([3, 0])
+        with pytest.raises(FieldError, match="index 0"):
+            fq2_batch_inverse([(0, 0), (1, 2)])
+
+    def test_root_of_unity_bounds(self):
+        with pytest.raises(FieldError):
+            root_of_unity(0)
+        with pytest.raises(FieldError):
+            root_of_unity(3)  # not a power of two
+        with pytest.raises(FieldError):
+            root_of_unity(-8)
+        with pytest.raises(FieldError):
+            root_of_unity(2**29)  # exceeds the 2-adicity of r - 1
+        for order in (1, 2, 8, 2**28):
+            w = root_of_unity(order)
+            assert pow(w, order, R) == 1
+            if order > 1:
+                assert pow(w, order // 2, R) != 1
+
+    def test_msm_length_mismatch(self):
+        g = G1.generator()
+        with pytest.raises(CurveError):
+            msm_g1([g, g], [1])
+        with pytest.raises(CurveError):
+            msm_g2([G2.generator()], [1, 2])
+
+    def test_msm_degenerate_inputs(self):
+        g = G1.generator()
+        assert msm_g1([], []) == G1.identity()
+        assert msm_g1([g, -g], [4, 4]) == G1.identity()
+        assert msm_g1([g, G1.identity()], [3, 9]) == g * 3
+        # scalars outside [0, r) reduce canonically
+        assert msm_g1([g], [R + 2]) == g * 2
+        # many copies of one point pile into a single bucket (exercises the
+        # batch-affine reduction's doubling branch)
+        assert msm_g1([g] * 33, [5] * 33) == g * 165
+
+    def test_msm_jacobian_infinity_result(self):
+        p = jac_mul((1, 2, 1), 12345)
+        aff = jac_to_affine(p)
+        from repro.curve.fq import Q
+        neg = (aff[0], Q - aff[1], 1)
+        from repro.curve.msm import msm_jacobian
+        out = msm_jacobian([p, neg], [9, 9])
+        assert out[2] == 0
+
+    def test_domain_elements_cached_and_consistent(self):
+        d = Domain.get(8)
+        first = d.elements
+        assert d.elements is first
+        assert first[0] == 1
+        assert len(first) == 8
+        acc = 1
+        for i, e in enumerate(first):
+            assert e == acc
+            acc = acc * d.omega % R
+
+
+class TestParallelThresholds:
+    def test_below_threshold_stays_serial(self):
+        """Small inputs must not pay pool overhead (and still be correct)."""
+        engine = ParallelEngine(workers=2)  # default thresholds
+        try:
+            g = G1.generator()
+            assert engine.msm_g1([g, g], [2, 3]) == g * 5
+            assert engine.batch_inverse([4]) == [inv(4)]
+            jobs = [("fft", 4, [1, 2, 3, 4], 0)]
+            assert engine.ntt_batch(jobs) == SerialEngine().ntt_batch(jobs)
+        finally:
+            engine.close()
+
+    def test_close_is_idempotent(self):
+        engine = ParallelEngine(workers=2, min_msm_points=1)
+        g = G1.generator()
+        engine.msm_g1([g] * 4, [1, 2, 3, 4])  # spin the pool up
+        engine.close()
+        engine.close()
+
+    def test_repr_names_backend(self, parallel_engine):
+        assert "parallel" in repr(parallel_engine)
+        assert "serial" in repr(SerialEngine())

@@ -4,7 +4,6 @@ import pytest
 
 from repro.curve.g1 import G1
 from repro.errors import VerificationError
-from repro.field.fr import MODULUS as R
 from repro.kzg import SRS
 from repro.plonk import CircuitBuilder, batch_verify, prove, setup, verify
 

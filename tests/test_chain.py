@@ -5,7 +5,7 @@ import pytest
 from repro.chain import Blockchain, Contract, external, view
 from repro.chain.blockchain import encode_calldata
 from repro.chain.gas import DEFAULT_SCHEDULE
-from repro.errors import ChainError, ContractError, OutOfGasError
+from repro.errors import ChainError, ContractError
 
 
 class Counter(Contract):

@@ -7,7 +7,6 @@ from repro.chain import Blockchain
 from repro.contracts import (
     ClockAuctionContract,
     DataTokenContract,
-    KeySecureArbiterContract,
     ZKCPArbiterContract,
 )
 from repro.primitives.hashing import field_hash

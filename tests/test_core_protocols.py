@@ -22,7 +22,7 @@ from repro.core.transform_protocol import (
     verify_proof_chain,
     verify_transformation,
 )
-from repro.core.transformations import Aggregation, Duplication, Partition
+from repro.core.transformations import Duplication
 from repro.core.zkcp import ZKCPExchange
 
 pytestmark = pytest.mark.slow

@@ -13,7 +13,6 @@ from repro.errors import CircuitError, ReproError, UnsatisfiedConstraintError
 from repro.field.fr import MODULUS as R
 from repro.gadgets import arithmetic, boolean, comparison
 from repro.gadgets.fixedpoint import (
-    DEFAULT_SPEC,
     FixedPointSpec,
     fp_abs,
     fp_assert_le,
@@ -25,7 +24,7 @@ from repro.gadgets.fixedpoint import (
     log_coefficients,
     sigmoid_coefficients,
 )
-from repro.gadgets.linalg import fp_dot, fp_matvec, fp_softmax, fp_vec_add, matvec_native
+from repro.gadgets.linalg import fp_matvec, fp_softmax, fp_vec_add, matvec_native
 from repro.gadgets.merkle import MerkleTree, assert_merkle_membership
 from repro.gadgets.mimc import assert_ctr_encryption, mimc_block
 from repro.gadgets.poseidon import assert_commitment_opens, poseidon_hash_gadget, poseidon_permutation

@@ -4,7 +4,6 @@ import pytest
 
 from repro.errors import CircuitError, UnsatisfiedConstraintError
 from repro.curve.g1 import G1
-from repro.field.fr import MODULUS as R
 from repro.groth16 import (
     QAP,
     Groth16Proof,

@@ -7,9 +7,8 @@ proofs): publish -> transform -> sell -> trace, plus failure paths.
 import pytest
 
 from repro.errors import ProtocolError
-from repro.field.fr import MODULUS as R
 from repro.core.marketplace import ZKDETMarketplace
-from repro.core.transformations import Aggregation, Duplication, Partition
+from repro.core.transformations import Duplication
 
 pytestmark = pytest.mark.slow
 
