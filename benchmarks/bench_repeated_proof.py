@@ -31,11 +31,11 @@ import time
 
 from conftest import print_table, run_once
 
+from repro import telemetry
 from repro.backend.serial import SerialEngine
 from repro.curve import msm as msm_mod
 from repro.curve.g1 import jac_batch_normalize, jac_mul
 from repro.field.fr import MODULUS as R
-from repro.field.ntt import Domain
 from repro.plonk.circuit import CircuitBuilder
 from repro.plonk.prover import prove
 from repro.plonk.verifier import verify
@@ -76,22 +76,15 @@ def test_repeated_proof_cache(benchmark, snark_ctx):
     cold = min(cold_times)
 
     # Warm: one engine across proofs — second proof onward skips 9 of the
-    # 15 coset FFTs and every one-time conversion.  Count coset FFTs run
-    # during the second proof to verify the cache hits deterministically.
+    # 15 coset FFTs and every one-time conversion.  The telemetry kernel
+    # counters are the source of truth for the cache accounting: run the
+    # warm proofs at metrics level and read the live-FFT and cache-hit
+    # counts straight off the registry.
     warm_engine = SerialEngine()
     prove(keys.pk, assignment, engine=warm_engine)
-    calls = {"coset_fft": 0}
-    plain_coset_fft = Domain.coset_fft
-
-    def counting_coset_fft(self, coeffs, shift=None, **kw):
-        calls["coset_fft"] += 1
-        if shift is None:
-            return plain_coset_fft(self, coeffs, **kw)
-        return plain_coset_fft(self, coeffs, shift, **kw)
-
     warm_times = []
-    try:
-        Domain.coset_fft = counting_coset_fft
+    with telemetry.use_level(max(telemetry.level(), telemetry.METRICS)):
+        telemetry.reset_metrics()
         for _ in range(2):
             t0 = time.perf_counter()
             prove(keys.pk, assignment, engine=warm_engine)
@@ -101,11 +94,12 @@ def test_repeated_proof_cache(benchmark, snark_ctx):
             benchmark, lambda: prove(keys.pk, assignment, engine=warm_engine)
         )
         warm_times.append(time.perf_counter() - t0)
-    finally:
-        Domain.coset_fft = plain_coset_fft
+        live_ffts = telemetry.counter("engine.ntt.calls", kind="coset_fft").value
+        coset_hits = telemetry.counter("engine.cache.hits", cache="coset_eval").value
     assert verify(keys.vk, assignment.public_inputs, second)
     warm = min(warm_times)
-    ffts_per_proof = calls["coset_fft"] / 3.0
+    ffts_per_proof = live_ffts / 3.0
+    hits_per_proof = coset_hits / 3.0
 
     cache_reduction = 100.0 * (1.0 - warm / cold)
     vs_seed = 100.0 * (1.0 - warm / SEED_WARM_PROOF_S)
@@ -119,12 +113,16 @@ def test_repeated_proof_cache(benchmark, snark_ctx):
             ["warm vs cold", "%.1f%%" % cache_reduction, "engine caching"],
             ["warm vs seed", "%.1f%%" % vs_seed, "target >= 25% (recorded)"],
             ["coset FFTs per warm proof", "%.0f" % ffts_per_proof, "6 live of 15 total"],
+            ["coset cache hits per proof", "%.0f" % hits_per_proof, "9 per-key-fixed"],
         ],
     )
     # 6 live polys (a, b, c, z, z*omega, PI) re-run per proof; the 9
     # per-key-fixed ones (selectors, sigmas, L1) must all be cache hits.
     assert ffts_per_proof == 6, (
         "expected 6 coset FFTs per warm proof, measured %.1f" % ffts_per_proof
+    )
+    assert hits_per_proof == 9, (
+        "expected 9 coset-eval cache hits per warm proof, measured %.1f" % hits_per_proof
     )
 
 

@@ -7,17 +7,27 @@ come from the cost model calibrated on the measured points.
 
 Each table is also written as machine-readable JSON (``BENCH_<slug>.json``
 under ``REPRO_BENCH_DIR``, default ``benchmarks/results/``) so CI runs and
-regression tooling can diff numbers without scraping stdout.
+regression tooling can diff numbers without scraping stdout.  Every
+payload is stamped with a schema version, a UTC timestamp, the git
+revision and the active backend/telemetry level, and — when
+``REPRO_TELEMETRY`` is at least ``metrics`` — a snapshot of the telemetry
+registry, so a result file records the kernel counters that produced it.
 """
 
+import datetime
 import json
 import os
 import re
+import subprocess
 import time
 
 import pytest
 
+from repro import telemetry
 from repro.core.snark import SnarkContext
+
+#: Bump when the BENCH json payload shape changes incompatibly.
+BENCH_SCHEMA_VERSION = 2
 
 #: Large enough for circuits up to n = 32768 (the 4-point logistic-
 #: regression predicate pads to that size).
@@ -38,6 +48,22 @@ def _slugify(title: str) -> str:
     return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
 
 
+def _git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
 def _emit_json(title: str, headers: list, rows: list) -> None:
     out_dir = os.environ.get(
         "REPRO_BENCH_DIR",
@@ -45,12 +71,18 @@ def _emit_json(title: str, headers: list, rows: list) -> None:
     )
     os.makedirs(out_dir, exist_ok=True)
     payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
         "title": title,
         "headers": [str(h) for h in headers],
         "rows": [[c for c in row] for row in rows],
         "unix_time": time.time(),
+        "utc_time": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "git_revision": _git_revision(),
         "backend": os.environ.get("REPRO_BACKEND", "serial"),
+        "telemetry_level": telemetry.level_name(),
     }
+    if telemetry.metrics_enabled():
+        payload["telemetry"] = telemetry.snapshot()
     path = os.path.join(out_dir, "BENCH_%s.json" % _slugify(title))
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=str)

@@ -14,21 +14,29 @@ repeated work across proofs:
 - **fixed-base windowed tables** for the G1/G2 generators (and any other
   repeated base), used by SRS generation and Groth16 setup;
 - **coset-evaluation cache**: an LRU of coset-NTT outputs for polynomials
-  that are fixed per proving key (Plonk selectors and permutation
-  columns), so the second proof onward skips 8 of the prover's 15 big
-  FFTs.
+  that are fixed per proving key (Plonk selectors, permutation columns
+  and the first Lagrange basis polynomial — 9 polynomials in all), so
+  the second proof onward skips 9 of the prover's 15 big FFTs.  (The
+  telemetry counters are the source of truth for that number:
+  ``tests/test_telemetry.py`` asserts 9 ``coset_eval`` cache hits and 6
+  live coset FFTs per warm proof.)
 
 Protocol code never touches raw kernels directly: it asks its engine.
 The base class implements every kernel serially; subclasses override the
-batch entry points (:meth:`ntt_batch`, :meth:`msm_jac`, ...) to change
-the execution strategy.  See :class:`repro.backend.parallel.ParallelEngine`
-for the multiprocessing implementation.
+internal batch entry points (:meth:`_ntt_batch`, :meth:`_msm_jac`, ...)
+to change the execution strategy — the public methods are thin dispatch
+wrappers that record telemetry (call counts, input sizes, cache hit/miss
+outcomes) when ``REPRO_TELEMETRY`` enables it, so every backend reports
+identical metrics for identical work.  See
+:class:`repro.backend.parallel.ParallelEngine` for the multiprocessing
+implementation.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import telemetry as _tel
 from repro.errors import BackendError
 from repro.curve.g1 import (
     G1,
@@ -55,6 +63,17 @@ _SCALAR_BITS = 254
 #: table construction costs ~2.7k additions, each multiplication then
 #: costs at most 43 mixed additions (vs ~380 ops for double-and-add).
 _FB_WINDOW = 6
+
+
+def _record_ntt(kind: str, n: int) -> None:
+    """Count one NTT kernel invocation of size ``n`` (metrics level)."""
+    _tel.counter("engine.ntt.calls", kind=kind).inc()
+    _tel.histogram("engine.ntt.size", kind=kind).observe(n)
+
+
+def _record_cache(cache: str, hit: bool) -> None:
+    """Count one lookup outcome for one of the engine caches."""
+    _tel.counter("engine.cache.hits" if hit else "engine.cache.misses", cache=cache).inc()
 
 
 def apply_ntt_job(job: tuple) -> list[int]:
@@ -144,26 +163,43 @@ class Engine:
 
     def ntt(self, coeffs: list[int], n: int) -> list[int]:
         """Evaluate ``coeffs`` over the size-``n`` domain."""
+        if _tel.metrics_enabled():
+            _record_ntt("fft", n)
         return Domain.get(n).fft(coeffs)
 
     def intt(self, evals: list[int]) -> list[int]:
         """Interpolate coefficients from evaluations (n = len(evals))."""
+        if _tel.metrics_enabled():
+            _record_ntt("ifft", len(evals))
         return Domain.get(len(evals)).ifft(evals)
 
     def coset_ntt(self, coeffs: list[int], n: int, shift: int = COSET_SHIFT) -> list[int]:
         """Evaluate ``coeffs`` over the coset ``shift * H`` of size ``n``."""
+        if _tel.metrics_enabled():
+            _record_ntt("coset_fft", n)
         return Domain.get(n).coset_fft(coeffs, shift)
 
     def coset_intt(self, evals: list[int], shift: int = COSET_SHIFT) -> list[int]:
         """Interpolate from coset evaluations (n = len(evals))."""
+        if _tel.metrics_enabled():
+            _record_ntt("coset_ifft", len(evals))
         return Domain.get(len(evals)).coset_ifft(evals, shift)
 
     def ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
         """Run many independent NTT jobs ``(kind, n, values, shift)``.
 
         The serial engine loops; parallel engines fan jobs out to
-        workers.  Job order is preserved in the result list.
+        workers.  Job order is preserved in the result list.  Jobs are
+        recorded at this dispatch site — in the parent process — so
+        metric totals are identical whether the transforms then run
+        in-process or on pool workers.
         """
+        if _tel.metrics_enabled():
+            for kind, n, _, _ in jobs:
+                _record_ntt(kind, n)
+        return self._ntt_batch(jobs)
+
+    def _ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
         return [apply_ntt_job(job) for job in jobs]
 
     # -------------------------------------------------------------- caching
@@ -193,7 +229,11 @@ class Engine:
         """
         key = ("coset", id(owner), tag, n, shift)
         cached = self._eval_cache_get(key, owner)
+        if _tel.metrics_enabled():
+            _record_cache("coset_eval", cached is not None)
         if cached is None:
+            if _tel.metrics_enabled():
+                _record_ntt("coset_fft", n)  # the miss runs a real kernel
             cached = Domain.get(n).coset_fft(list(coeffs), shift)
             self._eval_cache_put(key, owner, cached)
         return cached
@@ -202,6 +242,8 @@ class Engine:
         """The coset ``[shift * omega**i]`` of the size-``n`` domain, cached."""
         key = ("coset_points", n, shift)
         cached = self._eval_cache_get(key, None)
+        if _tel.metrics_enabled():
+            _record_cache("coset_points", cached is not None)
         if cached is None:
             cached = [shift * w % _R for w in Domain.get(n).elements]
             self._eval_cache_put(key, None, cached)
@@ -216,7 +258,11 @@ class Engine:
         key = id(srs)
         hit = self._srs_jac.get(key)
         if hit is not None and hit[0] is srs:
+            if _tel.metrics_enabled():
+                _record_cache("srs_jacobian", True)
             return hit[1]
+        if _tel.metrics_enabled():
+            _record_cache("srs_jacobian", False)
         jac = tuple(p.to_jacobian() for p in srs.g1_powers)
         self._srs_jac[key] = (srs, jac)
         return jac
@@ -225,10 +271,22 @@ class Engine:
 
     def msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         """MSM over G1 Jacobian tuples; returns a Jacobian tuple."""
+        if _tel.metrics_enabled():
+            _tel.counter("engine.msm.calls", group="g1").inc()
+            _tel.histogram("engine.msm.points", group="g1").observe(len(points))
+        return self._msm_jac(points, scalars)
+
+    def _msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         return msm_jacobian(points, scalars)
 
     def msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         """MSM over G2 Jacobian tuples; returns a Jacobian tuple."""
+        if _tel.metrics_enabled():
+            _tel.counter("engine.msm.calls", group="g2").inc()
+            _tel.histogram("engine.msm.points", group="g2").observe(len(points))
+        return self._msm_jac_g2(points, scalars)
+
+    def _msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         return msm_g2_jacobian(points, scalars)
 
     def msm_g1(self, points: list[G1], scalars: list[int]) -> G1:
@@ -247,6 +305,8 @@ class Engine:
         if isinstance(base, G1):
             key = ("g1", base.x, base.y)
             table = self._fb_tables.get(key)
+            if _tel.metrics_enabled():
+                _record_cache("fixed_base", table is not None)
             if table is None:
                 table = _FixedBaseTable(
                     base.to_jacobian(), jac_add, jac_double, jac_batch_normalize, JAC_INF
@@ -256,6 +316,8 @@ class Engine:
         if isinstance(base, G2):
             key = ("g2", base.x, base.y)
             table = self._fb_tables.get(key)
+            if _tel.metrics_enabled():
+                _record_cache("fixed_base", table is not None)
             if table is None:
                 table = _FixedBaseTable(
                     base.to_jacobian(), jac2_add, jac2_double, jac2_batch_normalize, JAC2_INF
@@ -270,6 +332,10 @@ class Engine:
         Callers doing many multiples of the same base should use this and
         batch-convert to affine at the end.
         """
+        if _tel.metrics_enabled():
+            _tel.counter(
+                "engine.fixed_base.calls", group="g1" if isinstance(base, G1) else "g2"
+            ).inc()
         k = int(scalar) % _R
         if k == 0 or getattr(base, "inf", False):
             return JAC_INF if isinstance(base, G1) else JAC2_INF
@@ -286,6 +352,12 @@ class Engine:
 
     def batch_inverse(self, values: list[int]) -> list[int]:
         """Invert many scalar-field elements (Montgomery's trick)."""
+        if _tel.metrics_enabled():
+            _tel.counter("engine.batch_inverse.calls").inc()
+            _tel.histogram("engine.batch_inverse.size").observe(len(values))
+        return self._batch_inverse(values)
+
+    def _batch_inverse(self, values: list[int]) -> list[int]:
         return _fr_batch_inverse(values)
 
     # ------------------------------------------------------------ lifecycle

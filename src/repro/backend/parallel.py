@@ -21,6 +21,13 @@ Small inputs fall back to the serial kernels (fork/pickle overhead would
 swamp the win); the thresholds are constructor arguments so tests can
 force the parallel paths.  All outputs are bit-identical to
 :class:`~repro.backend.serial.SerialEngine` by construction.
+
+The overrides are the internal ``_ntt_batch`` / ``_msm_jac`` /
+``_msm_jac_g2`` / ``_batch_inverse`` dispatch targets — telemetry is
+recorded by the public wrappers in the base class, in this (parent)
+process, so a parallel run reports exactly the same kernel metrics as a
+serial run of the same workload.  (Worker-local state such as the
+per-process NTT-plan cache is invisible to the parent's counters.)
 """
 
 from __future__ import annotations
@@ -121,13 +128,13 @@ class ParallelEngine(Engine):
     def _use_pool(self, n_items: int, threshold: int) -> bool:
         return self.workers > 1 and n_items >= threshold
 
-    def ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
+    def _ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
         big_jobs = sum(1 for job in jobs if job[1] >= self.min_ntt_size)
         if not self._use_pool(big_jobs, self.min_ntt_jobs):
             return [apply_ntt_job(job) for job in jobs]
         return self._get_pool().map(apply_ntt_job, jobs)
 
-    def msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
+    def _msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         if not self._use_pool(len(points), self.min_msm_points):
             return msm_jacobian(points, scalars)
         chunks = list(
@@ -139,7 +146,7 @@ class ParallelEngine(Engine):
             result = jac_add(result, part)
         return result
 
-    def msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
+    def _msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         if not self._use_pool(len(points), self.min_msm_points):
             return msm_g2_jacobian(points, scalars)
         chunks = list(
@@ -151,7 +158,7 @@ class ParallelEngine(Engine):
             result = jac2_add(result, part)
         return result
 
-    def batch_inverse(self, values: list[int]) -> list[int]:
+    def _batch_inverse(self, values: list[int]) -> list[int]:
         if not self._use_pool(len(values), self.min_inverse_size):
             return _fr_batch_inverse(values)
         # Surface the zero-element error with its *global* index before

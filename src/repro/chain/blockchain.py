@@ -68,6 +68,22 @@ class TransactionReceipt:
     error: str | None = None
     block_number: int | None = None
 
+    def span_attrs(self, prefix: str = "tx") -> dict:
+        """This receipt as flat span attributes (gas, status, event names).
+
+        The telemetry layer attaches these to protocol-step spans so a
+        trace carries the matching on-chain evidence for every step.
+        """
+        attrs = {
+            prefix + ".method": self.method,
+            prefix + ".gas": self.gas_used,
+            prefix + ".status": self.status,
+            prefix + ".events": [e.name for e in self.events],
+        }
+        if self.error:
+            attrs[prefix + ".error"] = self.error
+        return attrs
+
 
 @dataclass(frozen=True)
 class Block:
@@ -226,12 +242,40 @@ class Blockchain:
 
     def events(self, name: str | None = None, address: str | None = None) -> list[Event]:
         """All events across successful transactions, optionally filtered."""
+        return self.query_events(name=name, address=address)
+
+    def query_events(
+        self,
+        name: str | None = None,
+        address: str | None = None,
+        where=None,
+        **fields,
+    ) -> list[Event]:
+        """Filter the event log without hand-rolled receipt scans.
+
+        Combines (AND semantics) any of: event ``name``, emitting contract
+        ``address`` (a hex string or a deployed :class:`Contract`), exact
+        ``field=value`` matches on event fields, and an arbitrary
+        ``where(event) -> bool`` predicate for anything richer::
+
+            chain.query_events("Transfer", token_id=3)
+            chain.query_events("Locked", address=arbiter, where=lambda e: e.get("amount") > 10**6)
+
+        Events are returned in emission order across all successful
+        transactions (reverted transactions log nothing).
+        """
+        if address is not None and not isinstance(address, str):
+            address = address.address  # a deployed Contract instance
         out = []
         for receipt in self.receipts:
             for event in receipt.events:
                 if name is not None and event.name != name:
                     continue
                 if address is not None and event.address != address:
+                    continue
+                if fields and any(event.get(k) != v for k, v in fields.items()):
+                    continue
+                if where is not None and not where(event):
                     continue
                 out.append(event)
         return out

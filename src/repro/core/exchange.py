@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import ProtocolError
 from repro.field.fr import MODULUS as R, rand_fr
 from repro.gadgets.poseidon import assert_commitment_opens, poseidon_hash_gadget
@@ -158,24 +159,49 @@ class KeySecureExchange:
         tamper_k_v: bool = False,
     ) -> ExchangeResult:
         """Execute both phases; the tamper flags inject malicious behaviour
-        (used by the fairness tests and the security benchmarks)."""
+        (used by the fairness tests and the security benchmarks).
+
+        Under ``REPRO_TELEMETRY=trace`` the run emits an ``exchange.run``
+        span with one child per protocol step — prove/verify (phase 1),
+        commit (payment lock), prove/reveal (phase 2 key submission) and
+        settle — each chain step carrying its transaction's gas and
+        emitted event names as attributes.
+        """
+        with telemetry.span("exchange.run", price=price) as root:
+            result = self._run_steps(
+                seller, buyer, price, predicate, tamper_k_c, tamper_k_v
+            )
+            root.set_attrs(
+                success=result.success, reason=result.reason, gas_total=result.gas_used
+            )
+            return result
+
+    def _run_steps(
+        self, seller, buyer, price, predicate, tamper_k_c, tamper_k_v
+    ) -> ExchangeResult:
         gas = 0
         # ----- Phase 1: data validation ---------------------------------
-        c_d, pi_p = seller.data_validation_message(predicate=predicate)
-        if not buyer.verify_data(c_d, pi_p, predicate=predicate):
+        with telemetry.span("exchange.prove", phase=1, proof="pi_p"):
+            c_d, pi_p = seller.data_validation_message(predicate=predicate)
+        with telemetry.span("exchange.verify", phase=1, proof="pi_p") as sp:
+            ok = buyer.verify_data(c_d, pi_p, predicate=predicate)
+            sp.set_attr("ok", ok)
+        if not ok:
             return ExchangeResult(False, None, "pi_p rejected by buyer", gas)
         k_v, h_v = buyer.choose_verification_key()
         if tamper_k_v:
             k_v = (k_v + 1) % R  # buyer lies to the seller off-chain
-        receipt = self.chain.transact(
-            buyer.address,
-            self.arbiter,
-            "lock_payment",
-            seller.address,
-            seller.asset.key_commitment.value,
-            h_v,
-            value=price,
-        )
+        with telemetry.span("exchange.commit", phase=1) as sp:
+            receipt = self.chain.transact(
+                buyer.address,
+                self.arbiter,
+                "lock_payment",
+                seller.address,
+                seller.asset.key_commitment.value,
+                h_v,
+                value=price,
+            )
+            sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         if not receipt.status:
             return ExchangeResult(False, None, "payment lock failed", gas)
@@ -185,21 +211,24 @@ class KeySecureExchange:
         info = self.chain.call_view(self.arbiter, "exchange_info", exchange_id)
         h_v_on_chain = info[3]
         try:
-            k_c, pi_k = seller.key_negotiation_message(k_v, h_v_on_chain)
+            with telemetry.span("exchange.prove", phase=2, proof="pi_k"):
+                k_c, pi_k = seller.key_negotiation_message(k_v, h_v_on_chain)
         except ProtocolError as exc:
             refund = self.chain.transact(buyer.address, self.arbiter, "refund", exchange_id)
             gas += refund.gas_used
             return ExchangeResult(False, None, str(exc), gas, exchange_id)
         if tamper_k_c:
             k_c = (k_c + 1) % R
-        receipt = self.chain.transact(
-            seller.address,
-            self.arbiter,
-            "submit_key",
-            exchange_id,
-            k_c,
-            pi_k.to_bytes(),
-        )
+        with telemetry.span("exchange.reveal", phase=2) as sp:
+            receipt = self.chain.transact(
+                seller.address,
+                self.arbiter,
+                "submit_key",
+                exchange_id,
+                k_c,
+                pi_k.to_bytes(),
+            )
+            sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         if not receipt.status:
             refund = self.chain.transact(buyer.address, self.arbiter, "refund", exchange_id)
@@ -208,6 +237,7 @@ class KeySecureExchange:
                 False, None, "pi_k rejected on chain: %s" % receipt.error, gas, exchange_id
             )
 
-        masked = self.chain.call_view(self.arbiter, "masked_key", exchange_id)
-        plaintext = buyer.recover_plaintext(masked)
+        with telemetry.span("exchange.settle", phase=2):
+            masked = self.chain.call_view(self.arbiter, "masked_key", exchange_id)
+            plaintext = buyer.recover_plaintext(masked)
         return ExchangeResult(True, plaintext, "ok", gas, exchange_id)

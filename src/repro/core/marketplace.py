@@ -12,6 +12,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import ProtocolError
 from repro.chain import Blockchain
 from repro.contracts import (
@@ -110,24 +111,30 @@ class ZKDETMarketplace:
         The paper's Section III-A flow: encrypt D, upload D_hat, treat the
         URI as the ciphertext commitment, and mint the NFT credential.
         """
-        asset = DataAsset.create(plaintext)
-        asset.publish(self.storage, owner=owner)
-        pi_e = prove_encryption(self.snark, asset)
-        if not verify_encryption(self.snark, asset.public_view(), pi_e):
-            raise ProtocolError("freshly generated pi_e failed verification")
-        receipt = self.chain.transact(
-            owner,
-            self.token,
-            "mint",
-            asset.uri,
-            asset.data_commitment.value,
-            _proof_hash(pi_e.proof),
-        )
-        if not receipt.status:
-            raise ProtocolError("mint failed: %s" % receipt.error)
-        token_id = receipt.return_value
-        self._pi_e_registry[token_id] = pi_e
-        return PublishedAsset(asset, token_id, pi_e)
+        with telemetry.span("marketplace.publish", entries=len(plaintext)) as root:
+            asset = DataAsset.create(plaintext)
+            asset.publish(self.storage, owner=owner)
+            with telemetry.span("publish.prove", proof="pi_e"):
+                pi_e = prove_encryption(self.snark, asset)
+            with telemetry.span("publish.verify", proof="pi_e"):
+                if not verify_encryption(self.snark, asset.public_view(), pi_e):
+                    raise ProtocolError("freshly generated pi_e failed verification")
+            with telemetry.span("publish.mint") as sp:
+                receipt = self.chain.transact(
+                    owner,
+                    self.token,
+                    "mint",
+                    asset.uri,
+                    asset.data_commitment.value,
+                    _proof_hash(pi_e.proof),
+                )
+                sp.set_attrs(receipt.span_attrs())
+            if not receipt.status:
+                raise ProtocolError("mint failed: %s" % receipt.error)
+            token_id = receipt.return_value
+            root.set_attr("token_id", token_id)
+            self._pi_e_registry[token_id] = pi_e
+            return PublishedAsset(asset, token_id, pi_e)
 
     def transform(
         self,
@@ -139,20 +146,29 @@ class ZKDETMarketplace:
         prove their pi_e, and mint derived tokens with prevIds lineage."""
         if not sources:
             raise ProtocolError("transformation needs source assets")
-        derived_assets, pi_t = prove_transformation(
-            self.snark, [p.asset for p in sources], transformation
-        )
-        if not verify_transformation(self.snark, transformation, pi_t):
-            raise ProtocolError("freshly generated pi_t failed verification")
+        with telemetry.span(
+            "marketplace.transform", kind=transformation.name, sources=len(sources)
+        ) as root:
+            return self._transform_steps(owner, sources, transformation, root)
+
+    def _transform_steps(self, owner, sources, transformation, root):
+        with telemetry.span("transform.prove", proof="pi_t"):
+            derived_assets, pi_t = prove_transformation(
+                self.snark, [p.asset for p in sources], transformation
+            )
+        with telemetry.span("transform.verify", proof="pi_t"):
+            if not verify_transformation(self.snark, transformation, pi_t):
+                raise ProtocolError("freshly generated pi_t failed verification")
         proof_hash = _proof_hash(pi_t.proof)
         source_ids = tuple(p.token_id for p in sources)
 
         published = []
         pending = []
-        for d in derived_assets:
-            d.publish(self.storage, owner=owner)
-            pi_e = prove_encryption(self.snark, d)
-            pending.append((d, pi_e))
+        with telemetry.span("transform.publish_derived", count=len(derived_assets)):
+            for d in derived_assets:
+                d.publish(self.storage, owner=owner)
+                pi_e = prove_encryption(self.snark, d)
+                pending.append((d, pi_e))
 
         name = transformation.name
         if name == "aggregation":
@@ -182,8 +198,10 @@ class ZKDETMarketplace:
                 d.data_commitment.value, proof_hash,
             )
             token_ids = [receipt.return_value] if receipt.status else []
+        root.set_attrs(receipt.span_attrs("mint"))
         if not receipt.status:
             raise ProtocolError("on-chain transformation failed: %s" % receipt.error)
+        root.set_attr("token_ids", token_ids)
 
         for (d, pi_e), tid in zip(pending, token_ids):
             self._pi_e_registry[tid] = pi_e
@@ -204,18 +222,24 @@ class ZKDETMarketplace:
     ) -> ExchangeResult:
         """Run the key-secure exchange for a published asset, then move the
         token to the buyer on success."""
-        seller = Seller(self.snark, listing.asset, seller_address)
-        buyer = Buyer(self.snark, listing.asset.public_view(), buyer_address)
-        protocol = KeySecureExchange(self.snark, self.chain, self.arbiter)
-        result = protocol.run(seller, buyer, price, predicate=predicate, **tamper)
-        if result.success:
-            receipt = self.chain.transact(
-                seller_address, self.token, "transfer_from",
-                seller_address, buyer_address, listing.token_id,
-            )
-            if not receipt.status:
-                raise ProtocolError("token transfer failed: %s" % receipt.error)
-        return result
+        with telemetry.span(
+            "marketplace.sell", token_id=listing.token_id, price=price
+        ) as root:
+            seller = Seller(self.snark, listing.asset, seller_address)
+            buyer = Buyer(self.snark, listing.asset.public_view(), buyer_address)
+            protocol = KeySecureExchange(self.snark, self.chain, self.arbiter)
+            result = protocol.run(seller, buyer, price, predicate=predicate, **tamper)
+            root.set_attrs(success=result.success, gas_total=result.gas_used)
+            if result.success:
+                with telemetry.span("sell.transfer_token") as sp:
+                    receipt = self.chain.transact(
+                        seller_address, self.token, "transfer_from",
+                        seller_address, buyer_address, listing.token_id,
+                    )
+                    sp.set_attrs(receipt.span_attrs())
+                if not receipt.status:
+                    raise ProtocolError("token transfer failed: %s" % receipt.error)
+            return result
 
     # ----- traceability -----------------------------------------------------------------
 
@@ -238,6 +262,12 @@ class ZKDETMarketplace:
         Uses only public information: chain state, the storage network,
         and the published proof registries.
         """
+        with telemetry.span("marketplace.audit", token_id=token_id) as root:
+            report = self._audit_steps(token_id)
+            root.set_attrs(ok=report.ok, checks=len(report.checks))
+            return report
+
+    def _audit_steps(self, token_id: int) -> AuditReport:
         checks = []
         commitment = self.chain.call_view(self.token, "commitment_of", token_id)
         checks.append(("token exists on chain", commitment is not None))

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.gadgets.mimc import assert_ctr_encryption
 from repro.gadgets.poseidon import poseidon_hash_gadget
 from repro.groth16 import groth16_prove, groth16_setup, groth16_verify
@@ -87,38 +88,58 @@ class ZKCPExchange:
         predicate=None,
         tamper_key: bool = False,
     ) -> ZKCPResult:
+        with telemetry.span("zkcp.run", price=price) as root:
+            result = self._run_steps(
+                seller_address, buyer_address, asset, price, predicate, tamper_key
+            )
+            root.set_attrs(
+                success=result.success, reason=result.reason, gas_total=result.gas_used
+            )
+            return result
+
+    def _run_steps(
+        self, seller_address, buyer_address, asset, price, predicate, tamper_key
+    ) -> ZKCPResult:
         gas = 0
         view = asset.public_view()
         key_hash = field_hash(asset.key)
 
         # ----- Deliver: seller proves and sends (h, pi_p) ----------------
-        builder = R1CSBuilder()
-        build_zkcp_circuit(
-            builder,
-            list(asset.ciphertext.blocks),
-            asset.ciphertext.nonce,
-            key_hash,
-            asset.plaintext,
-            asset.key,
-            predicate=predicate,
-        )
-        system, witness = builder.compile()
-        pk, vk = self._keys_for(len(asset.plaintext), predicate)
-        proof = groth16_prove(pk, witness)
+        with telemetry.span("zkcp.prove", step="deliver"):
+            builder = R1CSBuilder()
+            build_zkcp_circuit(
+                builder,
+                list(asset.ciphertext.blocks),
+                asset.ciphertext.nonce,
+                key_hash,
+                asset.plaintext,
+                asset.key,
+                predicate=predicate,
+            )
+            system, witness = builder.compile()
+            pk, vk = self._keys_for(len(asset.plaintext), predicate)
+            proof = groth16_prove(pk, witness)
 
         # ----- Verify: buyer checks pi_p, locks payment against h --------
         publics = list(asset.ciphertext.blocks) + [asset.ciphertext.nonce, key_hash]
-        if not groth16_verify(vk, publics, proof):
+        with telemetry.span("zkcp.verify", step="verify") as sp:
+            ok = groth16_verify(vk, publics, proof)
+            sp.set_attr("ok", ok)
+        if not ok:
             return ZKCPResult(False, None, "pi_p rejected by buyer", gas)
-        receipt = self.chain.transact(
-            buyer_address, self.arbiter, "lock", seller_address, key_hash, value=price
-        )
+        with telemetry.span("zkcp.commit", step="lock") as sp:
+            receipt = self.chain.transact(
+                buyer_address, self.arbiter, "lock", seller_address, key_hash, value=price
+            )
+            sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         deal_id = receipt.return_value
 
         # ----- Open: seller discloses k ON CHAIN --------------------------
         key = (asset.key + 1) if tamper_key else asset.key
-        receipt = self.chain.transact(seller_address, self.arbiter, "open", deal_id, key)
+        with telemetry.span("zkcp.reveal", step="open") as sp:
+            receipt = self.chain.transact(seller_address, self.arbiter, "open", deal_id, key)
+            sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         if not receipt.status:
             refund = self.chain.transact(buyer_address, self.arbiter, "refund", deal_id)
@@ -126,6 +147,7 @@ class ZKCPExchange:
             return ZKCPResult(False, None, "open rejected: %s" % receipt.error, gas)
 
         # ----- Finalize: buyer decrypts — but so can anyone ---------------
-        revealed = self.chain.call_view(self.arbiter, "revealed_key", deal_id)
-        plaintext = mimc_decrypt_ctr(revealed, view.ciphertext)
+        with telemetry.span("zkcp.settle", step="finalize"):
+            revealed = self.chain.call_view(self.arbiter, "revealed_key", deal_id)
+            plaintext = mimc_decrypt_ctr(revealed, view.ciphertext)
         return ZKCPResult(True, plaintext, "ok", gas, leaked_key=revealed)

@@ -8,6 +8,7 @@ bundles a subgroup with its precomputed twiddle factors.
 
 from __future__ import annotations
 
+from repro import telemetry as _tel
 from repro.errors import FieldError
 from repro.field.fr import MODULUS, batch_inverse, inv, root_of_unity
 
@@ -89,6 +90,11 @@ class Domain:
     def get(cls, n: int) -> "Domain":
         """Return a cached domain of size ``n`` (domains are immutable)."""
         dom = cls._cache.get(n)
+        if _tel.metrics_enabled():
+            _tel.counter(
+                "engine.cache.hits" if dom is not None else "engine.cache.misses",
+                cache="ntt_plan",
+            ).inc()
         if dom is None:
             dom = cls(n)
             cls._cache[n] = dom

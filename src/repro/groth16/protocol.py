@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import ProofError
 from repro.backend import get_engine
 from repro.curve.g1 import G1
@@ -80,49 +81,53 @@ def groth16_setup(
     conversion instead of per-point double-and-add.
     """
     engine = engine or get_engine()
-    qap = QAP.from_r1cs(system)
-    tau, alpha, beta, gamma, delta = (rand_fr() for _ in range(5))
-    while tau == 0 or pow(tau, qap.m, R) == 1:
-        tau = rand_fr()
-    gamma_inv, delta_inv = inv(gamma), inv(delta)
+    with telemetry.span("groth16.setup", constraints=system.num_constraints):
+        with telemetry.span("qap"):
+            qap = QAP.from_r1cs(system)
+            tau, alpha, beta, gamma, delta = (rand_fr() for _ in range(5))
+            while tau == 0 or pow(tau, qap.m, R) == 1:
+                tau = rand_fr()
+            gamma_inv, delta_inv = inv(gamma), inv(delta)
 
-    u_at, v_at, w_at = qap.evaluations_at(tau, engine=engine)
+            u_at, v_at, w_at = qap.evaluations_at(tau, engine=engine)
 
-    ell = qap.num_public
-    ic_coeffs = [
-        (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * gamma_inv % R
-        for j in range(ell + 1)
-    ]
-    l_coeffs = [
-        (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * delta_inv % R
-        for j in range(ell + 1, qap.num_variables)
-    ]
-    z_tau = (pow(tau, qap.m, R) - 1) % R
-    h_coeffs = []
-    acc = z_tau * delta_inv % R
-    for _ in range(qap.m - 1):
-        h_coeffs.append(acc)
-        acc = acc * tau % R
+            ell = qap.num_public
+            ic_coeffs = [
+                (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * gamma_inv % R
+                for j in range(ell + 1)
+            ]
+            l_coeffs = [
+                (beta * u_at[j] + alpha * v_at[j] + w_at[j]) % R * delta_inv % R
+                for j in range(ell + 1, qap.num_variables)
+            ]
+            z_tau = (pow(tau, qap.m, R) - 1) % R
+            h_coeffs = []
+            acc = z_tau * delta_inv % R
+            for _ in range(qap.m - 1):
+                h_coeffs.append(acc)
+                acc = acc * tau % R
 
-    g1_points = _g1_fixed_base_batch(
-        engine,
-        [alpha, beta, delta] + ic_coeffs + l_coeffs + h_coeffs + u_at + v_at,
-    )
-    alpha_g1, beta_g1, delta_g1 = g1_points[0], g1_points[1], g1_points[2]
-    pos = 3
-    ic = g1_points[pos : pos + len(ic_coeffs)]
-    pos += len(ic_coeffs)
-    l_query = g1_points[pos : pos + len(l_coeffs)]
-    pos += len(l_coeffs)
-    h_query = g1_points[pos : pos + len(h_coeffs)]
-    pos += len(h_coeffs)
-    a_query = g1_points[pos : pos + len(u_at)]
-    pos += len(u_at)
-    b_g1_query = g1_points[pos:]
+        with telemetry.span("g1_queries"):
+            g1_points = _g1_fixed_base_batch(
+                engine,
+                [alpha, beta, delta] + ic_coeffs + l_coeffs + h_coeffs + u_at + v_at,
+            )
+            alpha_g1, beta_g1, delta_g1 = g1_points[0], g1_points[1], g1_points[2]
+            pos = 3
+            ic = g1_points[pos : pos + len(ic_coeffs)]
+            pos += len(ic_coeffs)
+            l_query = g1_points[pos : pos + len(l_coeffs)]
+            pos += len(l_coeffs)
+            h_query = g1_points[pos : pos + len(h_coeffs)]
+            pos += len(h_coeffs)
+            a_query = g1_points[pos : pos + len(u_at)]
+            pos += len(u_at)
+            b_g1_query = g1_points[pos:]
 
-    g2_points = _g2_fixed_base_batch(engine, [beta, gamma, delta] + v_at)
-    beta_g2, gamma_g2, delta_g2 = g2_points[0], g2_points[1], g2_points[2]
-    b_g2_query = g2_points[3:]
+        with telemetry.span("g2_queries"):
+            g2_points = _g2_fixed_base_batch(engine, [beta, gamma, delta] + v_at)
+            beta_g2, gamma_g2, delta_g2 = g2_points[0], g2_points[1], g2_points[2]
+            b_g2_query = g2_points[3:]
 
     vk = Groth16VerifyingKey(
         alpha_g1=alpha_g1,
@@ -156,26 +161,31 @@ def groth16_prove(
     values = [v % R for v in witness.values]
     if len(values) != pk.qap.num_variables:
         raise ProofError("witness does not match the proving key's QAP")
-    h = pk.qap.quotient(values, engine=engine)  # raises CircuitError when unsatisfied
-    r, s = rand_fr(), rand_fr()
-    ell = pk.qap.num_public
+    with telemetry.span(
+        "groth16.prove", variables=pk.qap.num_variables, backend=engine.name
+    ):
+        with telemetry.span("quotient"):
+            h = pk.qap.quotient(values, engine=engine)  # raises when unsatisfied
+        r, s = rand_fr(), rand_fr()
+        ell = pk.qap.num_public
 
-    a_acc = engine.msm_g1(list(pk.a_query), values)
-    proof_a = pk.alpha_g1 + a_acc + pk.delta_g1 * r
+        with telemetry.span("msm"):
+            a_acc = engine.msm_g1(list(pk.a_query), values)
+            proof_a = pk.alpha_g1 + a_acc + pk.delta_g1 * r
 
-    b_g2_acc = engine.msm_g2(list(pk.b_g2_query), values)
-    proof_b = pk.beta_g2 + b_g2_acc + pk.delta_g2 * s
+            b_g2_acc = engine.msm_g2(list(pk.b_g2_query), values)
+            proof_b = pk.beta_g2 + b_g2_acc + pk.delta_g2 * s
 
-    b_g1_acc = engine.msm_g1(list(pk.b_g1_query), values)
-    b_g1_full = pk.beta_g1 + b_g1_acc + pk.delta_g1 * s
+            b_g1_acc = engine.msm_g1(list(pk.b_g1_query), values)
+            b_g1_full = pk.beta_g1 + b_g1_acc + pk.delta_g1 * s
 
-    c_acc = engine.msm_g1(list(pk.l_query), values[ell + 1 :])
-    if h:
-        c_acc = c_acc + engine.msm_g1(list(pk.h_query[: len(h)]), h)
-    proof_c = (
-        c_acc + proof_a * s + b_g1_full * r - pk.delta_g1 * (r * s % R)
-    )
-    return Groth16Proof(proof_a, proof_b, proof_c)
+            c_acc = engine.msm_g1(list(pk.l_query), values[ell + 1 :])
+            if h:
+                c_acc = c_acc + engine.msm_g1(list(pk.h_query[: len(h)]), h)
+            proof_c = (
+                c_acc + proof_a * s + b_g1_full * r - pk.delta_g1 * (r * s % R)
+            )
+        return Groth16Proof(proof_a, proof_b, proof_c)
 
 
 def groth16_verify(
@@ -190,17 +200,22 @@ def groth16_verify(
     cost the paper contrasts against Plonk's input-independent verifier.
     """
     engine = engine or get_engine()
-    if len(public_inputs) != len(vk.ic) - 1:
-        return False
-    vk_x = vk.ic[0] + engine.msm_g1(list(vk.ic[1:]), [w % R for w in public_inputs])
-    return pairing_check(
-        [
-            (proof.a, proof.b),
-            (-vk.alpha_g1, vk.beta_g2),
-            (-vk_x, vk.gamma_g2),
-            (-proof.c, vk.delta_g2),
-        ]
-    )
+    with telemetry.span("groth16.verify", public_inputs=len(public_inputs)) as sp:
+        if len(public_inputs) != len(vk.ic) - 1:
+            sp.set_attr("ok", False)
+            return False
+        vk_x = vk.ic[0] + engine.msm_g1(list(vk.ic[1:]), [w % R for w in public_inputs])
+        with telemetry.span("pairing"):
+            ok = pairing_check(
+                [
+                    (proof.a, proof.b),
+                    (-vk.alpha_g1, vk.beta_g2),
+                    (-vk_x, vk.gamma_g2),
+                    (-proof.c, vk.delta_g2),
+                ]
+            )
+        sp.set_attr("ok", ok)
+        return ok
 
 
 def verification_group_operations(num_public_inputs: int) -> dict:

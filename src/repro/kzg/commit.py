@@ -12,6 +12,7 @@ the same SRS skip the per-call affine-to-Jacobian conversion.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.errors import SRSError
 from repro.backend import get_engine
 from repro.curve.g1 import G1
@@ -29,6 +30,9 @@ def commit(srs: SRS, coeffs: list[int], engine=None) -> G1:
         raise SRSError(
             "polynomial degree %d exceeds SRS bound %d" % (len(coeffs) - 1, srs.max_degree)
         )
+    if telemetry.metrics_enabled():
+        telemetry.counter("kzg.commit.calls").inc()
+        telemetry.histogram("kzg.commit.degree").observe(max(len(coeffs) - 1, 0))
     points = engine.srs_g1_jacobian(srs)
     return G1.from_jacobian(engine.msm_jac(list(points[: len(coeffs)]), coeffs))
 

@@ -8,6 +8,7 @@ proof leaks nothing about the witness beyond the statement.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.errors import ProofError
 from repro.backend import get_engine
 from repro.field import poly
@@ -39,6 +40,12 @@ def prove(
     selector and permutation polynomials — fixed per proving key — so the
     second proof onward for a circuit skips 9 of the 15 size-8n FFTs of
     round 3, plus the SRS Jacobian conversion behind every commitment.
+
+    Under ``REPRO_TELEMETRY=trace`` the proof emits a ``plonk.prove``
+    span with one child per round (blinding, permutation, quotient,
+    evaluation, opening); at ``metrics`` level the engine's kernel
+    counters record every NTT/MSM/inversion with sizes and cache
+    outcomes.
     """
     engine = engine or get_engine()
     layout = pk.layout
@@ -49,6 +56,14 @@ def prove(
     srs = pk.srs
     rand = rand_fr if blinding else (lambda: 0)
 
+    with telemetry.span(
+        "plonk.prove", n=n, public_inputs=len(assignment.public_inputs), backend=engine.name
+    ):
+        return _prove_rounds(pk, assignment, engine, domain, omega, srs, rand, n)
+
+
+def _prove_rounds(pk, assignment, engine, domain, omega, srs, rand, n) -> Proof:
+    """Rounds 1-5, each wrapped in a child span of ``root``."""
     transcript = Transcript(b"plonk")
     transcript.append_bytes(b"vk", pk.vk.digest())
     public_inputs = assignment.public_inputs
@@ -56,235 +71,240 @@ def prove(
         transcript.append_scalar(b"pub", w)
 
     # ----- Round 1: wire polynomials -------------------------------------
-    wire_polys = engine.ntt_batch(
-        [
-            ("ifft", n, list(assignment.a), 0),
-            ("ifft", n, list(assignment.b), 0),
-            ("ifft", n, list(assignment.c), 0),
-        ]
-    )
-    a_poly = _blind(wire_polys[0], [rand(), rand()], n)
-    b_poly = _blind(wire_polys[1], [rand(), rand()], n)
-    c_poly = _blind(wire_polys[2], [rand(), rand()], n)
-    c_a = commit(srs, a_poly, engine=engine)
-    c_b = commit(srs, b_poly, engine=engine)
-    c_c = commit(srs, c_poly, engine=engine)
-    transcript.append_point(b"a", c_a)
-    transcript.append_point(b"b", c_b)
-    transcript.append_point(b"c", c_c)
+    with telemetry.span("blinding", round=1):
+        wire_polys = engine.ntt_batch(
+            [
+                ("ifft", n, list(assignment.a), 0),
+                ("ifft", n, list(assignment.b), 0),
+                ("ifft", n, list(assignment.c), 0),
+            ]
+        )
+        a_poly = _blind(wire_polys[0], [rand(), rand()], n)
+        b_poly = _blind(wire_polys[1], [rand(), rand()], n)
+        c_poly = _blind(wire_polys[2], [rand(), rand()], n)
+        c_a = commit(srs, a_poly, engine=engine)
+        c_b = commit(srs, b_poly, engine=engine)
+        c_c = commit(srs, c_poly, engine=engine)
+        transcript.append_point(b"a", c_a)
+        transcript.append_point(b"b", c_b)
+        transcript.append_point(b"c", c_c)
 
     # ----- Round 2: permutation accumulator z ----------------------------
-    beta = transcript.challenge(b"beta")
-    gamma = transcript.challenge(b"gamma")
-    points = domain.elements
-    s1, s2, s3 = pk.sigma_star
-    denominators = []
-    numerators = []
-    for i in range(n):
-        wa, wb, wc = assignment.a[i], assignment.b[i], assignment.c[i]
-        x = points[i]
-        numerators.append(
-            (wa + beta * x + gamma)
-            * (wb + beta * K1 * x % R + gamma)
-            % R
-            * (wc + beta * K2 * x % R + gamma)
-            % R
-        )
-        denominators.append(
-            (wa + beta * s1[i] + gamma)
-            * (wb + beta * s2[i] + gamma)
-            % R
-            * (wc + beta * s3[i] + gamma)
-            % R
-        )
-    inv_denoms = engine.batch_inverse(denominators)
-    z_vals = [1] * n
-    for i in range(n - 1):
-        z_vals[i + 1] = z_vals[i] * numerators[i] % R * inv_denoms[i] % R
-    z_poly = _blind(engine.intt(z_vals), [rand(), rand(), rand()], n)
-    c_z = commit(srs, z_poly, engine=engine)
-    transcript.append_point(b"z", c_z)
+    with telemetry.span("permutation", round=2):
+        beta = transcript.challenge(b"beta")
+        gamma = transcript.challenge(b"gamma")
+        points = domain.elements
+        s1, s2, s3 = pk.sigma_star
+        denominators = []
+        numerators = []
+        for i in range(n):
+            wa, wb, wc = assignment.a[i], assignment.b[i], assignment.c[i]
+            x = points[i]
+            numerators.append(
+                (wa + beta * x + gamma)
+                * (wb + beta * K1 * x % R + gamma)
+                % R
+                * (wc + beta * K2 * x % R + gamma)
+                % R
+            )
+            denominators.append(
+                (wa + beta * s1[i] + gamma)
+                * (wb + beta * s2[i] + gamma)
+                % R
+                * (wc + beta * s3[i] + gamma)
+                % R
+            )
+        inv_denoms = engine.batch_inverse(denominators)
+        z_vals = [1] * n
+        for i in range(n - 1):
+            z_vals[i + 1] = z_vals[i] * numerators[i] % R * inv_denoms[i] % R
+        z_poly = _blind(engine.intt(z_vals), [rand(), rand(), rand()], n)
+        c_z = commit(srs, z_poly, engine=engine)
+        transcript.append_point(b"z", c_z)
 
     # ----- Round 3: quotient polynomial t --------------------------------
-    alpha = transcript.challenge(b"alpha")
-    pi_vals = [0] * n
-    for i, w in enumerate(public_inputs):
-        pi_vals[i] = (-w) % R
-    pi_poly = engine.intt(pi_vals)
-    l1_poly = engine.intt([1] + [0] * (n - 1))
-    # z(omega * X): scale coefficient i by omega^i.
-    zw_poly = []
-    acc = 1
-    for coef in z_poly:
-        zw_poly.append(coef * acc % R)
-        acc = acc * omega % R
+    with telemetry.span("quotient", round=3):
+        alpha = transcript.challenge(b"alpha")
+        pi_vals = [0] * n
+        for i, w in enumerate(public_inputs):
+            pi_vals[i] = (-w) % R
+        pi_poly = engine.intt(pi_vals)
+        l1_poly = engine.intt([1] + [0] * (n - 1))
+        # z(omega * X): scale coefficient i by omega^i.
+        zw_poly = []
+        acc = 1
+        for coef in z_poly:
+            zw_poly.append(coef * acc % R)
+            acc = acc * omega % R
 
-    from repro.field.ntt import COSET_SHIFT
+        from repro.field.ntt import COSET_SHIFT
 
-    big_n = 8 * n  # numerator degree can reach 4n+5 < 8n
-    xs = engine.coset_points(big_n)
-    # Selector / permutation / L1 polynomials are fixed per proving key:
-    # their coset evaluations come from the engine's memo (computed on the
-    # first proof, reused afterwards).
-    ev = {
-        name: engine.coset_ntt_cached(pk, name, coeffs, big_n)
-        for name, coeffs in (
-            ("qm", pk.q_polys["qm"]),
-            ("ql", pk.q_polys["ql"]),
-            ("qr", pk.q_polys["qr"]),
-            ("qo", pk.q_polys["qo"]),
-            ("qc", pk.q_polys["qc"]),
-            ("s1", list(pk.s_polys[0])),
-            ("s2", list(pk.s_polys[1])),
-            ("s3", list(pk.s_polys[2])),
-            ("l1", l1_poly),
+        big_n = 8 * n  # numerator degree can reach 4n+5 < 8n
+        xs = engine.coset_points(big_n)
+        # Selector / permutation / L1 polynomials are fixed per proving key:
+        # their coset evaluations come from the engine's memo (computed on the
+        # first proof, reused afterwards).
+        ev = {
+            name: engine.coset_ntt_cached(pk, name, coeffs, big_n)
+            for name, coeffs in (
+                ("qm", pk.q_polys["qm"]),
+                ("ql", pk.q_polys["ql"]),
+                ("qr", pk.q_polys["qr"]),
+                ("qo", pk.q_polys["qo"]),
+                ("qc", pk.q_polys["qc"]),
+                ("s1", list(pk.s_polys[0])),
+                ("s2", list(pk.s_polys[1])),
+                ("s3", list(pk.s_polys[2])),
+                ("l1", l1_poly),
+            )
+        }
+        # The witness-dependent polynomials are transformed fresh each proof,
+        # as one batch so parallel backends can fan them out.
+        live = ("a", a_poly), ("b", b_poly), ("c", c_poly), ("z", z_poly), ("zw", zw_poly), ("pi", pi_poly)
+        live_evals = engine.ntt_batch(
+            [("coset_fft", big_n, coeffs, COSET_SHIFT) for _, coeffs in live]
         )
-    }
-    # The witness-dependent polynomials are transformed fresh each proof,
-    # as one batch so parallel backends can fan them out.
-    live = ("a", a_poly), ("b", b_poly), ("c", c_poly), ("z", z_poly), ("zw", zw_poly), ("pi", pi_poly)
-    live_evals = engine.ntt_batch(
-        [("coset_fft", big_n, coeffs, COSET_SHIFT) for _, coeffs in live]
-    )
-    for (name, _), evals in zip(live, live_evals):
-        ev[name] = evals
-    alpha2 = alpha * alpha % R
-    num_evals = []
-    for i in range(big_n):
-        av, bv, cv = ev["a"][i], ev["b"][i], ev["c"][i]
-        zv, zwv = ev["z"][i], ev["zw"][i]
-        x = xs[i]
-        gate = (
-            av * bv % R * ev["qm"][i]
-            + av * ev["ql"][i]
-            + bv * ev["qr"][i]
-            + cv * ev["qo"][i]
-            + ev["pi"][i]
-            + ev["qc"][i]
-        ) % R
-        perm_a = (
-            (av + beta * x + gamma)
-            * (bv + beta * K1 * x % R + gamma)
-            % R
-            * (cv + beta * K2 * x % R + gamma)
-            % R
-            * zv
-            % R
-        )
-        perm_b = (
-            (av + beta * ev["s1"][i] + gamma)
-            * (bv + beta * ev["s2"][i] + gamma)
-            % R
-            * (cv + beta * ev["s3"][i] + gamma)
-            % R
-            * zwv
-            % R
-        )
-        boundary = (zv - 1) * ev["l1"][i] % R
-        num_evals.append((gate + alpha * (perm_a - perm_b) + alpha2 * boundary) % R)
-    numerator = engine.coset_intt(num_evals)
-    try:
-        t_poly = poly.divide_by_vanishing(numerator, n)
-    except Exception as exc:  # exact division fails iff constraints broken
-        raise ProofError("quotient is not divisible by Z_H: %s" % exc) from exc
+        for (name, _), evals in zip(live, live_evals):
+            ev[name] = evals
+        alpha2 = alpha * alpha % R
+        num_evals = []
+        for i in range(big_n):
+            av, bv, cv = ev["a"][i], ev["b"][i], ev["c"][i]
+            zv, zwv = ev["z"][i], ev["zw"][i]
+            x = xs[i]
+            gate = (
+                av * bv % R * ev["qm"][i]
+                + av * ev["ql"][i]
+                + bv * ev["qr"][i]
+                + cv * ev["qo"][i]
+                + ev["pi"][i]
+                + ev["qc"][i]
+            ) % R
+            perm_a = (
+                (av + beta * x + gamma)
+                * (bv + beta * K1 * x % R + gamma)
+                % R
+                * (cv + beta * K2 * x % R + gamma)
+                % R
+                * zv
+                % R
+            )
+            perm_b = (
+                (av + beta * ev["s1"][i] + gamma)
+                * (bv + beta * ev["s2"][i] + gamma)
+                % R
+                * (cv + beta * ev["s3"][i] + gamma)
+                % R
+                * zwv
+                % R
+            )
+            boundary = (zv - 1) * ev["l1"][i] % R
+            num_evals.append((gate + alpha * (perm_a - perm_b) + alpha2 * boundary) % R)
+        numerator = engine.coset_intt(num_evals)
+        try:
+            t_poly = poly.divide_by_vanishing(numerator, n)
+        except Exception as exc:  # exact division fails iff constraints broken
+            raise ProofError("quotient is not divisible by Z_H: %s" % exc) from exc
 
-    t_lo = t_poly[:n]
-    t_mid = t_poly[n : 2 * n]
-    t_hi = t_poly[2 * n :]
-    b10, b11 = rand(), rand()
-    t_lo = t_lo + [0] * (n - len(t_lo)) + [b10]
-    t_mid = t_mid + [0] * (n - len(t_mid)) + [b11]
-    t_mid[0] = (t_mid[0] - b10) % R
-    t_hi = list(t_hi)
-    if not t_hi:
-        t_hi = [0]
-    t_hi[0] = (t_hi[0] - b11) % R
-    c_t_lo, c_t_mid, c_t_hi = (
-        commit(srs, t_lo, engine=engine),
-        commit(srs, t_mid, engine=engine),
-        commit(srs, t_hi, engine=engine),
-    )
-    transcript.append_point(b"t_lo", c_t_lo)
-    transcript.append_point(b"t_mid", c_t_mid)
-    transcript.append_point(b"t_hi", c_t_hi)
+        t_lo = t_poly[:n]
+        t_mid = t_poly[n : 2 * n]
+        t_hi = t_poly[2 * n :]
+        b10, b11 = rand(), rand()
+        t_lo = t_lo + [0] * (n - len(t_lo)) + [b10]
+        t_mid = t_mid + [0] * (n - len(t_mid)) + [b11]
+        t_mid[0] = (t_mid[0] - b10) % R
+        t_hi = list(t_hi)
+        if not t_hi:
+            t_hi = [0]
+        t_hi[0] = (t_hi[0] - b11) % R
+        c_t_lo, c_t_mid, c_t_hi = (
+            commit(srs, t_lo, engine=engine),
+            commit(srs, t_mid, engine=engine),
+            commit(srs, t_hi, engine=engine),
+        )
+        transcript.append_point(b"t_lo", c_t_lo)
+        transcript.append_point(b"t_mid", c_t_mid)
+        transcript.append_point(b"t_hi", c_t_hi)
 
     # ----- Round 4: evaluations at zeta -----------------------------------
-    zeta = transcript.challenge(b"zeta")
-    a_bar = poly.evaluate(a_poly, zeta)
-    b_bar = poly.evaluate(b_poly, zeta)
-    c_bar = poly.evaluate(c_poly, zeta)
-    s1_bar = poly.evaluate(list(pk.s_polys[0]), zeta)
-    s2_bar = poly.evaluate(list(pk.s_polys[1]), zeta)
-    z_omega_bar = poly.evaluate(z_poly, zeta * omega % R)
-    for label, value in (
-        (b"a_bar", a_bar),
-        (b"b_bar", b_bar),
-        (b"c_bar", c_bar),
-        (b"s1_bar", s1_bar),
-        (b"s2_bar", s2_bar),
-        (b"z_omega_bar", z_omega_bar),
-    ):
-        transcript.append_scalar(label, value)
+    with telemetry.span("evaluation", round=4):
+        zeta = transcript.challenge(b"zeta")
+        a_bar = poly.evaluate(a_poly, zeta)
+        b_bar = poly.evaluate(b_poly, zeta)
+        c_bar = poly.evaluate(c_poly, zeta)
+        s1_bar = poly.evaluate(list(pk.s_polys[0]), zeta)
+        s2_bar = poly.evaluate(list(pk.s_polys[1]), zeta)
+        z_omega_bar = poly.evaluate(z_poly, zeta * omega % R)
+        for label, value in (
+            (b"a_bar", a_bar),
+            (b"b_bar", b_bar),
+            (b"c_bar", c_bar),
+            (b"s1_bar", s1_bar),
+            (b"s2_bar", s2_bar),
+            (b"z_omega_bar", z_omega_bar),
+        ):
+            transcript.append_scalar(label, value)
 
     # ----- Round 5: linearization + opening proofs ------------------------
-    v = transcript.challenge(b"v")
-    zh_zeta = domain.vanishing_eval(zeta)
-    l1_zeta = domain.lagrange_basis_eval(0, zeta)
-    pi_zeta = poly.evaluate(pi_poly, zeta)
+    with telemetry.span("opening", round=5):
+        v = transcript.challenge(b"v")
+        zh_zeta = domain.vanishing_eval(zeta)
+        l1_zeta = domain.lagrange_basis_eval(0, zeta)
+        pi_zeta = poly.evaluate(pi_poly, zeta)
 
-    pa = (
-        (a_bar + beta * zeta + gamma)
-        * (b_bar + beta * K1 * zeta % R + gamma)
-        % R
-        * (c_bar + beta * K2 * zeta % R + gamma)
-        % R
-    )
-    pb = (a_bar + beta * s1_bar + gamma) * (b_bar + beta * s2_bar + gamma) % R
+        pa = (
+            (a_bar + beta * zeta + gamma)
+            * (b_bar + beta * K1 * zeta % R + gamma)
+            % R
+            * (c_bar + beta * K2 * zeta % R + gamma)
+            % R
+        )
+        pb = (a_bar + beta * s1_bar + gamma) * (b_bar + beta * s2_bar + gamma) % R
 
-    d_poly: list[int] = []
-    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qm"], a_bar * b_bar % R))
-    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["ql"], a_bar))
-    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qr"], b_bar))
-    d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qo"], c_bar))
-    d_poly = poly.add(d_poly, pk.q_polys["qc"])
-    z_scalar = (alpha * pa + alpha2 * l1_zeta) % R
-    d_poly = poly.add(d_poly, poly.scale(z_poly, z_scalar))
-    s3_scalar = (-(alpha * pb % R) * beta % R) * z_omega_bar % R
-    d_poly = poly.add(d_poly, poly.scale(list(pk.s_polys[2]), s3_scalar))
-    t_combined = poly.add(
-        poly.add(t_lo, poly.scale(t_mid, pow(zeta, n, R))),
-        poly.scale(t_hi, pow(zeta, 2 * n, R)),
-    )
-    d_poly = poly.sub(d_poly, poly.scale(t_combined, zh_zeta))
+        d_poly: list[int] = []
+        d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qm"], a_bar * b_bar % R))
+        d_poly = poly.add(d_poly, poly.scale(pk.q_polys["ql"], a_bar))
+        d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qr"], b_bar))
+        d_poly = poly.add(d_poly, poly.scale(pk.q_polys["qo"], c_bar))
+        d_poly = poly.add(d_poly, pk.q_polys["qc"])
+        z_scalar = (alpha * pa + alpha2 * l1_zeta) % R
+        d_poly = poly.add(d_poly, poly.scale(z_poly, z_scalar))
+        s3_scalar = (-(alpha * pb % R) * beta % R) * z_omega_bar % R
+        d_poly = poly.add(d_poly, poly.scale(list(pk.s_polys[2]), s3_scalar))
+        t_combined = poly.add(
+            poly.add(t_lo, poly.scale(t_mid, pow(zeta, n, R))),
+            poly.scale(t_hi, pow(zeta, 2 * n, R)),
+        )
+        d_poly = poly.sub(d_poly, poly.scale(t_combined, zh_zeta))
 
-    r0 = (
-        pi_zeta
-        - l1_zeta * alpha2
-        - alpha * pb % R * ((c_bar + gamma) % R) % R * z_omega_bar
-    ) % R
-    if (poly.evaluate(d_poly, zeta) + r0) % R != 0:
-        raise ProofError("internal linearization check failed")
+        r0 = (
+            pi_zeta
+            - l1_zeta * alpha2
+            - alpha * pb % R * ((c_bar + gamma) % R) % R * z_omega_bar
+        ) % R
+        if (poly.evaluate(d_poly, zeta) + r0) % R != 0:
+            raise ProofError("internal linearization check failed")
 
-    numerator = poly.add(d_poly, [r0])
-    vk_pow = v
-    for opened, value in (
-        (a_poly, a_bar),
-        (b_poly, b_bar),
-        (c_poly, c_bar),
-        (list(pk.s_polys[0]), s1_bar),
-        (list(pk.s_polys[1]), s2_bar),
-    ):
-        numerator = poly.add(numerator, poly.scale(poly.sub(opened, [value]), vk_pow))
-        vk_pow = vk_pow * v % R
-    w_zeta_poly = poly.divide_by_linear(numerator, zeta)
-    w_zeta_omega_poly = poly.divide_by_linear(
-        poly.sub(z_poly, [z_omega_bar]), zeta * omega % R
-    )
-    w_zeta = commit(srs, w_zeta_poly, engine=engine)
-    w_zeta_omega = commit(srs, w_zeta_omega_poly, engine=engine)
-    transcript.append_point(b"w_zeta", w_zeta)
-    transcript.append_point(b"w_zeta_omega", w_zeta_omega)
-    transcript.challenge(b"u")  # keeps prover/verifier transcripts aligned
+        numerator = poly.add(d_poly, [r0])
+        vk_pow = v
+        for opened, value in (
+            (a_poly, a_bar),
+            (b_poly, b_bar),
+            (c_poly, c_bar),
+            (list(pk.s_polys[0]), s1_bar),
+            (list(pk.s_polys[1]), s2_bar),
+        ):
+            numerator = poly.add(numerator, poly.scale(poly.sub(opened, [value]), vk_pow))
+            vk_pow = vk_pow * v % R
+        w_zeta_poly = poly.divide_by_linear(numerator, zeta)
+        w_zeta_omega_poly = poly.divide_by_linear(
+            poly.sub(z_poly, [z_omega_bar]), zeta * omega % R
+        )
+        w_zeta = commit(srs, w_zeta_poly, engine=engine)
+        w_zeta_omega = commit(srs, w_zeta_omega_poly, engine=engine)
+        transcript.append_point(b"w_zeta", w_zeta)
+        transcript.append_point(b"w_zeta_omega", w_zeta_omega)
+        transcript.challenge(b"u")  # keeps prover/verifier transcripts aligned
 
     return Proof(
         c_a=c_a,

@@ -7,6 +7,7 @@ reports in Section VI-B3 and Figure 7.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.backend import get_engine
 from repro.curve.g1 import G1
 from repro.curve.pairing import pairing_check
@@ -19,11 +20,16 @@ from repro.plonk.transcript import Transcript
 
 def verify(vk: VerifyingKey, public_inputs: list[int], proof: Proof, engine=None) -> bool:
     """Check ``proof`` against ``vk`` and the public inputs."""
-    prepared = prepare_pairing_inputs(vk, public_inputs, proof, engine=engine)
-    if prepared is None:
-        return False
-    lhs_g1, rhs_g1 = prepared
-    return pairing_check([(lhs_g1, vk.g2_tau), (-rhs_g1, vk.g2)])
+    with telemetry.span("plonk.verify", n=vk.n, public_inputs=len(public_inputs)) as sp:
+        prepared = prepare_pairing_inputs(vk, public_inputs, proof, engine=engine)
+        if prepared is None:
+            sp.set_attr("ok", False)
+            return False
+        lhs_g1, rhs_g1 = prepared
+        with telemetry.span("pairing"):
+            ok = pairing_check([(lhs_g1, vk.g2_tau), (-rhs_g1, vk.g2)])
+        sp.set_attr("ok", ok)
+        return ok
 
 
 def prepare_pairing_inputs(

@@ -1,0 +1,218 @@
+"""Structured observability for the whole stack — spans, metrics, exporters.
+
+Zero-dependency and **off by default**: the ``REPRO_TELEMETRY``
+environment variable selects one of three levels,
+
+- ``off``     — every instrumentation point is a module-level no-op
+  fast path (a single integer comparison; budgeted at <2% of proof
+  wall-clock, see ``benchmarks/bench_telemetry_overhead.py``);
+- ``metrics`` — counters and histograms record kernel calls, sizes and
+  cache hit/miss outcomes, but no spans are created;
+- ``trace``   — metrics plus nested wall-clock spans (prover rounds,
+  Groth16 phases, exchange protocol steps) exported to stderr and/or a
+  JSON-lines file.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.use_level("trace"):
+        proof = prove(pk, assignment)
+    tree = telemetry.finished_roots()[-1]     # the plonk.prove span tree
+    stats = telemetry.snapshot()              # counters + histograms
+
+Sinks are configured with ``REPRO_TELEMETRY_CONSOLE=1`` (span trees on
+stderr) and ``REPRO_TELEMETRY_FILE=<path>`` (JSON-lines), or
+programmatically via :func:`add_exporter`.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.telemetry.export import (
+    ConsoleExporter,
+    JsonLinesExporter,
+    format_span_tree,
+    read_spans,
+    span_records,
+    tree_from_records,
+)
+from repro.telemetry.metrics import (
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Histogram,
+    Registry,
+)
+from repro.telemetry.spans import (
+    NOOP_SPAN,
+    Span,
+    add_exporter,
+    clear_finished,
+    current_span,
+    finished_roots,
+    remove_exporter,
+)
+
+#: Telemetry levels, ordered.  ``metrics`` implies counters/histograms;
+#: ``trace`` additionally creates spans.
+OFF, METRICS, TRACE = 0, 1, 2
+
+_LEVEL_NAMES = {"off": OFF, "metrics": METRICS, "trace": TRACE}
+
+#: The active level.  Module-level integer so the disabled fast path is
+#: one global load and compare — cheap enough for the hottest kernels.
+_level = OFF
+
+_registry = Registry()
+
+
+def _parse_level(value) -> int:
+    if isinstance(value, int):
+        if value not in (OFF, METRICS, TRACE):
+            raise ValueError("telemetry level must be 0, 1 or 2, got %r" % value)
+        return value
+    name = str(value).strip().lower()
+    if name in _LEVEL_NAMES:
+        return _LEVEL_NAMES[name]
+    if name.isdigit() and int(name) in (OFF, METRICS, TRACE):
+        return int(name)
+    raise ValueError(
+        "unknown telemetry level %r (expected off, metrics or trace)" % (value,)
+    )
+
+
+def level() -> int:
+    """The active level as an integer (OFF / METRICS / TRACE)."""
+    return _level
+
+
+def level_name() -> str:
+    return {OFF: "off", METRICS: "metrics", TRACE: "trace"}[_level]
+
+
+def set_level(value) -> int:
+    """Set the active level ('off' | 'metrics' | 'trace' or 0-2); returns the previous."""
+    global _level
+    previous = _level
+    _level = _parse_level(value)
+    return previous
+
+
+@contextmanager
+def use_level(value):
+    """Scoped level override (restores the previous level on exit)."""
+    previous = set_level(value)
+    try:
+        yield
+    finally:
+        set_level(previous)
+
+
+def metrics_enabled() -> bool:
+    return _level >= METRICS
+
+
+def trace_enabled() -> bool:
+    return _level >= TRACE
+
+
+# ----- instruments --------------------------------------------------------
+
+
+def registry() -> Registry:
+    """The process-wide metrics registry."""
+    return _registry
+
+
+def counter(name: str, **labels) -> Counter:
+    """Fetch (creating on first use) a counter from the global registry."""
+    return _registry.counter(name, **labels)
+
+
+def histogram(name: str, bounds: tuple = SIZE_BUCKETS, **labels) -> Histogram:
+    """Fetch (creating on first use) a histogram from the global registry."""
+    return _registry.histogram(name, bounds, **labels)
+
+
+def snapshot() -> dict:
+    """JSON-ready view of every counter and histogram."""
+    return _registry.snapshot()
+
+
+def reset_metrics() -> None:
+    _registry.reset()
+
+
+def span(name: str, **attrs):
+    """A traced region: real :class:`Span` at trace level, no-op otherwise.
+
+    The returned object supports ``with``, :meth:`~Span.set_attr` and
+    :meth:`~Span.set_attrs` in both modes, so call sites never branch.
+    """
+    if _level < TRACE:
+        return NOOP_SPAN
+    return Span(name, attrs)
+
+
+# ----- environment wiring -------------------------------------------------
+
+
+def configure_from_env(environ=None) -> None:
+    """Apply ``REPRO_TELEMETRY`` / ``_CONSOLE`` / ``_FILE`` settings.
+
+    Called once at import; safe to call again after mutating ``os.environ``
+    in tests (exporters registered by a previous call stay registered —
+    use :func:`remove_exporter` to drop them).
+    """
+    env = os.environ if environ is None else environ
+    raw = env.get("REPRO_TELEMETRY", "").strip()
+    if raw:
+        set_level(raw)
+    if env.get("REPRO_TELEMETRY_CONSOLE", "").strip() in ("1", "true", "yes"):
+        add_exporter(ConsoleExporter())
+    path = env.get("REPRO_TELEMETRY_FILE", "").strip()
+    if path:
+        add_exporter(JsonLinesExporter(path))
+
+
+configure_from_env()
+
+__all__ = [
+    "OFF",
+    "METRICS",
+    "TRACE",
+    "Counter",
+    "Histogram",
+    "Registry",
+    "Span",
+    "NOOP_SPAN",
+    "ConsoleExporter",
+    "JsonLinesExporter",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "add_exporter",
+    "clear_finished",
+    "configure_from_env",
+    "counter",
+    "current_span",
+    "finished_roots",
+    "format_span_tree",
+    "histogram",
+    "level",
+    "level_name",
+    "metrics_enabled",
+    "read_spans",
+    "registry",
+    "remove_exporter",
+    "reset_metrics",
+    "set_level",
+    "snapshot",
+    "span",
+    "span_records",
+    "trace_enabled",
+    "tree_from_records",
+    "use_level",
+]

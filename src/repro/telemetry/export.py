@@ -1,0 +1,118 @@
+"""Exporters: turn finished span trees into something a human or a tool reads.
+
+Three sinks, matching the three consumers we actually have:
+
+- :func:`format_span_tree` / :class:`ConsoleExporter` — an indented,
+  duration-annotated tree on stderr, for a developer reading one run;
+- :class:`JsonLinesExporter` — one JSON object per span, parent links by
+  id, appended to a file; :func:`read_spans` / :func:`tree_from_records`
+  round-trip it back into nested dicts for tooling;
+- the in-memory registry snapshot (``telemetry.snapshot()``) that
+  ``benchmarks/conftest.py`` folds into every ``BENCH_<slug>.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.telemetry.spans import Span
+
+
+def _format_attr(value) -> str:
+    if isinstance(value, float):
+        return "%.6g" % value
+    return str(value)
+
+
+def format_span_tree(span: Span, indent: str = "") -> str:
+    """Render one span subtree as indented text with millisecond timings."""
+    attrs = ""
+    if span.attrs:
+        attrs = "  [%s]" % ", ".join(
+            "%s=%s" % (k, _format_attr(v)) for k, v in span.attrs.items()
+        )
+    lines = ["%s%s  %.1f ms%s" % (indent, span.name, span.duration * 1e3, attrs)]
+    for child in span.children:
+        lines.append(format_span_tree(child, indent + "  "))
+    return "\n".join(lines)
+
+
+class ConsoleExporter:
+    """Write every finished root span tree to a stream (default stderr)."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def __call__(self, root: Span) -> None:
+        stream = self.stream or sys.stderr
+        stream.write("-- trace --\n%s\n" % format_span_tree(root))
+        stream.flush()
+
+
+def span_records(root: Span) -> list[dict]:
+    """Flatten a span tree to records with ``id``/``parent`` links.
+
+    Ids are depth-first pre-order positions within this tree (the root is
+    0), so records are self-contained per tree and stable across runs.
+    """
+    ids = {}
+    records = []
+    for i, node in enumerate(root.walk()):
+        ids[id(node)] = i
+        records.append(
+            {
+                "id": i,
+                "parent": ids[id(node.parent)] if node.parent is not None else None,
+                "name": node.name,
+                "start": node.start,
+                "duration": node.duration,
+                "attrs": dict(node.attrs),
+            }
+        )
+    return records
+
+
+class JsonLinesExporter:
+    """Append finished span trees to ``path``, one JSON object per span."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def __call__(self, root: Span) -> None:
+        with open(self.path, "a") as fh:
+            for record in span_records(root):
+                fh.write(json.dumps(record, default=str))
+                fh.write("\n")
+
+
+def read_spans(path: str) -> list[dict]:
+    """Parse a JSON-lines span file back into a list of records."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def tree_from_records(records: list[dict]) -> list[dict]:
+    """Rebuild nested trees from flat records (returns the list of roots).
+
+    Each returned node is its record plus a ``children`` list.  Records
+    from multiple appended trees are supported: a new ``id == 0`` record
+    starts a new tree.
+    """
+    roots: list[dict] = []
+    current: dict[int, dict] = {}
+    for record in records:
+        node = dict(record)
+        node["children"] = []
+        if record["parent"] is None:
+            roots.append(node)
+            current = {}
+        else:
+            current[record["parent"]]["children"].append(node)
+        current[record["id"]] = node
+    return roots

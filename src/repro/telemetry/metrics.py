@@ -1,0 +1,154 @@
+"""Counters and histograms: the aggregate half of the telemetry layer.
+
+Spans answer "where did this proof spend its time"; metrics answer "how
+many kernel calls of which size and how many cache hits did it take".
+Both kinds of instrument live in a :class:`Registry`, keyed by name plus
+an optional label set, and are cheap enough to update from the hottest
+engine paths (one dict lookup and an integer add).
+
+Everything here is deliberately dumb and deterministic: monotonic
+counters, histograms with *fixed* bucket boundaries (so two runs of the
+same workload produce byte-identical snapshots), no clocks, no threads,
+no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+#: Default histogram boundaries for *size-like* quantities (NTT domain
+#: sizes, MSM point counts, inversion batch lengths): powers of two up to
+#: 2**20, matching the radix-2 domains the kernels actually see.
+SIZE_BUCKETS = tuple(1 << k for k in range(21))
+
+#: Default histogram boundaries for *latency-like* quantities, in
+#: seconds: 1 ms to ~2 minutes on a roughly x4 grid.
+LATENCY_BUCKETS = (0.001, 0.004, 0.016, 0.064, 0.25, 1.0, 4.0, 16.0, 64.0, 128.0)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple = ()):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; cannot add %r" % amount)
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return "<Counter %s=%d>" % (format_key(self.name, self.labels), self.value)
+
+
+class Histogram:
+    """A distribution with fixed, inclusive upper-bound buckets.
+
+    ``bucket_counts[i]`` counts observations ``v <= bounds[i]`` (and
+    greater than ``bounds[i-1]``); the final slot counts the overflow
+    above the last bound.  ``count`` and ``total`` track the exact
+    number and sum of observations so means stay exact even when the
+    bucketing is coarse.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(self, name: str, bounds: tuple = SIZE_BUCKETS, labels: tuple = ()):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a non-empty sorted sequence")
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0
+
+    def as_dict(self) -> dict:
+        buckets = {("le_%g" % b): c for b, c in zip(self.bounds, self.bucket_counts)}
+        buckets["inf"] = self.bucket_counts[-1]
+        return {"count": self.count, "sum": self.total, "buckets": buckets}
+
+    def __repr__(self) -> str:
+        return "<Histogram %s count=%d sum=%s>" % (
+            format_key(self.name, self.labels),
+            self.count,
+            self.total,
+        )
+
+
+def format_key(name: str, labels: tuple) -> str:
+    """Render ``name`` + labels as ``name{k=v,...}`` (sorted, stable)."""
+    if not labels:
+        return name
+    return "%s{%s}" % (name, ",".join("%s=%s" % kv for kv in labels))
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Registry:
+    """Holds every live instrument; snapshot() is the export surface.
+
+    Instruments are created on first use and keep accumulating until
+    :meth:`reset`.  Tests and benchmarks measure *deltas* between two
+    snapshots rather than resetting, so concurrent instrumented code
+    cannot clobber each other's baselines.
+    """
+
+    def __init__(self):
+        self._instruments: dict = {}
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Counter(name, key[1])
+            self._instruments[key] = inst
+        return inst
+
+    def histogram(self, name: str, bounds: tuple = SIZE_BUCKETS, **labels) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Histogram(name, bounds, key[1])
+            self._instruments[key] = inst
+        return inst
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict, JSON-ready view: {"counters": {...}, "histograms": {...}}."""
+        counters = {}
+        histograms = {}
+        for (name, labels), inst in sorted(self._instruments.items()):
+            key = format_key(name, labels)
+            if isinstance(inst, Counter):
+                counters[key] = inst.value
+            else:
+                histograms[key] = inst.as_dict()
+        return {"counters": counters, "histograms": histograms}
+
+    def counter_values(self, prefix: str = "") -> dict:
+        """Flat {formatted_key: value} for counters under ``prefix``."""
+        out = {}
+        for (name, labels), inst in self._instruments.items():
+            if isinstance(inst, Counter) and name.startswith(prefix):
+                out[format_key(name, labels)] = inst.value
+        return out

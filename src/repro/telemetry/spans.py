@@ -1,0 +1,170 @@
+"""Spans: nested wall-clock regions with structured attributes.
+
+A span is a named ``with`` region; entering pushes it onto a
+``contextvars`` stack so children attach to the innermost open span no
+matter which thread or task runs them.  The :class:`repro.backend.parallel.ParallelEngine`
+fan-out boundary needs no special handling: kernels are *recorded at the
+dispatch site in the parent process* (sizes and counts are known before
+the pool ever sees the job), so worker processes never touch the span
+stack and the tree stays consistent for serial and parallel backends
+alike.
+
+When a **root** span (one with no open parent) closes, the finished tree
+is handed to every registered exporter and kept in a bounded in-memory
+ring so tests and the benchmark harness can inspect it without I/O.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from collections import deque
+
+_current_span: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_telemetry_span", default=None
+)
+
+#: Finished *root* spans, newest last.  Bounded so a long-running process
+#: with tracing left on cannot grow without limit.
+_finished_roots: deque = deque(maxlen=256)
+
+#: Callables invoked with each finished root span.
+_exporters: list = []
+
+
+class Span:
+    """One timed region.  Use via ``with span("name", attr=...) as sp:``."""
+
+    __slots__ = ("name", "attrs", "start", "end", "children", "parent", "_token")
+
+    def __init__(self, name: str, attrs: dict | None = None):
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.start = None
+        self.end = None
+        self.children: list = []
+        self.parent = None
+        self._token = None
+
+    # ----- attributes -----------------------------------------------------
+
+    def set_attr(self, key: str, value) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def set_attrs(self, mapping: dict | None = None, **attrs) -> "Span":
+        if mapping:
+            self.attrs.update(mapping)
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    # ----- lifecycle ------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Seconds between enter and exit (0.0 while still open)."""
+        if self.start is None or self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def __enter__(self) -> "Span":
+        self.parent = _current_span.get()
+        self._token = _current_span.set(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attrs.setdefault("error", "%s: %s" % (exc_type.__name__, exc))
+        _current_span.reset(self._token)
+        if self.parent is not None:
+            self.parent.children.append(self)
+        else:
+            _finish_root(self)
+        return False
+
+    # ----- introspection --------------------------------------------------
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First span named ``name`` in this subtree (depth-first)."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def __repr__(self) -> str:
+        return "<Span %s %.3fms children=%d>" % (
+            self.name,
+            self.duration * 1e3,
+            len(self.children),
+        )
+
+
+class NoopSpan:
+    """Shared do-nothing span returned when tracing is off.
+
+    Stateless, so one instance can be re-entered concurrently; every
+    mutator is a no-op and returns ``self`` for chaining.
+    """
+
+    __slots__ = ()
+
+    name = "noop"
+    attrs: dict = {}
+    children: list = []
+    duration = 0.0
+
+    def set_attr(self, key, value):
+        return self
+
+    def set_attrs(self, mapping=None, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NOOP_SPAN = NoopSpan()
+
+
+def current_span():
+    """The innermost open span, or ``None`` outside any traced region."""
+    return _current_span.get()
+
+
+def _finish_root(span: Span) -> None:
+    _finished_roots.append(span)
+    for exporter in list(_exporters):
+        exporter(span)
+
+
+def finished_roots() -> list:
+    """Completed root spans, oldest first (bounded ring)."""
+    return list(_finished_roots)
+
+
+def clear_finished() -> None:
+    _finished_roots.clear()
+
+
+def add_exporter(exporter) -> None:
+    """Register ``exporter(root_span)`` to run on every finished root."""
+    _exporters.append(exporter)
+
+
+def remove_exporter(exporter) -> None:
+    try:
+        _exporters.remove(exporter)
+    except ValueError:
+        pass

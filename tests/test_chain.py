@@ -76,8 +76,23 @@ class TestTransactions:
         assert receipt.status
         assert receipt.return_value == 5
         assert chain.call_view(contract, "count") == 5
-        events = chain.events("Incremented")
+        events = chain.query_events("Incremented", address=contract, value=5)
         assert len(events) == 1 and events[0].get("value") == 5
+
+    def test_query_events_filters(self, deployed):
+        chain, sender, contract = deployed
+        for amount in (1, 2, 3):
+            chain.transact(sender, contract, "increment", amount)
+        # The counter accumulates, so the emitted values are 1, 3, 6.
+        assert len(chain.query_events("Incremented")) == 3
+        # Exact field match and predicate compose with AND semantics.
+        assert [e.get("value") for e in chain.query_events("Incremented", value=3)] == [3]
+        big = chain.query_events("Incremented", where=lambda e: e.get("value") > 1)
+        assert [e.get("value") for e in big] == [3, 6]
+        assert chain.query_events("Incremented", address="0x" + "0" * 40) == []
+        assert chain.query_events("NoSuchEvent") == []
+        # The one-filter form stays equivalent to the legacy events() API.
+        assert chain.query_events("Incremented") == chain.events("Incremented")
 
     def test_gas_components(self, deployed):
         chain, sender, contract = deployed

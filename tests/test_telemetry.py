@@ -1,0 +1,353 @@
+"""Tests for the telemetry layer: spans, metrics, exporters, kernel counters.
+
+The kernel-accounting tests double as the repo's cache ground truth: the
+warm-proof test asserts the *measured* "9 of 15 coset FFTs skipped" claim
+that the engine docstring and the repeated-proof benchmark cite.
+"""
+
+import io
+
+import pytest
+
+from repro import telemetry
+from repro.backend.parallel import ParallelEngine
+from repro.backend.serial import SerialEngine
+from repro.chain import Blockchain, Contract, external
+from repro.plonk.circuit import CircuitBuilder
+from repro.plonk.prover import prove
+from repro.plonk.verifier import verify
+from repro.telemetry.metrics import Histogram, Registry, format_key
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Isolate every test: reset level, registry and finished spans."""
+    previous = telemetry.set_level(telemetry.OFF)
+    telemetry.reset_metrics()
+    telemetry.clear_finished()
+    yield
+    telemetry.set_level(previous)
+    telemetry.reset_metrics()
+    telemetry.clear_finished()
+
+
+def _tiny_circuit():
+    """An 8-bit range proof: small enough to prove in well under a second."""
+    builder = CircuitBuilder()
+    value = 0xA5
+    total = builder.constant(0)
+    weight = 1
+    for i in range(8):
+        bit = builder.var((value >> i) & 1)
+        builder.assert_bool(bit)
+        total = builder.add(total, builder.scale(bit, weight))
+        weight *= 2
+    public = builder.public_input(value)
+    builder.assert_equal(total, public)
+    return builder.compile()
+
+
+# ----- levels and the no-op fast path --------------------------------------
+
+
+class TestLevels:
+    def test_default_span_is_shared_noop(self):
+        assert telemetry.span("anything", n=1) is telemetry.NOOP_SPAN
+        telemetry.set_level(telemetry.METRICS)
+        assert telemetry.span("anything") is telemetry.NOOP_SPAN
+
+    def test_noop_span_records_nothing(self):
+        with telemetry.span("root", a=1) as sp:
+            assert sp.set_attr("k", "v") is sp
+            assert sp.set_attrs({"x": 1}, y=2) is sp
+            assert telemetry.current_span() is None
+        assert telemetry.finished_roots() == []
+
+    def test_level_parsing_and_restore(self):
+        with telemetry.use_level("trace"):
+            assert telemetry.level() == telemetry.TRACE
+            assert telemetry.trace_enabled() and telemetry.metrics_enabled()
+            with telemetry.use_level(1):
+                assert telemetry.level_name() == "metrics"
+                assert not telemetry.trace_enabled()
+            assert telemetry.level() == telemetry.TRACE
+        assert telemetry.level() == telemetry.OFF
+        with pytest.raises(ValueError):
+            telemetry.set_level("verbose")
+
+    def test_configure_from_env(self):
+        telemetry.configure_from_env({"REPRO_TELEMETRY": "metrics"})
+        assert telemetry.level() == telemetry.METRICS
+        telemetry.configure_from_env({})  # empty env leaves the level alone
+        assert telemetry.level() == telemetry.METRICS
+
+
+# ----- spans ----------------------------------------------------------------
+
+
+class TestSpans:
+    def test_nesting_attrs_and_walk(self):
+        telemetry.set_level(telemetry.TRACE)
+        with telemetry.span("root", job="test") as root:
+            assert telemetry.current_span() is root
+            with telemetry.span("child_a", i=0) as a:
+                a.set_attr("done", True)
+            with telemetry.span("child_b") as b:
+                with telemetry.span("grandchild"):
+                    pass
+                b.set_attrs(k=1)
+        assert telemetry.current_span() is None
+        assert [s.name for s in root.walk()] == [
+            "root", "child_a", "child_b", "grandchild",
+        ]
+        assert root.attrs == {"job": "test"}
+        assert root.find("child_a").attrs == {"i": 0, "done": True}
+        assert root.find("grandchild").parent is root.find("child_b")
+        assert root.find("missing") is None
+        assert root.duration >= a.duration
+        assert telemetry.finished_roots() == [root]
+
+    def test_exception_annotates_and_unwinds(self):
+        telemetry.set_level(telemetry.TRACE)
+        with pytest.raises(RuntimeError):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    raise RuntimeError("boom")
+        assert telemetry.current_span() is None
+        (root,) = telemetry.finished_roots()
+        assert root.attrs["error"] == "RuntimeError: boom"
+        assert root.find("inner").attrs["error"] == "RuntimeError: boom"
+
+    def test_finished_ring_is_bounded(self):
+        telemetry.set_level(telemetry.TRACE)
+        for i in range(300):
+            with telemetry.span("s%d" % i):
+                pass
+        roots = telemetry.finished_roots()
+        assert len(roots) == 256
+        assert roots[-1].name == "s299"
+
+
+# ----- metrics --------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_identity_and_monotonicity(self):
+        c = telemetry.counter("calls", kind="fft")
+        c.inc()
+        c.inc(4)
+        assert telemetry.counter("calls", kind="fft") is c
+        assert c.value == 5
+        assert telemetry.counter("calls", kind="ifft").value == 0
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_histogram_buckets_mean_and_dict(self):
+        h = Histogram("sizes", bounds=(2, 8, 32))
+        for v in (1, 2, 3, 32, 33):
+            h.observe(v)
+        assert h.count == 5 and h.total == 71
+        assert h.bucket_counts == [2, 1, 1, 1]
+        assert h.mean == pytest.approx(71 / 5)
+        d = h.as_dict()
+        assert d["buckets"] == {"le_2": 2, "le_8": 1, "le_32": 1, "inf": 1}
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(3, 1))
+
+    def test_format_key_sorts_labels(self):
+        reg = Registry()
+        c = reg.counter("hits", zone="b", cache="a")
+        assert format_key(c.name, c.labels) == "hits{cache=a,zone=b}"
+
+    def test_snapshot_and_reset(self):
+        telemetry.counter("a").inc(2)
+        telemetry.histogram("b", bounds=(10,)).observe(3)
+        snap = telemetry.snapshot()
+        assert snap["counters"] == {"a": 2}
+        assert snap["histograms"]["b"]["count"] == 1
+        assert telemetry.registry().counter_values() == {"a": 2}
+        telemetry.reset_metrics()
+        assert telemetry.snapshot() == {"counters": {}, "histograms": {}}
+
+
+# ----- exporters ------------------------------------------------------------
+
+
+def _sample_tree():
+    telemetry.set_level(telemetry.TRACE)
+    with telemetry.span("root", run=1) as root:
+        with telemetry.span("left"):
+            with telemetry.span("leaf", deep=True):
+                pass
+        with telemetry.span("right"):
+            pass
+    return root
+
+
+class TestExporters:
+    def test_format_span_tree(self):
+        root = _sample_tree()
+        text = telemetry.format_span_tree(root)
+        lines = text.splitlines()
+        assert lines[0].startswith("root") and "run=1" in lines[0]
+        assert lines[1].startswith("  left")
+        assert lines[2].startswith("    leaf") and "deep=True" in lines[2]
+
+    def test_console_exporter_writes_on_root_completion(self):
+        stream = io.StringIO()
+        exporter = telemetry.ConsoleExporter(stream)
+        telemetry.add_exporter(exporter)
+        try:
+            _sample_tree()
+        finally:
+            telemetry.remove_exporter(exporter)
+        assert "-- trace --" in stream.getvalue()
+        assert "leaf" in stream.getvalue()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        exporter = telemetry.JsonLinesExporter(path)
+        telemetry.add_exporter(exporter)
+        try:
+            _sample_tree()
+            _sample_tree()  # appended trees must stay separable
+        finally:
+            telemetry.remove_exporter(exporter)
+        records = telemetry.read_spans(path)
+        assert len(records) == 8
+        trees = telemetry.tree_from_records(records)
+        assert len(trees) == 2
+        for tree in trees:
+            assert tree["name"] == "root" and tree["parent"] is None
+            assert [c["name"] for c in tree["children"]] == ["left", "right"]
+            assert tree["children"][0]["children"][0]["name"] == "leaf"
+            assert tree["children"][0]["children"][0]["attrs"] == {"deep": True}
+
+    def test_span_records_ids_are_preorder(self):
+        root = _sample_tree()
+        records = telemetry.span_records(root)
+        assert [r["id"] for r in records] == [0, 1, 2, 3]
+        assert [r["parent"] for r in records] == [None, 0, 1, 0]
+        assert all(r["duration"] >= 0 for r in records)
+
+
+# ----- kernel accounting (the cache ground truth) ---------------------------
+
+
+class TestKernelAccounting:
+    def test_warm_proof_skips_nine_of_fifteen_coset_ffts(self, snark_ctx):
+        """The measured source of truth for the '9 of 15 FFTs cached' claim.
+
+        Round 3 runs 15 size-8n coset FFTs: 9 per-key-fixed polynomials
+        (qm ql qr qo qc s1 s2 s3 l1) served from the engine's coset-eval
+        cache, and 6 live ones (a b c z z*omega PI) recomputed per proof.
+        """
+        layout, assignment = _tiny_circuit()
+        keys = snark_ctx.keys_for(layout)
+        engine = SerialEngine()
+        prove(keys.pk, assignment, engine=engine)  # warm the caches
+        telemetry.set_level(telemetry.METRICS)
+        telemetry.reset_metrics()
+        proof = prove(keys.pk, assignment, engine=engine)
+        assert verify(keys.vk, assignment.public_inputs, proof)
+        assert telemetry.counter("engine.ntt.calls", kind="coset_fft").value == 6
+        assert telemetry.counter("engine.cache.hits", cache="coset_eval").value == 9
+        assert telemetry.counter("engine.cache.misses", cache="coset_eval").value == 0
+        # Warm engine: SRS view and NTT plans are cache hits too.
+        assert telemetry.counter("engine.cache.misses", cache="srs_jacobian").value == 0
+        assert telemetry.counter("engine.cache.hits", cache="srs_jacobian").value > 0
+
+    def test_cold_engine_pays_all_fifteen(self, snark_ctx):
+        layout, assignment = _tiny_circuit()
+        keys = snark_ctx.keys_for(layout)
+        telemetry.set_level(telemetry.METRICS)
+        telemetry.reset_metrics()
+        with SerialEngine() as engine:
+            prove(keys.pk, assignment, engine=engine)
+        # All 15 coset FFT kernels run cold: 9 cache misses + 6 live polys.
+        assert telemetry.counter("engine.cache.misses", cache="coset_eval").value == 9
+        assert telemetry.counter("engine.ntt.calls", kind="coset_fft").value == 15
+
+    def test_parallel_and_serial_report_identical_totals(self, snark_ctx):
+        """Kernel metrics are recorded at the dispatch site, so backend
+        choice cannot change the reported totals (only the process-global
+        ntt_plan cache counters may differ between runs)."""
+        layout, assignment = _tiny_circuit()
+        keys = snark_ctx.keys_for(layout)
+
+        def measured_counters(engine):
+            prove(keys.pk, assignment, engine=engine)  # warm this engine
+            telemetry.reset_metrics()
+            prove(keys.pk, assignment, engine=engine)
+            return {
+                k: v
+                for k, v in telemetry.registry().counter_values().items()
+                if "ntt_plan" not in k
+            }
+
+        telemetry.set_level(telemetry.METRICS)
+        serial_counts = measured_counters(SerialEngine())
+        parallel = ParallelEngine(
+            workers=2, min_msm_points=1, min_ntt_jobs=1, min_ntt_size=1,
+            min_inverse_size=1,
+        )
+        try:
+            parallel_counts = measured_counters(parallel)
+        finally:
+            parallel.close()
+        assert serial_counts == parallel_counts
+        assert serial_counts["engine.ntt.calls{kind=coset_fft}"] == 6
+
+
+# ----- prover / protocol span trees ----------------------------------------
+
+
+class TestSpanTrees:
+    def test_plonk_proof_covers_all_five_rounds(self, snark_ctx):
+        layout, assignment = _tiny_circuit()
+        keys = snark_ctx.keys_for(layout)
+        engine = SerialEngine()
+        telemetry.set_level(telemetry.TRACE)
+        proof = prove(keys.pk, assignment, engine=engine)
+        root = telemetry.finished_roots()[-1]
+        assert root.name == "plonk.prove"
+        assert root.attrs["n"] == layout.n
+        assert root.attrs["backend"] == "serial"
+        rounds = [(s.name, s.attrs.get("round")) for s in root.children]
+        assert rounds == [
+            ("blinding", 1),
+            ("permutation", 2),
+            ("quotient", 3),
+            ("evaluation", 4),
+            ("opening", 5),
+        ]
+        assert all(s.duration > 0 for s in root.walk())
+        assert verify(keys.vk, assignment.public_inputs, proof)
+        vroot = telemetry.finished_roots()[-1]
+        assert vroot.name == "plonk.verify"
+        assert vroot.attrs["ok"] is True
+        assert vroot.find("pairing") is not None
+
+    def test_chain_receipt_span_attrs(self):
+        class Toy(Contract):
+            @external
+            def ping(self) -> int:
+                self.emit("Pinged", value=7)
+                return 7
+
+        chain = Blockchain()
+        sender = chain.create_account(funded=10**9)
+        toy = Toy()
+        chain.deploy(toy, sender)
+        telemetry.set_level(telemetry.TRACE)
+        with telemetry.span("step") as sp:
+            receipt = chain.transact(sender, toy, "ping")
+            sp.set_attrs(receipt.span_attrs())
+        (root,) = telemetry.finished_roots()
+        assert root.attrs["tx.method"] == "ping"
+        assert root.attrs["tx.status"] is True
+        assert root.attrs["tx.gas"] > 21000
+        assert root.attrs["tx.events"] == ["Pinged"]
+        failed = chain.transact(sender, toy, "ping", gas_limit=1)
+        attrs = failed.span_attrs(prefix="fail")
+        assert attrs["fail.status"] is False and "fail.error" in attrs
