@@ -12,6 +12,7 @@ import time
 
 from conftest import print_table, run_once
 
+from repro.costmodel import measure_pairing_seconds
 from repro.groth16 import (
     groth16_prove,
     groth16_setup,
@@ -79,23 +80,31 @@ def test_fig7_verification_time(benchmark, snark_ctx):
 
     ops_p = plonk_ops(None)
     ops_g = groth16_ops(ELL_SWEEP[-1])
+    # Measured (not just counted) pairing cost: time the engine's real
+    # pairing_check kernel at each verifier's Miller-loop count.
+    pairing_p = measure_pairing_seconds(ops_p["miller_loops"])
+    pairing_g = measure_pairing_seconds(ops_g["miller_loops"])
     print_table(
         "Section VI-B3 - succinctness",
-        ["system", "pairings", "G1 exps", "proof size"],
+        ["system", "pairings", "measured pairing cost", "G1 exps", "proof size"],
         [
-            ("ZKDET/Plonk", ops_p["pairings"], ops_p["g1_scalar_mults"],
-             "%d B (9 G1 + 6 F)" % ops_p["proof_size_bytes"]),
+            ("ZKDET/Plonk", ops_p["pairings"], "%.4f s" % pairing_p,
+             ops_p["g1_scalar_mults"], "%d B (9 G1 + 6 F)" % ops_p["proof_size_bytes"]),
             ("ZKCP/Groth16 (ell=%d)" % ELL_SWEEP[-1], ops_g["pairings"],
-             ops_g["g1_scalar_mults"], "%d B" % ops_g["proof_size_bytes"]),
+             "%.4f s" % pairing_g, ops_g["g1_scalar_mults"],
+             "%d B" % ops_g["proof_size_bytes"]),
         ],
     )
 
     # Shape assertions: Plonk flat within noise; Groth16's verifier work
-    # grows linearly in ell (structural — the timing delta at these sizes
-    # is dominated by the pairings, so we assert on the op counts); at
-    # every point Groth16's 3-pairing check loses to Plonk's 2 pairings.
+    # grows linearly in ell.  With the fast pairing engine the 3-vs-2
+    # Miller-loop gap is only a few milliseconds, so the growth now shows
+    # in wall-clock too: the ell=512 vk_x MSM costs tens of milliseconds
+    # in pure Python, well clear of timing noise, while Plonk's verifier
+    # never sees ell-dependent group work.
     plonk_times = [t for _, t, _ in plonk_rows]
     groth_times = [t for _, t, _ in groth_rows]
     assert max(plonk_times) < 2.5 * min(plonk_times)  # flat-ish
     assert groth16_ops(ELL_SWEEP[-1])["g1_scalar_mults"] > groth16_ops(ELL_SWEEP[0])["g1_scalar_mults"]
-    assert groth_times[-1] > plonk_times[-1]  # ZKDET wins
+    assert groth_times[-1] > groth_times[0] + 0.010  # measured linear growth
+    assert pairing_g > pairing_p  # 3 Miller loops cost more than 2

@@ -1,0 +1,118 @@
+"""Pairing engine speedup: fast tower pipeline vs the frozen reference.
+
+The rewrite in :mod:`repro.curve.pairing` (projective F_q2 Miller loop,
+013-sparse line accumulation, cyclotomic final exponentiation, prepared
+G2) must beat the seed implementation kept in
+:mod:`repro.curve.pairing_ref` by at least 5x on a cold 2-pairing check
+and 8x warm (prepared-G2 cache hit, only G1-side work left).  Both
+pytest and ``python benchmarks/bench_pairing.py [--quick]`` enforce the
+floors; either path writes ``BENCH_pairing.json`` with the speedup
+ratios via the shared table emitter.
+"""
+
+import argparse
+import importlib
+import sys
+import time
+
+from conftest import print_table, run_once
+
+from repro.backend import get_engine
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+
+# The package re-exports the `pairing` *function* as an attribute, which
+# shadows the submodule on `from repro.curve import pairing`; go through
+# importlib to get the modules themselves.
+fast = importlib.import_module("repro.curve.pairing")
+ref = importlib.import_module("repro.curve.pairing_ref")
+
+COLD_SPEEDUP_FLOOR = 5.0
+WARM_SPEEDUP_FLOOR = 8.0
+
+
+def _pairs():
+    """A non-degenerate 2-pair product equal to one: e(aP,bQ)e(-P,abQ)."""
+    g1, g2 = G1.generator(), G2.generator()
+    a, b = 7, 13
+    return [(g1 * a, g2 * b), (-g1, g2 * (a * b))]
+
+
+def _best(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(repeats: int = 3) -> dict:
+    """Time reference vs fast (cold and warm) 2-pair checks."""
+    pairs = _pairs()
+    engine = get_engine()
+
+    ref_s, ref_ok = _best(lambda: ref.pairing_check(pairs), repeats)
+    cold_s, cold_ok = _best(lambda: fast.pairing_check(pairs), repeats)
+
+    # Warm: the engine's prepared_g2 cache already holds both G2 points
+    # after one priming call, so only the G1-side evaluation remains.
+    engine.pairing_check(pairs)
+    warm_s, warm_ok = _best(lambda: engine.pairing_check(pairs), repeats)
+
+    assert ref_ok and cold_ok and warm_ok, "pairing checks disagree on a valid product"
+    return {
+        "ref_seconds": ref_s,
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "cold_speedup": ref_s / cold_s,
+        "warm_speedup": ref_s / warm_s,
+    }
+
+
+def report(results: dict) -> None:
+    print_table(
+        "pairing",
+        ["measurement", "seconds", "speedup vs reference"],
+        [
+            ("reference 2-pair check", "%.4f" % results["ref_seconds"], "1.0x"),
+            ("fast cold (incl. prepare_g2)", "%.4f" % results["cold_seconds"],
+             "%.1fx" % results["cold_speedup"]),
+            ("fast warm (prepared-G2 cache)", "%.4f" % results["warm_seconds"],
+             "%.1fx" % results["warm_speedup"]),
+            ("required floors", "-", ">=%.0fx cold / >=%.0fx warm"
+             % (COLD_SPEEDUP_FLOOR, WARM_SPEEDUP_FLOOR)),
+        ],
+    )
+
+
+def test_pairing_speedup(benchmark):
+    results = {}
+
+    def run():
+        results.update(measure(repeats=2))
+
+    run_once(benchmark, run)
+    report(results)
+    assert results["cold_speedup"] >= COLD_SPEEDUP_FLOOR
+    assert results["warm_speedup"] >= WARM_SPEEDUP_FLOOR
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single timing rep per measurement (CI smoke mode)",
+    )
+    args = parser.parse_args()
+    results = measure(repeats=1 if args.quick else 3)
+    report(results)
+    ok = (
+        results["cold_speedup"] >= COLD_SPEEDUP_FLOOR
+        and results["warm_speedup"] >= WARM_SPEEDUP_FLOOR
+    )
+    if not ok:
+        print("FAIL: speedup below the %.0fx/%.0fx floors"
+              % (COLD_SPEEDUP_FLOOR, WARM_SPEEDUP_FLOOR))
+        sys.exit(1)

@@ -53,6 +53,11 @@ from repro.curve.g2 import (
     jac2_double,
 )
 from repro.curve.msm import msm_g2_jacobian, msm_jacobian
+from repro.curve.pairing import (
+    PreparedG2,
+    pairing_check as _pairing_check_prepared,
+    prepare_g2,
+)
 from repro.field.fr import MODULUS as _R, batch_inverse as _fr_batch_inverse
 from repro.field.ntt import COSET_SHIFT, Domain
 
@@ -154,6 +159,8 @@ class Engine:
         self._fb_tables: dict[tuple, _FixedBaseTable] = {}
         self._eval_cache: OrderedDict = OrderedDict()
         self.eval_cache_capacity = 64
+        self._prepared_g2_cache: OrderedDict = OrderedDict()
+        self.prepared_g2_capacity = 64
 
     # ------------------------------------------------------------------ NTT
 
@@ -347,6 +354,55 @@ class Engine:
         if isinstance(base, G1):
             return G1.from_jacobian(jac)
         return G2.from_jacobian(jac)
+
+    # -------------------------------------------------------------- pairing
+
+    def prepared_g2(self, q_pt: G2) -> PreparedG2:
+        """The Miller-loop line coefficients of ``q_pt``, cached LRU.
+
+        Preparing a G2 point costs the entire G2-side ate loop (~64
+        projective doublings in F_q2); verification keys and SRS points
+        are pairing inputs over and over, so the cache turns every
+        pairing after the first into G1-side-only work.  Keyed by affine
+        coordinates, so equal points share an entry across SRS/VK
+        objects.
+        """
+        key = q_pt.x + q_pt.y if not q_pt.inf else None
+        prep = self._prepared_g2_cache.get(key)
+        if _tel.metrics_enabled():
+            _record_cache("prepared_g2", prep is not None)
+        if prep is None:
+            prep = prepare_g2(q_pt)
+            self._prepared_g2_cache[key] = prep
+            while len(self._prepared_g2_cache) > self.prepared_g2_capacity:
+                self._prepared_g2_cache.popitem(last=False)
+        else:
+            self._prepared_g2_cache.move_to_end(key)
+        return prep
+
+    def pairing_check(self, pairs: list, target: tuple | None = None) -> bool:
+        """Product-of-pairings check: prod e(P_i, Q_i) == target (or 1).
+
+        Each pair is ``(G1, G2 | PreparedG2)``; bare G2 points are
+        resolved through the :meth:`prepared_g2` cache before dispatch.
+        One Miller loop per pair, a *single* shared final
+        exponentiation.  ``target`` lets callers compare against a
+        precomputed GT constant (e.g. Groth16's e(alpha, beta)) instead
+        of folding it into the product.
+        """
+        if _tel.metrics_enabled():
+            _tel.counter("engine.pairing.calls").inc()
+            _tel.histogram("engine.pairing.pairs").observe(len(pairs))
+        prepared = [
+            (p, q if isinstance(q, PreparedG2) else self.prepared_g2(q))
+            for p, q in pairs
+        ]
+        return self._pairing_check(prepared, target)
+
+    def _pairing_check(self, pairs: list, target: tuple | None) -> bool:
+        if target is None:
+            return _pairing_check_prepared(pairs)
+        return _pairing_check_prepared(pairs, target)
 
     # ---------------------------------------------------------------- field
 

@@ -13,6 +13,7 @@ from repro.costmodel.model import (
     encryption_circuit_gates,
     key_negotiation_gates,
     logistic_circuit_gates,
+    measure_pairing_seconds,
     mimc_block_gates,
     mimc_ctr_element_gates,
     padded_circuit_size,
@@ -30,6 +31,7 @@ __all__ = [
     "encryption_circuit_gates",
     "key_negotiation_gates",
     "logistic_circuit_gates",
+    "measure_pairing_seconds",
     "mimc_block_gates",
     "mimc_ctr_element_gates",
     "padded_circuit_size",

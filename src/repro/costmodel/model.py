@@ -117,6 +117,45 @@ def padded_circuit_size(gates: int) -> int:
     return n
 
 
+# ----- measured pairing cost ------------------------------------------------------
+
+
+def measure_pairing_seconds(pairs: int = 2, repeats: int = 3, engine=None) -> float:
+    """Wall-clock seconds of one ``pairs``-way pairing product check.
+
+    Runs the engine's real ``pairing_check`` kernel on small generator
+    multiples and returns the fastest of ``repeats`` runs.  This is the
+    *measured* counterpart to the counted op numbers in the
+    ``verification_group_operations`` tables: a verifier doing k Miller
+    loops costs roughly ``measure_pairing_seconds(k)``, with the G2-side
+    preparation amortised by the engine's prepared-G2 cache exactly as it
+    is in real verification.
+    """
+    import time
+
+    from repro.backend import get_engine
+    from repro.curve.g1 import G1
+    from repro.curve.g2 import G2
+
+    if pairs < 1:
+        raise ReproError("a pairing check needs at least one pair")
+    engine = engine or get_engine()
+    g1, g2 = G1.generator(), G2.generator()
+    # Non-degenerate product that still equals one, so the check follows
+    # the verifier's real success path: prod e(k*G1, G2) * e(-sum*G1, G2).
+    scalars = list(range(2, pairs + 1))
+    inputs = [(g1 * k, g2) for k in scalars]
+    inputs.append((-(g1 * (sum(scalars) or 1)), g2))
+    if not scalars:  # pairs == 1: a single deliberately-failing pair
+        inputs = [(g1, g2)]
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        engine.pairing_check(inputs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 # ----- timing models --------------------------------------------------------------
 
 

@@ -14,7 +14,16 @@ This is the curve the paper's Circom/Snarkjs prototype uses ("BN-128").
 
 from repro.curve.g1 import G1
 from repro.curve.g2 import G2
-from repro.curve.pairing import pairing, pairing_check
+from repro.curve.pairing import PreparedG2, pairing, pairing_check, prepare_g2
 from repro.curve.msm import msm_g1, msm_g2
 
-__all__ = ["G1", "G2", "pairing", "pairing_check", "msm_g1", "msm_g2"]
+__all__ = [
+    "G1",
+    "G2",
+    "PreparedG2",
+    "pairing",
+    "pairing_check",
+    "prepare_g2",
+    "msm_g1",
+    "msm_g2",
+]

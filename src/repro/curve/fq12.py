@@ -1,16 +1,45 @@
 """The degree-12 extension field F_q12 used by the BN254 pairing.
 
 Elements are 12-tuples of ints: the coefficients of a polynomial in ``w``
-reduced modulo ``w^12 - 18*w^6 + 82`` (the standard flat representation,
-equivalent to the Fq2/Fq6/Fq12 tower with w^6 = 9 + u).  Keeping flat
-int-tuples instead of nested objects makes multiplication roughly an order
-of magnitude faster in CPython, which dominates pairing time.
+reduced modulo ``w^12 - 18*w^6 + 82`` (the flat representation, equivalent
+to the F_q2/F_q6/F_q12 tower with ``w^6 = xi = 9 + u``).  The flat form
+keeps generic products in one tight CPython loop; the *tower structure* is
+recovered on demand (:func:`fq12_to_tower` / :func:`fq12_from_tower`) for
+the kernels where it wins outright:
+
+- :func:`fq12_mul_sparse_013` — multiply by a Miller-loop line, which is
+  non-zero only at tower positions ``w^0, w^1, w^3`` (72 base mults
+  instead of 144);
+- :func:`fq12_square` — Karatsuba on the ``w^6`` split (63 mults);
+- :func:`fq12_frobenius` — precomputed ``gamma`` coefficient tables, no
+  big exponentiation;
+- :func:`fq12_cyclotomic_square` / :func:`fq12_cyclotomic_exp` — the
+  Granger-Scott squaring valid in the cyclotomic subgroup, driving the
+  final exponentiation's hard part;
+- :func:`fq12_inv` — the tower norm chain (one F_q inversion) instead of
+  an extended-Euclid polynomial GCD.
+
+Tower coordinate convention: an element is ``sum_j c_j * w^j`` with
+``c_j`` in F_q2 and ``u = w^6 - 9``, so flat index ``j`` holds
+``c_j[0] - 9*c_j[1]`` and flat index ``j + 6`` holds ``c_j[1]``.
 """
 
 from __future__ import annotations
 
 from repro.errors import FieldError
 from repro.curve.fq import Q
+from repro.curve.fq2 import (
+    XI,
+    fq2_add,
+    fq2_inv,
+    fq2_mul,
+    fq2_mul_by_nonresidue,
+    fq2_neg,
+    fq2_pow,
+    fq2_scalar,
+    fq2_square,
+    fq2_sub,
+)
 
 DEGREE = 12
 
@@ -47,6 +76,16 @@ def fq12_scalar(a: tuple, k: int) -> tuple:
     return tuple(x * k % Q for x in a)
 
 
+def _reduce(prod: list) -> tuple:
+    """Fold degrees 22..12 down using w^d = 18 w^(d-6) - 82 w^(d-12)."""
+    for d in range(22, 11, -1):
+        c = prod[d]
+        if c:
+            prod[d - 6] += _MOD_COEFF_6 * c
+            prod[d - 12] += _MOD_COEFF_0 * c
+    return tuple(c % Q for c in prod[:12])
+
+
 def fq12_mul(a: tuple, b: tuple) -> tuple:
     """Schoolbook 12x12 product followed by reduction by w^12 - 18w^6 + 82."""
     prod = [0] * 23
@@ -58,18 +97,69 @@ def fq12_mul(a: tuple, b: tuple) -> tuple:
             bj = b[j]
             if bj:
                 prod[i + j] += ai * bj
-    # Reduce degrees 22..12 using w^d = 18 w^(d-6) - 82 w^(d-12).
-    for d in range(22, 11, -1):
-        c = prod[d]
-        if c:
-            prod[d - 6] += _MOD_COEFF_6 * c
-            prod[d - 12] += _MOD_COEFF_0 * c
-            prod[d] = 0
-    return tuple(c % Q for c in prod[:12])
+    return _reduce(prod)
+
+
+def _square_half(p: tuple) -> list:
+    """Square a degree-5 coefficient slice (21 mults, no reduction)."""
+    out = [0] * 11
+    for i in range(6):
+        pi = p[i]
+        if pi == 0:
+            continue
+        out[2 * i] += pi * pi
+        for j in range(i + 1, 6):
+            pj = p[j]
+            if pj:
+                out[i + j] += 2 * pi * pj
+    return out
 
 
 def fq12_square(a: tuple) -> tuple:
-    return fq12_mul(a, a)
+    """Karatsuba squaring on the ``a = a0 + a1*w^6`` split (63 mults).
+
+    ``a^2 = a0^2 + ((a0+a1)^2 - a0^2 - a1^2) w^6 + a1^2 w^12`` costs three
+    degree-5 symmetric squarings instead of the 144-mult dense product.
+    """
+    a0 = a[:6]
+    a1 = a[6:]
+    s0 = _square_half(a0)
+    s1 = _square_half(a1)
+    s01 = _square_half(tuple(x + y for x, y in zip(a0, a1)))
+    prod = [0] * 23
+    for i in range(11):
+        si0 = s0[i]
+        si1 = s1[i]
+        prod[i] += si0
+        prod[i + 6] += s01[i] - si0 - si1
+        prod[i + 12] += si1
+    return _reduce(prod)
+
+
+def fq12_mul_sparse_013(a: tuple, e0: tuple, e1: tuple, e3: tuple) -> tuple:
+    """Multiply ``a`` by the sparse element ``e0 + e1*w + e3*w^3``.
+
+    ``e0, e1, e3`` are F_q2 tower coefficients — exactly the shape of a
+    Miller-loop line evaluation (see :mod:`repro.curve.pairing`).  The
+    sparse operand has six non-zero flat coefficients, so the product
+    costs 72 base-field mults instead of the dense 144.
+    """
+    prod = [0] * 23
+    for j, (c0, c1) in ((0, e0), (1, e1), (3, e3)):
+        lo = (c0 - 9 * c1) % Q
+        if lo:
+            for i in range(12):
+                ai = a[i]
+                if ai:
+                    prod[i + j] += ai * lo
+        hi = c1 % Q
+        if hi:
+            jh = j + 6
+            for i in range(12):
+                ai = a[i]
+                if ai:
+                    prod[i + jh] += ai * hi
+    return _reduce(prod)
 
 
 def fq12_pow(a: tuple, e: int) -> tuple:
@@ -81,60 +171,186 @@ def fq12_pow(a: tuple, e: int) -> tuple:
     while e:
         if e & 1:
             result = fq12_mul(result, base)
-        base = fq12_mul(base, base)
+        base = fq12_square(base)
         e >>= 1
     return result
 
 
-def _poly_degree(p: list[int]) -> int:
-    d = len(p) - 1
-    while d >= 0 and p[d] % Q == 0:
-        d -= 1
-    return d
+# ----- tower views ---------------------------------------------------------
 
 
-def _poly_rounded_div(a: list[int], b: list[int]) -> list[int]:
-    """Quotient of polynomial division over F_q (py_ecc style)."""
-    dega = _poly_degree(a)
-    degb = _poly_degree(b)
-    temp = [x % Q for x in a]
-    out = [0] * len(a)
-    lead_inv = pow(b[degb], Q - 2, Q)
-    for i in range(dega - degb, -1, -1):
-        out[i] = (out[i] + temp[degb + i] * lead_inv) % Q
-        for c in range(degb + 1):
-            temp[c + i] = (temp[c + i] - out[i] * b[c]) % Q
-    return out[: _poly_degree(out) + 1] or [0]
+def fq12_to_tower(a: tuple) -> list:
+    """The six F_q2 tower coefficients ``c_j`` of ``sum_j c_j w^j``."""
+    return [((a[j] + 9 * a[j + 6]) % Q, a[j + 6]) for j in range(6)]
+
+
+def fq12_from_tower(coeffs: list) -> tuple:
+    """Inverse of :func:`fq12_to_tower`."""
+    out = [0] * 12
+    for j, (c0, c1) in enumerate(coeffs):
+        out[j] = (c0 - 9 * c1) % Q
+        out[j + 6] = c1 % Q
+    return tuple(out)
+
+
+def fq12_conjugate(a: tuple) -> tuple:
+    """``a^(q^6)``: negate the odd-degree coefficients.
+
+    In the cyclotomic subgroup (any Miller output after the easy part of
+    the final exponentiation) this *is* the inverse, which is why the
+    hard part never needs a real inversion.
+    """
+    return tuple(a[i] % Q if i % 2 == 0 else -a[i] % Q for i in range(12))
+
+
+# Frobenius gamma tables: (w^j)^(q^i) = conj^i(w^j) * xi^(j*(q^i-1)/6) * w^j,
+# so pi^i acts coefficientwise as c_j -> conj^i(c_j) * _FROB_GAMMA[i-1][j].
+# Computed once at import (three fq2_pow calls per table).
+_FROB_GAMMA = tuple(
+    tuple(fq2_pow(XI, j * ((Q**i - 1) // 6)) for j in range(6)) for i in (1, 2, 3)
+)
+
+
+def fq12_frobenius(a: tuple, power: int = 1) -> tuple:
+    """``a^(q^power)`` for ``power`` in {1, 2, 3} via the gamma tables."""
+    if power not in (1, 2, 3):
+        raise FieldError("fq12_frobenius supports powers 1..3, got %r" % (power,))
+    gammas = _FROB_GAMMA[power - 1]
+    odd = power % 2
+    coeffs = fq12_to_tower(a)
+    out = []
+    for j, c in enumerate(coeffs):
+        if odd:
+            c = (c[0], -c[1] % Q)
+        out.append(fq2_mul(c, gammas[j]))
+    return fq12_from_tower(out)
+
+
+# ----- cyclotomic subgroup kernels ----------------------------------------
+
+
+def _fp4_square(a: tuple, b: tuple) -> tuple:
+    """Squaring in F_q4 = F_q2[y]/(y^2 - xi), used by Granger-Scott."""
+    t0 = fq2_square(a)
+    t1 = fq2_square(b)
+    c0 = fq2_add(fq2_mul_by_nonresidue(t1), t0)
+    c1 = fq2_sub(fq2_sub(fq2_square(fq2_add(a, b)), t0), t1)
+    return c0, c1
+
+
+def fq12_cyclotomic_square(a: tuple) -> tuple:
+    """Granger-Scott squaring, valid when ``a^(q^6+1) = 1``.
+
+    Three F_q4 squarings (18 F_q2 mult-equivalents) instead of a generic
+    F_q12 squaring; only correct inside the cyclotomic subgroup, which is
+    where the final exponentiation's hard part lives.
+    """
+    # Granger-Scott variable naming over the tower coefficients c_j at
+    # w^j: the three F_q4 pairs are (z0, z1) = (c_0, c_3),
+    # (z2, z3) = (c_1, c_4) and (z4, z5) = (c_2, c_5).
+    c = fq12_to_tower(a)
+    z0, z2, z4 = c[0], c[1], c[2]
+    z1, z3, z5 = c[3], c[4], c[5]
+    t0, t1 = _fp4_square(z0, z1)
+    z0 = fq2_add(fq2_scalar(fq2_sub(t0, z0), 2), t0)
+    z1 = fq2_add(fq2_scalar(fq2_add(t1, z1), 2), t1)
+    t0, t1 = _fp4_square(z2, z3)
+    t2, t3 = _fp4_square(z4, z5)
+    z4 = fq2_add(fq2_scalar(fq2_sub(t0, z4), 2), t0)
+    z5 = fq2_add(fq2_scalar(fq2_add(t1, z5), 2), t1)
+    t0 = fq2_mul_by_nonresidue(t3)
+    z2 = fq2_add(fq2_scalar(fq2_add(t0, z2), 2), t0)
+    z3 = fq2_add(fq2_scalar(fq2_sub(t2, z3), 2), t2)
+    return fq12_from_tower([z0, z2, z4, z1, z3, z5])
+
+
+def fq12_cyclotomic_exp(a: tuple, e: int) -> tuple:
+    """``a^e`` with cyclotomic squarings (``a`` must be cyclotomic).
+
+    Negative exponents use conjugation as inversion, which is exact in
+    the cyclotomic subgroup.
+    """
+    if e == 0:
+        return FQ12_ONE
+    if e < 0:
+        a = fq12_conjugate(a)
+        e = -e
+    result = a
+    for bit in bin(e)[3:]:
+        result = fq12_cyclotomic_square(result)
+        if bit == "1":
+            result = fq12_mul(result, a)
+    return result
+
+
+# ----- F_q6 helpers for the tower inversion --------------------------------
+
+
+def _fq6_mul(a: tuple, b: tuple) -> tuple:
+    """Toom-style F_q6 product on (c0, c1, c2) triples over F_q2."""
+    a0, a1, a2 = a
+    b0, b1, b2 = b
+    v0 = fq2_mul(a0, b0)
+    v1 = fq2_mul(a1, b1)
+    v2 = fq2_mul(a2, b2)
+    c0 = fq2_add(
+        v0,
+        fq2_mul_by_nonresidue(
+            fq2_sub(fq2_sub(fq2_mul(fq2_add(a1, a2), fq2_add(b1, b2)), v1), v2)
+        ),
+    )
+    c1 = fq2_add(
+        fq2_sub(fq2_sub(fq2_mul(fq2_add(a0, a1), fq2_add(b0, b1)), v0), v1),
+        fq2_mul_by_nonresidue(v2),
+    )
+    c2 = fq2_add(
+        fq2_sub(fq2_sub(fq2_mul(fq2_add(a0, a2), fq2_add(b0, b2)), v0), v2), v1
+    )
+    return (c0, c1, c2)
+
+
+def _fq6_inv(a: tuple) -> tuple:
+    """F_q6 inversion by the norm-like chain (one F_q2 inversion)."""
+    a0, a1, a2 = a
+    c0 = fq2_sub(fq2_square(a0), fq2_mul_by_nonresidue(fq2_mul(a1, a2)))
+    c1 = fq2_sub(fq2_mul_by_nonresidue(fq2_square(a2)), fq2_mul(a0, a1))
+    c2 = fq2_sub(fq2_square(a1), fq2_mul(a0, a2))
+    t = fq2_add(
+        fq2_mul(a0, c0),
+        fq2_mul_by_nonresidue(fq2_add(fq2_mul(a2, c1), fq2_mul(a1, c2))),
+    )
+    tinv = fq2_inv(t)
+    return (fq2_mul(c0, tinv), fq2_mul(c1, tinv), fq2_mul(c2, tinv))
+
+
+def _fq6_mul_by_v(a: tuple) -> tuple:
+    """Multiply an F_q6 element by ``v`` (``v^3 = xi``)."""
+    return (fq2_mul_by_nonresidue(a[2]), a[0], a[1])
 
 
 def fq12_inv(a: tuple) -> tuple:
-    """Inverse via the extended Euclidean algorithm on polynomials."""
+    """Inversion via the tower norm chain.
+
+    Writing ``a = c0 + c1*w`` over F_q6 (``w^2 = v``), the inverse is
+    ``(c0 - c1*w) / (c0^2 - v*c1^2)`` — two F_q6 products, one F_q6
+    inversion and ultimately a single F_q inversion, replacing the
+    seed's extended-Euclid polynomial GCD (kept for the reference oracle
+    in :mod:`repro.curve.pairing_ref`).
+    """
     if all(c % Q == 0 for c in a):
         raise FieldError("inverse of zero in Fq12")
-    lm: list[int] = [1] + [0] * DEGREE
-    hm: list[int] = [0] * (DEGREE + 1)
-    low: list[int] = [c % Q for c in a] + [0]
-    # Modulus polynomial m(w) = w^12 - 18 w^6 + 82 (note: the *negatives* of
-    # the reduction rule w^12 = 18 w^6 - 82).
-    high: list[int] = [(-_MOD_COEFF_0) % Q] + [0] * 5 + [(-_MOD_COEFF_6) % Q] + [0] * 5 + [1]
-    while _poly_degree(low) > 0:
-        r = _poly_rounded_div(high, low)
-        r += [0] * (DEGREE + 1 - len(r))
-        nm = list(hm)
-        new = list(high)
-        for i in range(DEGREE + 1):
-            li = lm[i]
-            lo = low[i]
-            if li == 0 and lo == 0:
-                continue
-            for j in range(DEGREE + 1 - i):
-                rj = r[j]
-                if rj:
-                    nm[i + j] = (nm[i + j] - li * rj) % Q
-                    new[i + j] = (new[i + j] - lo * rj) % Q
-        lm, low, hm, high = nm, new, lm, low
-    c0_inv = pow(low[0], Q - 2, Q)
-    return tuple(lm[i] * c0_inv % Q for i in range(DEGREE))
+    t = fq12_to_tower(a)
+    c0 = (t[0], t[2], t[4])
+    c1 = (t[1], t[3], t[5])
+    c0sq = _fq6_mul(c0, c0)
+    c1sq = _fq6_mul(c1, c1)
+    norm = tuple(fq2_sub(x, y) for x, y in zip(c0sq, _fq6_mul_by_v(c1sq)))
+    ninv = _fq6_inv(norm)
+    r0 = _fq6_mul(c0, ninv)
+    r1 = _fq6_mul(c1, ninv)
+    return fq12_from_tower(
+        [r0[0], fq2_neg(r1[0]), r0[1], fq2_neg(r1[1]), r0[2], fq2_neg(r1[2])]
+    )
 
 
 def fq12_eq(a: tuple, b: tuple) -> bool:

@@ -7,6 +7,20 @@ one participant was honest.
 """
 
 from repro.kzg.srs import SRS, Ceremony
-from repro.kzg.commit import commit, open_at, verify_opening
+from repro.kzg.commit import (
+    batch_verify_openings,
+    commit,
+    fold_opening_claims,
+    open_at,
+    verify_opening,
+)
 
-__all__ = ["SRS", "Ceremony", "commit", "open_at", "verify_opening"]
+__all__ = [
+    "SRS",
+    "Ceremony",
+    "batch_verify_openings",
+    "commit",
+    "fold_opening_claims",
+    "open_at",
+    "verify_opening",
+]

@@ -19,7 +19,6 @@ from __future__ import annotations
 from repro.errors import VerificationError
 from repro.backend import get_engine
 from repro.curve.g1 import G1
-from repro.curve.pairing import pairing_check
 from repro.field.fr import rand_fr
 from repro.plonk.keys import VerifyingKey
 from repro.plonk.proof import Proof
@@ -59,4 +58,4 @@ def batch_verify(
 
     combined_lhs = engine.msm_g1(lhs_points, weights)
     combined_rhs = engine.msm_g1(rhs_points, weights)
-    return pairing_check([(combined_lhs, g2_tau), (-combined_rhs, g2)])
+    return engine.pairing_check([(combined_lhs, g2_tau), (-combined_rhs, g2)])

@@ -10,7 +10,6 @@ from __future__ import annotations
 from repro import telemetry
 from repro.backend import get_engine
 from repro.curve.g1 import G1
-from repro.curve.pairing import pairing_check
 from repro.field.fr import MODULUS as R
 from repro.plonk.circuit import K1, K2
 from repro.plonk.keys import VerifyingKey
@@ -20,6 +19,7 @@ from repro.plonk.transcript import Transcript
 
 def verify(vk: VerifyingKey, public_inputs: list[int], proof: Proof, engine=None) -> bool:
     """Check ``proof`` against ``vk`` and the public inputs."""
+    engine = engine or get_engine()
     with telemetry.span("plonk.verify", n=vk.n, public_inputs=len(public_inputs)) as sp:
         prepared = prepare_pairing_inputs(vk, public_inputs, proof, engine=engine)
         if prepared is None:
@@ -27,7 +27,7 @@ def verify(vk: VerifyingKey, public_inputs: list[int], proof: Proof, engine=None
             return False
         lhs_g1, rhs_g1 = prepared
         with telemetry.span("pairing"):
-            ok = pairing_check([(lhs_g1, vk.g2_tau), (-rhs_g1, vk.g2)])
+            ok = engine.pairing_check([(lhs_g1, vk.g2_tau), (-rhs_g1, vk.g2)])
         sp.set_attr("ok", ok)
         return ok
 
@@ -178,6 +178,8 @@ def verification_group_operations(vk: VerifyingKey) -> dict:
     """
     return {
         "pairings": 2,
+        "miller_loops": 2,
+        "final_exponentiations": 1,
         "g1_scalar_mults": 18,
         "field_ops_per_public_input": 3,
         "proof_size_bytes": 9 * 64 + 6 * 32,

@@ -1,10 +1,11 @@
-"""Tests for batched Plonk verification."""
+"""Tests for batched verification: Plonk proofs and KZG openings."""
 
 import pytest
 
 from repro.curve.g1 import G1
 from repro.errors import VerificationError
-from repro.kzg import SRS
+from repro.field.fr import MODULUS as R
+from repro.kzg import SRS, batch_verify_openings, commit, open_at, verify_opening
 from repro.plonk import CircuitBuilder, batch_verify, prove, setup, verify
 
 pytestmark = pytest.mark.slow
@@ -75,3 +76,51 @@ class TestBatchVerify:
         foreign = (vk, [4], prove(pk, assignment))
         with pytest.raises(VerificationError):
             batch_verify([instances[0], foreign])
+
+
+@pytest.fixture(scope="module")
+def kzg_openings():
+    """An SRS plus several (commitment, z, value, proof) opening claims."""
+    srs = SRS.generate(16, tau=11111)
+    claims = []
+    for i, coeffs in enumerate(([3, 1, 4, 1, 5], [2, 7, 1, 8], [1, 0, 0, 9])):
+        c = commit(srs, coeffs)
+        z = 100 + 17 * i
+        value, proof = open_at(srs, coeffs, z)
+        claims.append((c, z, value, proof))
+    return srs, claims
+
+
+class TestBatchVerifyOpenings:
+    def test_valid_batch_accepts(self, kzg_openings):
+        srs, claims = kzg_openings
+        for claim in claims:  # each claim really is individually valid
+            assert verify_opening(srs, *claim)
+        assert batch_verify_openings(srs, claims)
+
+    def test_empty_batch(self, kzg_openings):
+        srs, _ = kzg_openings
+        assert batch_verify_openings(srs, [])
+
+    def test_single_claim(self, kzg_openings):
+        srs, claims = kzg_openings
+        assert batch_verify_openings(srs, claims[:1])
+
+    def test_poisoned_value_rejects(self, kzg_openings):
+        srs, claims = kzg_openings
+        c, z, value, proof = claims[1]
+        poisoned = list(claims)
+        poisoned[1] = (c, z, (value + 1) % R, proof)
+        assert not batch_verify_openings(srs, poisoned)
+
+    def test_poisoned_proof_rejects(self, kzg_openings):
+        srs, claims = kzg_openings
+        c, z, value, proof = claims[2]
+        poisoned = list(claims)
+        poisoned[2] = (c, z, value, proof + G1.generator())
+        assert not batch_verify_openings(srs, poisoned)
+
+    def test_swapped_commitments_reject(self, kzg_openings):
+        srs, claims = kzg_openings
+        (c0, z0, v0, w0), (c1, z1, v1, w1) = claims[0], claims[1]
+        assert not batch_verify_openings(srs, [(c1, z0, v0, w0), (c0, z1, v1, w1)])

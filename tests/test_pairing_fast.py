@@ -1,0 +1,188 @@
+"""The fast pairing pipeline vs the frozen reference oracle.
+
+The rewrite in ``repro.curve.pairing`` must be *observationally
+identical* to the seed implementation preserved in
+``repro.curve.pairing_ref``: randomized equivalence on full pairings,
+final exponentiation and post-final-exp Miller loops (the raw loop
+outputs differ by a per-line F_q2 normalisation that the final exp
+annihilates), plus bilinearity, degenerate inputs, prepared-G2
+bit-identity and the engine kernel's telemetry accounting.
+"""
+
+import importlib
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.backend.parallel import ParallelEngine
+from repro.backend.serial import SerialEngine
+from repro.curve.fq12 import FQ12_ONE, fq12_eq, fq12_pow
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+from repro.field.fr import MODULUS as R
+
+# The package re-exports the `pairing` function as an attribute, which
+# shadows the submodule on `from repro.curve import pairing`.
+fast = importlib.import_module("repro.curve.pairing")
+ref = importlib.import_module("repro.curve.pairing_ref")
+
+_rng = random.Random(0xC0FFEE)
+
+
+def _rand_pair():
+    a = _rng.randrange(1, R)
+    b = _rng.randrange(1, R)
+    return G1.generator() * a, G2.generator() * b
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    previous = telemetry.set_level(telemetry.OFF)
+    telemetry.reset_metrics()
+    yield
+    telemetry.set_level(previous)
+    telemetry.reset_metrics()
+
+
+class TestEquivalence:
+    def test_loop_constants_match(self):
+        assert fast.ATE_LOOP_COUNT == ref.ATE_LOOP_COUNT
+        assert fast.FINAL_EXP == ref.FINAL_EXP
+        assert fast.ATE_LOOP_COUNT == 6 * fast.BN_U + 2
+
+    def test_full_pairing_matches_reference(self):
+        for _ in range(2):
+            p, q = _rand_pair()
+            assert fast.pairing(p, q) == ref.pairing(p, q)
+
+    def test_miller_loop_matches_after_final_exp(self):
+        # Raw loop outputs differ by an F_q2 scaling per line (projective
+        # vs affine lines); the final exponentiation kills the difference.
+        p, q = _rand_pair()
+        fast_ml = fast.miller_loop(q, p)
+        ref_ml = ref.miller_loop(q, p)
+        assert fq12_eq(ref.final_exponentiation(fast_ml), ref.final_exponentiation(ref_ml))
+
+    def test_final_exponentiation_matches_reference(self):
+        # The decomposed final exp must equal the plain power for *any*
+        # input, not just Miller outputs.
+        p, q = _rand_pair()
+        x = fast.miller_loop(q, p)
+        assert fq12_eq(fast.final_exponentiation(x), ref.final_exponentiation(x))
+
+    def test_pairing_check_matches_reference(self):
+        p, q = _rand_pair()
+        a = _rng.randrange(2, 1000)
+        good = [(p * a, q), (-p, q * a)]
+        bad = [(p * a, q), (-p, q * (a + 1))]
+        assert fast.pairing_check(good) and ref.pairing_check(good)
+        assert not fast.pairing_check(bad) and not ref.pairing_check(bad)
+
+
+class TestPairingProperties:
+    def test_bilinearity(self):
+        p, q = G1.generator() * 3, G2.generator() * 5
+        a, b = 1234, 5678
+        e_ab = fast.pairing(p * a, q * b)
+        e = fast.pairing(p, q)
+        assert fq12_eq(e_ab, fq12_pow(e, a * b))
+        assert fq12_eq(fast.pairing(p * a, q), fast.pairing(p, q * a))
+
+    def test_nondegenerate(self):
+        assert not fq12_eq(fast.pairing(G1.generator(), G2.generator()), FQ12_ONE)
+
+    def test_infinity_inputs(self):
+        p, q = _rand_pair()
+        inf1 = G1.identity()
+        inf2 = G2.identity()
+        assert fq12_eq(fast.pairing(inf1, q), FQ12_ONE)
+        assert fq12_eq(fast.pairing(p, inf2), FQ12_ONE)
+        assert fast.pairing_check([(inf1, q), (p, inf2)])
+
+    def test_pairing_type_errors(self):
+        from repro.errors import CurveError
+
+        p, q = _rand_pair()
+        with pytest.raises(CurveError):
+            fast.pairing(q, p)
+        with pytest.raises(CurveError):
+            fast.prepare_g2(p)
+
+
+class TestPreparedG2:
+    def test_prepared_matches_unprepared_bit_for_bit(self):
+        p, q = _rand_pair()
+        prep = fast.prepare_g2(q)
+        assert fast.miller_loop_prepared(prep, p) == fast.miller_loop(q, p)
+
+    def test_prepared_infinity(self):
+        prep = fast.prepare_g2(G2.identity())
+        assert prep.inf and prep.coeffs == ()
+        assert fast.miller_loop_prepared(prep, G1.generator()) == FQ12_ONE
+
+    def test_multi_miller_loop_accepts_mixed_inputs(self):
+        p, q = _rand_pair()
+        a = 77
+        pairs_raw = [(p * a, q), (-p, q * a)]
+        pairs_mixed = [(p * a, fast.prepare_g2(q)), (-p, q * a)]
+        assert fast.multi_miller_loop(pairs_raw) == fast.multi_miller_loop(pairs_mixed)
+        assert fast.pairing_check(pairs_mixed)
+
+
+class TestEngineKernel:
+    def _pairs(self):
+        p = G1.generator() * 9
+        q = G2.generator() * 4
+        return [(p * 21, q), (-p, q * 21)]
+
+    def test_engine_check_and_cache_accounting(self):
+        telemetry.set_level(telemetry.METRICS)
+        engine = SerialEngine()
+        pairs = self._pairs()
+        assert engine.pairing_check(pairs)
+        assert engine.pairing_check(pairs)  # second call: all G2 prepared
+        counters = telemetry.registry().counter_values()
+        assert counters["engine.pairing.calls"] == 2
+        assert counters["engine.cache.misses{cache=prepared_g2}"] == 2
+        assert counters["engine.cache.hits{cache=prepared_g2}"] == 2
+        hist = telemetry.registry().histogram("engine.pairing.pairs")
+        assert hist.count == 2 and hist.total == 4
+
+    def test_engine_check_target(self):
+        engine = SerialEngine()
+        p, q = G1.generator() * 5, G2.generator() * 8
+        target = fast.pairing(p, q)
+        assert engine.pairing_check([(p, q)], target=target)
+        assert not engine.pairing_check([(p, q)], target=FQ12_ONE)
+
+    def test_prepared_cache_evicts_lru(self):
+        engine = SerialEngine()
+        engine.prepared_g2_capacity = 2
+        qs = [G2.generator() * k for k in (2, 3, 4)]
+        for q in qs:
+            engine.prepared_g2(q)
+        assert len(engine._prepared_g2_cache) == 2
+        telemetry.set_level(telemetry.METRICS)
+        engine.prepared_g2(qs[0])  # evicted: a miss again
+        counters = telemetry.registry().counter_values()
+        assert counters["engine.cache.misses{cache=prepared_g2}"] == 1
+
+    def test_parallel_and_serial_report_identical_totals(self):
+        pairs = self._pairs()
+
+        def measured(engine):
+            telemetry.reset_metrics()
+            assert engine.pairing_check(pairs)
+            assert engine.pairing_check(pairs)
+            return telemetry.registry().counter_values()
+
+        telemetry.set_level(telemetry.METRICS)
+        serial_counts = measured(SerialEngine())
+        parallel = ParallelEngine(workers=2)
+        try:
+            parallel_counts = measured(parallel)
+        finally:
+            parallel.close()
+        assert serial_counts == parallel_counts
+        assert serial_counts["engine.pairing.calls"] == 2
