@@ -1,0 +1,68 @@
+"""zklint: zk-aware static analysis for the ZKDET reproduction.
+
+Generic linters cannot see the invariants this codebase lives or dies
+by; this package turns them into CI failures.  Five rules ship:
+
+========  ==============================================================
+FS-001    Fiat-Shamir transcript discipline (frozen-heart bug class)
+SEC-001   secret material must not leak into exceptions/telemetry/JSON
+DET-001   no entropy or clock sources on the prover/verifier path
+FLD-001   no literal moduli, no floats outside the measurement layers
+ENG-001   protocol code routes kernels through the engine; kernels
+          record their telemetry counters
+========  ==============================================================
+
+Run it as a module (the CI ``analyze`` job does exactly this)::
+
+    python -m repro.analysis --strict src
+
+Suppress a single deliberate site with a per-line pragma::
+
+    beta = t.challenge(b"beta")  # zklint: disable=FS-001
+
+or accept pre-existing findings wholesale in ``analysis_baseline.json``
+(``--write-baseline`` regenerates it).  See ``docs/static_analysis.md``
+for the rule catalogue with before/after examples.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
+from repro.analysis.engine import (
+    AnalysisResult,
+    ModuleInfo,
+    analyze_paths,
+    collect_files,
+    module_rel,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import line_suppressions
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.rules import ALL_RULES, RULES_BY_ID, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "AnalysisConfig",
+    "AnalysisResult",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "ModuleInfo",
+    "Rule",
+    "analyze_paths",
+    "collect_files",
+    "line_suppressions",
+    "load_baseline",
+    "module_rel",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

@@ -1,0 +1,92 @@
+"""Committed-baseline support: pre-existing findings don't block CI.
+
+The baseline file (``analysis_baseline.json`` at the repository root by
+convention) records the fingerprints of findings that were present when
+the suite was introduced or a rule was tightened.  ``--strict`` then
+fails only on findings *not* in the baseline, so the suite can be adopted
+without a flag-day cleanup while still forbidding regressions.
+
+Fingerprints deliberately exclude line numbers — see
+:meth:`repro.analysis.findings.Finding.fingerprint` — so unrelated edits
+above a baselined finding do not invalidate the entry.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Conventional baseline filename, resolved against the working directory.
+DEFAULT_BASELINE_NAME = "analysis_baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Raised when a baseline file is malformed."""
+
+
+def load_baseline(path: str | Path | None) -> set[tuple[str, str, str]]:
+    """Read a baseline file into a set of finding fingerprints.
+
+    A missing path (or ``None``) yields the empty baseline; a present but
+    malformed file raises :class:`BaselineError` — silently ignoring a
+    corrupt baseline would un-suppress (or worse, mask) findings.
+    """
+    if path is None:
+        return set()
+    file_path = Path(path)
+    if not file_path.exists():
+        return set()
+    try:
+        payload = json.loads(file_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError("baseline %s is not valid JSON: %s" % (file_path, exc)) from exc
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise BaselineError("baseline %s lacks a 'findings' list" % file_path)
+    fingerprints: set[tuple[str, str, str]] = set()
+    for entry in payload["findings"]:
+        try:
+            fingerprints.add((entry["rule"], entry["path"], entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                "baseline %s entry %r lacks rule/path/message" % (file_path, entry)
+            ) from exc
+    return fingerprints
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, deduped)."""
+    entries = sorted(
+        {f.fingerprint() for f in findings},
+        key=lambda fp: (fp[1], fp[0], fp[2]),
+    )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "comment": (
+            "Pre-existing zklint findings accepted at adoption time; "
+            "new findings are rejected under --strict.  Regenerate with "
+            "python -m repro.analysis --write-baseline <paths>."
+        ),
+        "findings": [
+            {"rule": rule, "path": rel_path, "message": message}
+            for rule, rel_path, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def partition(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into (new, baselined) against the fingerprint set."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        if finding.fingerprint() in baseline:
+            old.append(finding.as_baselined())
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,56 @@
+"""The finding data model shared by every zklint rule and reporter.
+
+A :class:`Finding` is one rule violation anchored to a source location.
+Findings are *identified* by their :meth:`~Finding.fingerprint` — the
+``(rule, path, message)`` triple without the line number — so a committed
+baseline keeps matching after unrelated edits move code up or down a
+file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    baselined: bool = False
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching (line numbers excluded)."""
+        return (self.rule, self.path, self.message)
+
+    def as_baselined(self) -> "Finding":
+        return replace(self, baselined=True)
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (reporters and the baseline writer)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "baselined": self.baselined,
+        }
+
+    def render(self) -> str:
+        """The canonical one-line text form ``path:line:col: RULE message``."""
+        tag = " (baselined)" if self.baselined else ""
+        return "%s:%d:%d: %s %s%s" % (
+            self.path,
+            self.line,
+            self.col,
+            self.rule,
+            self.message,
+            tag,
+        )

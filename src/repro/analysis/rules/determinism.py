@@ -1,0 +1,81 @@
+"""DET-001 — prover/verifier/transcript modules must be deterministic.
+
+Proof systems tolerate randomness only at *designated* sampling sites
+(blinding factors, trapdoors — all funnelled through
+``field/fr.py:random_scalar``); anywhere else, a stray ``random`` or
+wall-clock read silently breaks the reproducibility the backend
+equivalence tests rely on (parallel == serial bit-identity) and, in the
+transcript path, can split prover and verifier views entirely.  This
+rule bans imports of ``random``/``secrets``/``uuid`` and calls to
+clock/entropy sources inside the deterministic scope, with a per-file
+allowlist for the designated sampling sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ModuleInfo
+
+
+class Determinism(Rule):
+    rule_id = "DET-001"
+    title = "no entropy or clock sources on the prover/verifier path"
+
+    def _in_scope(self, module: "ModuleInfo", config: "AnalysisConfig") -> bool:
+        if module.rel in config.deterministic_allowed_files:
+            return False
+        return module.rel.startswith(tuple(config.deterministic_scopes))
+
+    def check(self, module: "ModuleInfo", config: "AnalysisConfig") -> Iterator[Finding]:
+        if not self._in_scope(module, config):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in config.nondeterministic_imports:
+                        yield self._import_finding(module, node, alias.name, config)
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                if node.module in config.nondeterministic_imports or (
+                    root in config.nondeterministic_imports and node.level == 0
+                ):
+                    yield self._import_finding(module, node, node.module or root, config)
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                if callee is None:
+                    continue
+                for banned in config.nondeterministic_calls:
+                    if callee == banned.rstrip(".") or callee.startswith(banned):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            node.col_offset,
+                            "nondeterministic call %r in deterministic module %r "
+                            "(route randomness through field/fr.py:random_scalar)"
+                            % (callee, module.rel),
+                        )
+                        break
+
+    def _import_finding(
+        self,
+        module: "ModuleInfo",
+        node: ast.AST,
+        name: str,
+        config: "AnalysisConfig",
+    ) -> Finding:
+        return self.finding(
+            module,
+            node.lineno,
+            node.col_offset,
+            "import of nondeterministic module %r in deterministic module %r "
+            "(allowed sampling sites: %s)"
+            % (name, module.rel, ", ".join(sorted(config.deterministic_allowed_files))),
+        )

@@ -1,0 +1,101 @@
+"""FLD-001 — field arithmetic hygiene.
+
+Two classes of silent-corruption bug:
+
+- **Literal moduli.**  ``x % 21888242871839275222246405745257275088...``
+  duplicates the BN254 modulus as an unnamed constant; one mistyped
+  digit produces values that are *usually* right (every intermediate
+  smaller than the typo'd modulus is untouched) and catastrophically
+  wrong on the tail distribution.  All reductions must reference
+  ``repro.field.fr.MODULUS`` / ``repro.curve.fq.FIELD_MODULUS``.
+- **Floats.**  Field elements are exact integers; a float sneaking into
+  protocol code (a ``/`` instead of a modular inverse, a ``float()``
+  cast, a ``0.5`` literal) silently loses precision above 2**53.  Floats
+  are confined to the measurement layers (``costmodel/``, ``telemetry/``,
+  ``apps/``) and the fixed-point encoding boundary
+  (``gadgets/fixedpoint.py`` and friends), whose entire job is
+  converting real-valued inputs into field elements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ModuleInfo
+
+
+class FieldHygiene(Rule):
+    rule_id = "FLD-001"
+    title = "no literal moduli, no floats outside the measurement layers"
+
+    def _float_allowed(self, module: "ModuleInfo", config: "AnalysisConfig") -> bool:
+        if module.rel in config.float_allowed_files:
+            return True
+        return module.rel.startswith(tuple(config.float_allowed_dirs))
+
+    def check(self, module: "ModuleInfo", config: "AnalysisConfig") -> Iterator[Finding]:
+        float_allowed = self._float_allowed(module, config)
+        floor = config.literal_modulus_floor
+        for node in ast.walk(module.tree):
+            # x % <huge literal>: a hand-inlined modulus.
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+                right = node.right
+                if (
+                    isinstance(right, ast.Constant)
+                    and isinstance(right.value, int)
+                    and right.value >= floor
+                ):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "arithmetic modulo a literal %d-bit constant — use the "
+                        "named modulus (repro.field.fr.MODULUS or "
+                        "repro.curve.fq.FIELD_MODULUS)" % right.value.bit_length(),
+                    )
+            # pow(x, y, <huge literal>): same bug through the three-arg pow.
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "pow"
+                and len(node.args) == 3
+                and isinstance(node.args[2], ast.Constant)
+                and isinstance(node.args[2].value, int)
+                and node.args[2].value >= floor
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "pow(..., ..., <literal %d-bit modulus>) — use the named "
+                    "modulus constant" % node.args[2].value.bit_length(),
+                )
+            elif float_allowed:
+                continue
+            elif isinstance(node, ast.Constant) and isinstance(node.value, float):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "float literal %r in field/protocol module %r (floats lose "
+                    "exactness above 2**53; keep them in costmodel/apps/"
+                    "telemetry or the fixed-point boundary)"
+                    % (node.value, module.rel),
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    "float() conversion in field/protocol module %r" % module.rel,
+                )

@@ -1,0 +1,196 @@
+"""SEC-001 — secret material must not leak through observable channels.
+
+The paper's privacy guarantee is only as strong as the weakest output
+path: a witness value interpolated into an exception message ends up in
+logs; a decryption key attached to a telemetry span ends up in trace
+exports; a blinding factor in a benchmark JSON payload ends up in a CI
+artifact.  Following zkay's lead (PAPERS.md) this is enforced
+*statically*: identifiers matching the secret lexicon (see
+:class:`repro.analysis.config.AnalysisConfig`) are tainted, taint
+propagates through simple same-function assignments, and any tainted
+expression reaching one of the sinks below is a finding:
+
+- ``raise Exc(f"... {secret} ...")`` (any formatting style),
+- ``telemetry.span(..., attr=secret)`` / ``sp.set_attr(s)`` / ``set_attrs``,
+- ``print(secret, ...)``,
+- ``json.dump(s)`` payloads (the benchmark emission path).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.astutil import assigned_names, dotted_name, lexical_nodes
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ModuleInfo
+
+_ATTR_SINKS = frozenset({"set_attr", "set_attrs"})
+
+#: Calls whose results reveal nothing about a secret argument: structure,
+#: not content.  ``len(plaintext)`` in a span attribute is public metadata
+#: (the ciphertext block count is already on chain); ``str(key)`` is not.
+_SANITIZERS = frozenset({"len", "bool", "type", "isinstance", "id"})
+
+
+def _walk_value_flow(expr: ast.AST, through_calls: bool) -> Iterator[ast.AST]:
+    """Walk ``expr`` yielding nodes the *value* of which flows onward.
+
+    With ``through_calls=False``, call subtrees are skipped entirely: a
+    function's return value is not assumed to reveal its secret inputs —
+    ``prove(pk, witness)`` returns a zero-knowledge proof, which is the
+    whole point.  With ``through_calls=True`` (sink checks), calls are
+    descended *except* the :data:`_SANITIZERS`, so ``str(key)`` in an
+    f-string still counts and ``len(plaintext)`` does not.
+    """
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Call):
+            callee = dotted_name(node.func)
+            leaf = callee.split(".")[-1] if callee else ""
+            if not through_calls or leaf in _SANITIZERS:
+                continue
+            stack.extend(node.args)
+            stack.extend(kw.value for kw in node.keywords)
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class SecretLeakage(Rule):
+    rule_id = "SEC-001"
+    title = "secret identifiers must not reach exceptions, telemetry or payloads"
+
+    # ----- taint ----------------------------------------------------------
+
+    def _is_secret_identifier(self, name: str, config: "AnalysisConfig") -> bool:
+        last = name.split(".")[-1].lower()
+        if last in config.secret_exact:
+            return True
+        return any(token in config.secret_tokens for token in last.split("_"))
+
+    def _secret_names(
+        self,
+        expr: ast.AST,
+        tainted: set[str],
+        config: "AnalysisConfig",
+        through_calls: bool = True,
+    ) -> list[str]:
+        """Secret identifiers whose *values* flow out of ``expr``."""
+        found: list[str] = []
+        for node in _walk_value_flow(expr, through_calls):
+            if isinstance(node, ast.Name):
+                if node.id in tainted or self._is_secret_identifier(node.id, config):
+                    found.append(node.id)
+            elif isinstance(node, ast.Attribute):
+                if self._is_secret_identifier(node.attr, config):
+                    found.append(dotted_name(node) or node.attr)
+        return found
+
+    # ----- sinks ----------------------------------------------------------
+
+    def check(self, module: "ModuleInfo", config: "AnalysisConfig") -> Iterator[Finding]:
+        for func in module.functions:
+            yield from self._check_function(module, func, config)
+
+    def _check_function(
+        self, module: "ModuleInfo", func: ast.AST, config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        tainted: set[str] = set()
+        for node in lexical_nodes(func):
+            # One-level taint propagation through plain assignments, in
+            # lexical order: ``msg = f"...{witness}"; raise E(msg)``.
+            if isinstance(node, ast.Assign):
+                if self._secret_names(node.value, tainted, config, through_calls=False):
+                    for target in node.targets:
+                        tainted.update(assigned_names(target))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                yield from self._check_raise(module, node, tainted, config)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, tainted, config)
+
+    def _leak(
+        self, module: "ModuleInfo", node: ast.AST, names: list[str], sink: str
+    ) -> Finding:
+        return self.finding(
+            module,
+            node.lineno,
+            node.col_offset,
+            "secret identifier %r flows into %s (witness/key material must "
+            "never reach observable outputs)" % (sorted(set(names))[0], sink),
+        )
+
+    def _check_raise(
+        self,
+        module: "ModuleInfo",
+        node: ast.Raise,
+        tainted: set[str],
+        config: "AnalysisConfig",
+    ) -> Iterator[Finding]:
+        exc = node.exc
+        args: list[ast.AST] = []
+        if isinstance(exc, ast.Call):
+            args = list(exc.args) + [kw.value for kw in exc.keywords]
+        elif exc is not None:
+            args = [exc]
+        names: list[str] = []
+        for arg in args:
+            names.extend(self._secret_names(arg, tainted, config))
+        if names:
+            yield self._leak(module, node, names, "an exception message")
+
+    def _check_call(
+        self,
+        module: "ModuleInfo",
+        call: ast.Call,
+        tainted: set[str],
+        config: "AnalysisConfig",
+    ) -> Iterator[Finding]:
+        callee = dotted_name(call.func)
+        if callee is None:
+            return
+        leaf = callee.split(".")[-1]
+
+        if leaf == "print":
+            names = self._names_in(call.args + [kw.value for kw in call.keywords], tainted, config)
+            if names:
+                yield self._leak(module, call, names, "print output")
+            return
+
+        if leaf == "span" and (callee == "span" or callee.endswith("telemetry.span")):
+            # telemetry.span("name", attr=value, ...): attributes only.
+            names = self._names_in(
+                call.args[1:] + [kw.value for kw in call.keywords], tainted, config
+            )
+            if names:
+                yield self._leak(module, call, names, "a telemetry span attribute")
+            return
+
+        if leaf in _ATTR_SINKS and isinstance(call.func, ast.Attribute):
+            values = list(call.args) + [kw.value for kw in call.keywords]
+            if leaf == "set_attr" and len(call.args) >= 2:
+                values = list(call.args[1:]) + [kw.value for kw in call.keywords]
+            names = self._names_in(values, tainted, config)
+            if names:
+                yield self._leak(module, call, names, "a telemetry span attribute")
+            return
+
+        if callee in ("json.dump", "json.dumps"):
+            names = self._names_in(
+                call.args + [kw.value for kw in call.keywords], tainted, config
+            )
+            if names:
+                yield self._leak(module, call, names, "a JSON payload")
+
+    def _names_in(
+        self, exprs: list[ast.AST], tainted: set[str], config: "AnalysisConfig"
+    ) -> list[str]:
+        names: list[str] = []
+        for expr in exprs:
+            names.extend(self._secret_names(expr, tainted, config))
+        return names

@@ -1,0 +1,135 @@
+"""FS-001 — Fiat-Shamir transcript discipline.
+
+The "frozen heart" bug class: a challenge derived without binding the
+preceding prover messages lets a malicious prover grind messages after
+seeing the challenge, breaking soundness of the compiled NIZK.  Within
+every function that drives a :class:`repro.plonk.transcript.Transcript`,
+this rule checks the *absorb/squeeze alternation* statically:
+
+- a ``challenge()`` with no ``append_*`` since the previous challenge
+  (or since construction) is flagged — nothing new was bound;
+- data absorbed after the final challenge of a function that *owns* its
+  transcript is flagged — an absorbed-then-never-challenged tail means
+  those messages constrain nothing.
+
+Both checks walk call sites in lexical order, deliberately ignoring
+branch structure: prover/verifier transcript schedules in this codebase
+are straight-line, and a conservative linear reading keeps the rule
+free of path-explosion heuristics.  Sites that squeeze two challenges
+back-to-back *by design* (the state-folding in ``challenge()`` makes
+consecutive squeezes sound) carry a per-line pragma with justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.astutil import (
+    assigned_names,
+    call_label,
+    dotted_name,
+    lexical_calls,
+    lexical_nodes,
+)
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ModuleInfo
+
+
+def _constructed_receivers(func: ast.AST) -> set[str]:
+    """Receivers assigned ``Transcript(...)`` within this function."""
+    out: set[str] = set()
+    for node in lexical_nodes(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        callee = dotted_name(value.func)
+        if callee is None or callee.split(".")[-1] != "Transcript":
+            continue
+        for target in node.targets:
+            out.update(assigned_names(target))
+            name = dotted_name(target)
+            if name is not None:
+                out.add(name)
+    return out
+
+
+class TranscriptDiscipline(Rule):
+    rule_id = "FS-001"
+    title = "Fiat-Shamir challenges must bind freshly absorbed messages"
+
+    def check(self, module: "ModuleInfo", config: "AnalysisConfig") -> Iterator[Finding]:
+        method_names = (
+            config.transcript_absorb_methods | config.transcript_challenge_methods
+        )
+        for func in module.functions:
+            constructed = _constructed_receivers(func)
+            # events[receiver] = ordered list of ("absorb"|"challenge", call)
+            events: dict[str, list[tuple[str, ast.Call]]] = {}
+            for call in lexical_calls(func):
+                if not isinstance(call.func, ast.Attribute):
+                    continue
+                method = call.func.attr
+                if method not in method_names:
+                    continue
+                receiver = dotted_name(call.func.value)
+                if receiver is None:
+                    continue
+                if receiver not in constructed and "transcript" not in receiver.lower():
+                    continue
+                kind = (
+                    "challenge"
+                    if method in config.transcript_challenge_methods
+                    else "absorb"
+                )
+                events.setdefault(receiver, []).append((kind, call))
+            for receiver, sequence in events.items():
+                yield from self._check_sequence(
+                    module, receiver, sequence, owned=receiver in constructed
+                )
+
+    def _check_sequence(
+        self,
+        module: "ModuleInfo",
+        receiver: str,
+        sequence: list[tuple[str, ast.Call]],
+        owned: bool,
+    ) -> Iterator[Finding]:
+        # A transcript received as a parameter has unknown history, so the
+        # first challenge gets the benefit of the doubt; one constructed
+        # here starts with nothing absorbed beyond the domain tag.
+        absorbed = not owned
+        last_absorb: ast.Call | None = None
+        saw_challenge = False
+        for kind, call in sequence:
+            if kind == "absorb":
+                absorbed = True
+                last_absorb = call
+                continue
+            if not absorbed:
+                yield self.finding(
+                    module,
+                    call.lineno,
+                    call.col_offset,
+                    "challenge %s on %r derived with no absorption since the "
+                    "previous challenge (frozen-heart risk: the challenge binds "
+                    "no new prover message)" % (call_label(call), receiver),
+                )
+            absorbed = False
+            last_absorb = None
+            saw_challenge = True
+        if owned and saw_challenge and last_absorb is not None:
+            yield self.finding(
+                module,
+                last_absorb.lineno,
+                last_absorb.col_offset,
+                "message %s absorbed into %r is never bound by a subsequent "
+                "challenge (dangling transcript tail)"
+                % (call_label(last_absorb), receiver),
+            )

@@ -35,6 +35,7 @@ implementation.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import Any, Callable
 
 from repro import telemetry as _tel
 from repro.errors import BackendError
@@ -55,6 +56,8 @@ from repro.curve.g2 import (
 from repro.curve.msm import msm_g2_jacobian, msm_jacobian
 from repro.curve.pairing import (
     PreparedG2,
+    final_exponentiation as _final_exponentiation,
+    miller_loop_prepared as _miller_loop_prepared,
     pairing_check as _pairing_check_prepared,
     prepare_g2,
 )
@@ -110,7 +113,15 @@ class _FixedBaseTable:
 
     __slots__ = ("window", "rows", "_add", "_inf")
 
-    def __init__(self, jac_point, add, double, normalize, inf, window=_FB_WINDOW):
+    def __init__(
+        self,
+        jac_point: tuple,
+        add: Callable[[tuple, tuple], tuple],
+        double: Callable[[tuple], tuple],
+        normalize: Callable[[list[tuple]], list[tuple]],
+        inf: tuple,
+        window: int = _FB_WINDOW,
+    ) -> None:
         self.window = window
         self._add = add
         self._inf = inf
@@ -129,7 +140,7 @@ class _FixedBaseTable:
         flat = normalize(flat)
         self.rows = [flat[j * row_len : (j + 1) * row_len] for j in range(num_windows)]
 
-    def mul(self, k: int):
+    def mul(self, k: int) -> tuple:
         """Return ``k * P`` as a Jacobian tuple (``k`` already reduced)."""
         acc = self._inf
         add = self._add
@@ -154,7 +165,7 @@ class Engine:
 
     name = "serial"
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._srs_jac: dict[int, tuple] = {}
         self._fb_tables: dict[tuple, _FixedBaseTable] = {}
         self._eval_cache: OrderedDict = OrderedDict()
@@ -211,21 +222,21 @@ class Engine:
 
     # -------------------------------------------------------------- caching
 
-    def _eval_cache_get(self, key: tuple, owner) -> list[int] | None:
+    def _eval_cache_get(self, key: tuple, owner: Any) -> list[int] | None:
         hit = self._eval_cache.get(key)
         if hit is not None and hit[0] is owner:
             self._eval_cache.move_to_end(key)
             return hit[1]
         return None
 
-    def _eval_cache_put(self, key: tuple, owner, value: list[int]) -> None:
+    def _eval_cache_put(self, key: tuple, owner: Any, value: list[int]) -> None:
         self._eval_cache[key] = (owner, value)
         self._eval_cache.move_to_end(key)
         while len(self._eval_cache) > self.eval_cache_capacity:
             self._eval_cache.popitem(last=False)
 
     def coset_ntt_cached(
-        self, owner, tag: str, coeffs: list[int], n: int, shift: int = COSET_SHIFT
+        self, owner: Any, tag: str, coeffs: list[int], n: int, shift: int = COSET_SHIFT
     ) -> list[int]:
         """Coset-NTT with memoisation for per-key-fixed polynomials.
 
@@ -256,7 +267,7 @@ class Engine:
             self._eval_cache_put(key, None, cached)
         return cached
 
-    def srs_g1_jacobian(self, srs) -> tuple:
+    def srs_g1_jacobian(self, srs: Any) -> tuple:
         """The SRS's G1 powers as Jacobian tuples, converted exactly once.
 
         Cached per SRS object identity for the lifetime of the SRS (the
@@ -308,7 +319,7 @@ class Engine:
 
     # ----------------------------------------------------------- fixed base
 
-    def _fb_table(self, base) -> _FixedBaseTable:
+    def _fb_table(self, base: "G1 | G2") -> _FixedBaseTable:
         if isinstance(base, G1):
             key = ("g1", base.x, base.y)
             table = self._fb_tables.get(key)
@@ -333,7 +344,7 @@ class Engine:
             return table
         raise BackendError("fixed-base multiplication expects a G1 or G2 point")
 
-    def fixed_base_mul_jac(self, base, scalar: int) -> tuple:
+    def fixed_base_mul_jac(self, base: "G1 | G2", scalar: int) -> tuple:
         """``scalar * base`` as a Jacobian tuple via a cached window table.
 
         Callers doing many multiples of the same base should use this and
@@ -348,7 +359,7 @@ class Engine:
             return JAC_INF if isinstance(base, G1) else JAC2_INF
         return self._fb_table(base).mul(k)
 
-    def fixed_base_mul(self, base, scalar: int):
+    def fixed_base_mul(self, base: "G1 | G2", scalar: int) -> "G1 | G2":
         """``scalar * base`` for a repeated base point (G1 or G2)."""
         jac = self.fixed_base_mul_jac(base, scalar)
         if isinstance(base, G1):
@@ -379,6 +390,25 @@ class Engine:
         else:
             self._prepared_g2_cache.move_to_end(key)
         return prep
+
+    def pairing(self, p_pt: G1, q_pt: "G2 | PreparedG2") -> tuple:
+        """The full pairing e(P, Q) as a GT (F_q12) element.
+
+        Protocol code computing a pairing *value* (e.g. Groth16's setup
+        constant e(alpha, beta)) must come through here rather than
+        calling :func:`repro.curve.pairing.pairing` directly: the G2
+        side resolves through the :meth:`prepared_g2` LRU and the call
+        is counted, so accounting stays truthful across backends.  For
+        boolean product checks prefer :meth:`pairing_check`, which
+        shares one final exponentiation across all pairs.
+        """
+        if _tel.metrics_enabled():
+            _tel.counter("engine.pairing.calls", kind="single").inc()
+        prep = q_pt if isinstance(q_pt, PreparedG2) else self.prepared_g2(q_pt)
+        return self._pairing(p_pt, prep)
+
+    def _pairing(self, p_pt: G1, prep: PreparedG2) -> tuple:
+        return _final_exponentiation(_miller_loop_prepared(prep, p_pt))
 
     def pairing_check(self, pairs: list, target: tuple | None = None) -> bool:
         """Product-of-pairings check: prod e(P_i, Q_i) == target (or 1).
@@ -424,7 +454,7 @@ class Engine:
     def __enter__(self) -> "Engine":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: Any) -> None:
         self.close()
 
     def __repr__(self) -> str:

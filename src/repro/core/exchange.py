@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 from repro import telemetry
 from repro.errors import ProtocolError
-from repro.field.fr import MODULUS as R, rand_fr
+from repro.field.fr import MODULUS as R, random_scalar
 from repro.gadgets.poseidon import assert_commitment_opens, poseidon_hash_gadget
 from repro.plonk.circuit import CircuitBuilder
 from repro.plonk.prover import prove
@@ -121,7 +121,8 @@ class Buyer:
 
     def choose_verification_key(self) -> tuple[int, int]:
         """Pick k_v at random; returns (k_v, h_v)."""
-        self.k_v = rand_fr()
+        # k_v = 0 would make the published k_c equal the data key itself.
+        self.k_v = random_scalar(nonzero=True)
         return self.k_v, field_hash(self.k_v)
 
     def recover_plaintext(self, k_c: int) -> list[int]:

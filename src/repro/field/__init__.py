@@ -9,7 +9,15 @@ The submodules expose two styles of API:
   CPython.
 """
 
-from repro.field.fr import Fr, MODULUS, batch_inverse, inv, rand_fr, root_of_unity
+from repro.field.fr import (
+    Fr,
+    MODULUS,
+    batch_inverse,
+    inv,
+    rand_fr,
+    random_scalar,
+    root_of_unity,
+)
 from repro.field.ntt import Domain
 from repro.field import poly
 
@@ -21,5 +29,6 @@ __all__ = [
     "inv",
     "poly",
     "rand_fr",
+    "random_scalar",
     "root_of_unity",
 ]

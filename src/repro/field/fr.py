@@ -91,9 +91,32 @@ def root_of_unity(order: int) -> int:
     return pow(TWO_ADIC_ROOT, 1 << (TWO_ADICITY - log), _R)
 
 
+def random_scalar(nonzero: bool = False) -> int:
+    """Sample a random scalar field element (as a raw int).
+
+    Randomness contract: this is the *only* sanctioned entropy source on
+    the proving path (DET-001 allowlists exactly this module), and it
+    draws from :func:`secrets.randbelow` — the OS CSPRNG — never from
+    :mod:`random`.  A biased or predictable sampler here breaks zero
+    knowledge outright: Plonk's blinding factors, KZG batch weights and
+    Groth16's ``r, s`` all assume uniform scalars.
+
+    With ``nonzero=True`` the sample is drawn from ``F_r^*`` by rejection
+    (expected iterations: ``1 + 1/r``, i.e. the loop essentially never
+    repeats).  Blinding call sites use this: a zero blinder degrades a
+    hiding commitment to a binding-only one, a zero batch weight drops an
+    equation from a folded check, and a zero ``k_v`` in the exchange
+    protocol would publish the data key directly.
+    """
+    while True:
+        value = secrets.randbelow(_R)
+        if value != 0 or not nonzero:
+            return value
+
+
 def rand_fr() -> int:
-    """Sample a uniformly random field element (as a raw int)."""
-    return secrets.randbelow(_R)
+    """Sample a uniformly random field element (alias of :func:`random_scalar`)."""
+    return random_scalar()
 
 
 class Fr:

@@ -15,8 +15,7 @@ from repro.errors import ProofError
 from repro.backend import get_engine
 from repro.curve.g1 import G1
 from repro.curve.g2 import G2
-from repro.curve.pairing import pairing
-from repro.field.fr import MODULUS as R, inv, rand_fr
+from repro.field.fr import MODULUS as R, inv, random_scalar
 from repro.groth16.qap import QAP
 from repro.r1cs.system import R1CSSystem, R1CSWitness
 
@@ -36,7 +35,7 @@ class Groth16VerifyingKey:
 
     def pairing_target(self) -> tuple:
         """The GT constant e(alpha, beta) the product check compares to."""
-        return self.alpha_beta_gt or pairing(self.alpha_g1, self.beta_g2)
+        return self.alpha_beta_gt or get_engine().pairing(self.alpha_g1, self.beta_g2)
 
 
 @dataclass(frozen=True)
@@ -93,9 +92,13 @@ def groth16_setup(
     with telemetry.span("groth16.setup", constraints=system.num_constraints):
         with telemetry.span("qap"):
             qap = QAP.from_r1cs(system)
-            tau, alpha, beta, gamma, delta = (rand_fr() for _ in range(5))
-            while tau == 0 or pow(tau, qap.m, R) == 1:
-                tau = rand_fr()
+            # gamma/delta are inverted and alpha/beta blind the proof
+            # elements, so all five trapdoor scalars come from F_r^*.
+            tau, alpha, beta, gamma, delta = (
+                random_scalar(nonzero=True) for _ in range(5)
+            )
+            while pow(tau, qap.m, R) == 1:
+                tau = random_scalar(nonzero=True)
             gamma_inv, delta_inv = inv(gamma), inv(delta)
 
             u_at, v_at, w_at = qap.evaluations_at(tau, engine=engine)
@@ -144,7 +147,7 @@ def groth16_setup(
         gamma_g2=gamma_g2,
         delta_g2=delta_g2,
         ic=tuple(ic),
-        alpha_beta_gt=pairing(alpha_g1, beta_g2),
+        alpha_beta_gt=engine.pairing(alpha_g1, beta_g2),
     )
     pk = Groth16ProvingKey(
         qap=qap,
@@ -176,7 +179,8 @@ def groth16_prove(
     ):
         with telemetry.span("quotient"):
             h = pk.qap.quotient(values, engine=engine)  # raises when unsatisfied
-        r, s = rand_fr(), rand_fr()
+        # Zero r or s would leave A or B unblinded; sample from F_r^*.
+        r, s = random_scalar(nonzero=True), random_scalar(nonzero=True)
         ell = pk.qap.num_public
 
         with telemetry.span("msm"):

@@ -24,7 +24,7 @@ from repro.errors import SRSError
 from repro.backend import get_engine
 from repro.curve.g1 import G1
 from repro.field import poly
-from repro.field.fr import MODULUS as R, rand_fr
+from repro.field.fr import MODULUS as R, random_scalar
 from repro.kzg.srs import SRS
 
 
@@ -84,7 +84,8 @@ def fold_opening_claims(
     single generator scalar).
     """
     engine = engine or get_engine()
-    rhos = [rand_fr() for _ in openings]
+    # A zero weight would silently drop that opening from the batch.
+    rhos = [random_scalar(nonzero=True) for _ in openings]
     lhs = engine.msm_g1([proof for (_, _, _, proof) in openings], rhos)
     points: list[G1] = []
     scalars: list[int] = []

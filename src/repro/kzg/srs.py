@@ -14,11 +14,9 @@ from dataclasses import dataclass, field
 
 from repro.errors import SRSError
 from repro.backend import get_engine
-from repro.curve.fq12 import fq12_eq
 from repro.curve.g1 import G1
 from repro.curve.g2 import G2
-from repro.curve.pairing import pairing
-from repro.field.fr import MODULUS as R, rand_fr
+from repro.field.fr import MODULUS as R, random_scalar
 
 
 @dataclass(frozen=True)
@@ -53,7 +51,7 @@ class SRS:
         if max_degree < 1:
             raise SRSError("SRS degree must be at least 1")
         engine = engine or get_engine()
-        secret = rand_fr() if tau is None else tau % R
+        secret = random_scalar(nonzero=True) if tau is None else tau % R
         if secret == 0:
             raise SRSError("tau must be non-zero")
         gen = G1.generator()
@@ -72,7 +70,7 @@ class SRS:
         Returns the updated SRS and a proof that the update was well-formed
         (knowledge of rho relative to the previous string).
         """
-        secret = rand_fr() if rho is None else rho % R
+        secret = random_scalar(nonzero=True) if rho is None else rho % R
         if secret == 0:
             raise SRSError("update secret must be non-zero")
         acc = 1
@@ -96,17 +94,24 @@ class SRS:
             )
         return SRS(self.g1_powers[: max_degree + 1], self.g2, self.g2_tau)
 
-    def is_well_formed(self, check_powers: int = 4) -> bool:
+    def is_well_formed(self, check_powers: int = 4, engine=None) -> bool:
         """Spot-check internal consistency with pairings.
 
         Verifies e([tau^i]_1, [tau]_2) == e([tau^(i+1)]_1, [1]_2) for the
         first ``check_powers`` indices (full verification is linear in the
-        SRS size and is exercised in tests on small strings).
+        SRS size and is exercised in tests on small strings).  Each
+        equality runs as a two-pair product check, so [tau]_2 and [1]_2
+        hit the engine's prepared-G2 cache across iterations.
         """
+        engine = engine or get_engine()
         for i in range(min(check_powers, self.max_degree)):
-            lhs = pairing(self.g1_powers[i], self.g2_tau)
-            rhs = pairing(self.g1_powers[i + 1], self.g2)
-            if not fq12_eq(lhs, rhs):
+            ok = engine.pairing_check(
+                [
+                    (self.g1_powers[i], self.g2_tau),
+                    (-self.g1_powers[i + 1], self.g2),
+                ]
+            )
+            if not ok:
                 return False
         return True
 
@@ -156,20 +161,26 @@ class Ceremony:
         """
         engine = engine or get_engine()
         if self.transcript:
-            weights = [rand_fr() for _ in self.transcript]
+            # Zero weights would drop an equation from the batch, so
+            # sample from F_r^*.
+            weights = [random_scalar(nonzero=True) for _ in self.transcript]
             folded_g1 = engine.msm_g1([p.rho_g1 for p in self.transcript], weights)
             folded_g2 = engine.msm_g2([p.rho_g2 for p in self.transcript], weights)
-            if not fq12_eq(
-                pairing(folded_g1, G2.generator()),
-                pairing(G1.generator(), folded_g2),
+            if not engine.pairing_check(
+                [
+                    (folded_g1, G2.generator()),
+                    (-G1.generator(), folded_g2),
+                ]
             ):
                 return False
         prev_tau_g1 = G1.generator()  # bootstrap tau = 1
         for proof in self.transcript:
             # Chain link: e(tau'_1, [1]_2) == e(tau_1, rho_2).
-            if not fq12_eq(
-                pairing(proof.after_tau_g1, G2.generator()),
-                pairing(prev_tau_g1, proof.rho_g2),
+            if not engine.pairing_check(
+                [
+                    (proof.after_tau_g1, G2.generator()),
+                    (-prev_tau_g1, proof.rho_g2),
+                ]
             ):
                 return False
             prev_tau_g1 = proof.after_tau_g1

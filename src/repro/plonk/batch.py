@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.errors import VerificationError
 from repro.backend import get_engine
 from repro.curve.g1 import G1
-from repro.field.fr import rand_fr
+from repro.field.fr import random_scalar
 from repro.plonk.keys import VerifyingKey
 from repro.plonk.proof import Proof
 from repro.plonk.verifier import prepare_pairing_inputs
@@ -54,7 +54,8 @@ def batch_verify(
         lhs, rhs = prepared
         lhs_points.append(lhs)
         rhs_points.append(rhs)
-        weights.append(rand_fr())
+        # A zero weight would drop this proof from the folded check.
+        weights.append(random_scalar(nonzero=True))
 
     combined_lhs = engine.msm_g1(lhs_points, weights)
     combined_rhs = engine.msm_g1(rhs_points, weights)

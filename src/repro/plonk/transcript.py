@@ -17,8 +17,10 @@ from repro.field.fr import MODULUS as R
 class Transcript:
     """An append-only Fiat-Shamir transcript."""
 
-    def __init__(self, domain_tag: bytes):
-        self._state = hashlib.sha256(b"repro.transcript.v1:" + domain_tag).digest()
+    def __init__(self, domain_tag: bytes) -> None:
+        self._state: bytes = hashlib.sha256(
+            b"repro.transcript.v1:" + domain_tag
+        ).digest()
 
     def _absorb(self, label: bytes, data: bytes) -> None:
         self._state = hashlib.sha256(

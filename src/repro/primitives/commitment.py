@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.field.fr import MODULUS as R, rand_fr
+from repro.field.fr import MODULUS as R, random_scalar
 from repro.primitives.poseidon import poseidon_hash
 
 
@@ -37,7 +37,8 @@ def _as_vector(message) -> list[int]:
 
 def commit(message, blinder: int | None = None) -> tuple[Commitment, int]:
     """Commit to a field element or vector; returns ``(c, o)``."""
-    o = rand_fr() if blinder is None else blinder % R
+    # A zero blinder degrades the commitment from hiding to binding-only.
+    o = random_scalar(nonzero=True) if blinder is None else blinder % R
     c = poseidon_hash([o] + _as_vector(message))
     return Commitment(c), o
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from typing import Any, Iterator, Mapping, Union
 
 from repro.telemetry.export import (
     ConsoleExporter,
@@ -48,6 +49,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.spans import (
     NOOP_SPAN,
+    NoopSpan,
     Span,
     add_exporter,
     clear_finished,
@@ -69,7 +71,7 @@ _level = OFF
 _registry = Registry()
 
 
-def _parse_level(value) -> int:
+def _parse_level(value: Union[int, str]) -> int:
     if isinstance(value, int):
         if value not in (OFF, METRICS, TRACE):
             raise ValueError("telemetry level must be 0, 1 or 2, got %r" % value)
@@ -93,7 +95,7 @@ def level_name() -> str:
     return {OFF: "off", METRICS: "metrics", TRACE: "trace"}[_level]
 
 
-def set_level(value) -> int:
+def set_level(value: Union[int, str]) -> int:
     """Set the active level ('off' | 'metrics' | 'trace' or 0-2); returns the previous."""
     global _level
     previous = _level
@@ -102,7 +104,7 @@ def set_level(value) -> int:
 
 
 @contextmanager
-def use_level(value):
+def use_level(value: Union[int, str]) -> Iterator[None]:
     """Scoped level override (restores the previous level on exit)."""
     previous = set_level(value)
     try:
@@ -127,12 +129,12 @@ def registry() -> Registry:
     return _registry
 
 
-def counter(name: str, **labels) -> Counter:
+def counter(name: str, **labels: object) -> Counter:
     """Fetch (creating on first use) a counter from the global registry."""
     return _registry.counter(name, **labels)
 
 
-def histogram(name: str, bounds: tuple = SIZE_BUCKETS, **labels) -> Histogram:
+def histogram(name: str, bounds: tuple = SIZE_BUCKETS, **labels: object) -> Histogram:
     """Fetch (creating on first use) a histogram from the global registry."""
     return _registry.histogram(name, bounds, **labels)
 
@@ -146,7 +148,7 @@ def reset_metrics() -> None:
     _registry.reset()
 
 
-def span(name: str, **attrs):
+def span(name: str, **attrs: Any) -> Union[Span, NoopSpan]:
     """A traced region: real :class:`Span` at trace level, no-op otherwise.
 
     The returned object supports ``with``, :meth:`~Span.set_attr` and
@@ -160,7 +162,7 @@ def span(name: str, **attrs):
 # ----- environment wiring -------------------------------------------------
 
 
-def configure_from_env(environ=None) -> None:
+def configure_from_env(environ: "Mapping[str, str] | None" = None) -> None:
     """Apply ``REPRO_TELEMETRY`` / ``_CONSOLE`` / ``_FILE`` settings.
 
     Called once at import; safe to call again after mutating ``os.environ``

@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import json
 import sys
+from typing import Any, TextIO
 
 from repro.telemetry.spans import Span
 
 
-def _format_attr(value) -> str:
+def _format_attr(value: Any) -> str:
     if isinstance(value, float):
         return "%.6g" % value
     return str(value)
@@ -41,7 +42,7 @@ def format_span_tree(span: Span, indent: str = "") -> str:
 class ConsoleExporter:
     """Write every finished root span tree to a stream (default stderr)."""
 
-    def __init__(self, stream=None):
+    def __init__(self, stream: TextIO | None = None) -> None:
         self.stream = stream
 
     def __call__(self, root: Span) -> None:
@@ -56,8 +57,8 @@ def span_records(root: Span) -> list[dict]:
     Ids are depth-first pre-order positions within this tree (the root is
     0), so records are self-contained per tree and stable across runs.
     """
-    ids = {}
-    records = []
+    ids: dict[int, int] = {}
+    records: list[dict] = []
     for i, node in enumerate(root.walk()):
         ids[id(node)] = i
         records.append(
@@ -76,7 +77,7 @@ def span_records(root: Span) -> list[dict]:
 class JsonLinesExporter:
     """Append finished span trees to ``path``, one JSON object per span."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = path
 
     def __call__(self, root: Span) -> None:
@@ -88,7 +89,7 @@ class JsonLinesExporter:
 
 def read_spans(path: str) -> list[dict]:
     """Parse a JSON-lines span file back into a list of records."""
-    records = []
+    records: list[dict] = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()

@@ -29,7 +29,7 @@ class Counter:
 
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: tuple = ()):
+    def __init__(self, name: str, labels: tuple = ()) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
@@ -55,17 +55,19 @@ class Histogram:
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
 
-    def __init__(self, name: str, bounds: tuple = SIZE_BUCKETS, labels: tuple = ()):
+    def __init__(
+        self, name: str, bounds: tuple = SIZE_BUCKETS, labels: tuple = ()
+    ) -> None:
         if not bounds or list(bounds) != sorted(bounds):
             raise ValueError("histogram bounds must be a non-empty sorted sequence")
         self.name = name
         self.labels = labels
         self.bounds = tuple(bounds)
-        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.bucket_counts: list[int] = [0] * (len(self.bounds) + 1)
         self.count = 0
-        self.total = 0
+        self.total: float = 0
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         for i, bound in enumerate(self.bounds):
@@ -75,7 +77,7 @@ class Histogram:
         self.bucket_counts[-1] += 1
 
     @property
-    def mean(self):
+    def mean(self) -> float:
         return self.total / self.count if self.count else 0
 
     def as_dict(self) -> dict:
@@ -111,10 +113,10 @@ class Registry:
     cannot clobber each other's baselines.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._instruments: dict = {}
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         key = (name, _label_key(labels))
         inst = self._instruments.get(key)
         if inst is None:
@@ -122,7 +124,9 @@ class Registry:
             self._instruments[key] = inst
         return inst
 
-    def histogram(self, name: str, bounds: tuple = SIZE_BUCKETS, **labels) -> Histogram:
+    def histogram(
+        self, name: str, bounds: tuple = SIZE_BUCKETS, **labels: object
+    ) -> Histogram:
         key = (name, _label_key(labels))
         inst = self._instruments.get(key)
         if inst is None:
@@ -135,8 +139,8 @@ class Registry:
 
     def snapshot(self) -> dict:
         """A plain-dict, JSON-ready view: {"counters": {...}, "histograms": {...}}."""
-        counters = {}
-        histograms = {}
+        counters: dict = {}
+        histograms: dict = {}
         for (name, labels), inst in sorted(self._instruments.items()):
             key = format_key(name, labels)
             if isinstance(inst, Counter):
@@ -147,7 +151,7 @@ class Registry:
 
     def counter_values(self, prefix: str = "") -> dict:
         """Flat {formatted_key: value} for counters under ``prefix``."""
-        out = {}
+        out: dict = {}
         for (name, labels), inst in self._instruments.items():
             if isinstance(inst, Counter) and name.startswith(prefix):
                 out[format_key(name, labels)] = inst.value

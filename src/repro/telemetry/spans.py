@@ -19,17 +19,18 @@ from __future__ import annotations
 import contextvars
 import time
 from collections import deque
+from typing import Any, Callable, Iterator, Optional
 
-_current_span: contextvars.ContextVar = contextvars.ContextVar(
+_current_span: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
     "repro_telemetry_span", default=None
 )
 
 #: Finished *root* spans, newest last.  Bounded so a long-running process
 #: with tracing left on cannot grow without limit.
-_finished_roots: deque = deque(maxlen=256)
+_finished_roots: "deque[Span]" = deque(maxlen=256)
 
 #: Callables invoked with each finished root span.
-_exporters: list = []
+_exporters: "list[Callable[[Span], Any]]" = []
 
 
 class Span:
@@ -37,22 +38,22 @@ class Span:
 
     __slots__ = ("name", "attrs", "start", "end", "children", "parent", "_token")
 
-    def __init__(self, name: str, attrs: dict | None = None):
+    def __init__(self, name: str, attrs: dict | None = None) -> None:
         self.name = name
-        self.attrs = dict(attrs) if attrs else {}
-        self.start = None
-        self.end = None
-        self.children: list = []
-        self.parent = None
-        self._token = None
+        self.attrs: dict = dict(attrs) if attrs else {}
+        self.start: float | None = None
+        self.end: float | None = None
+        self.children: list[Span] = []
+        self.parent: Span | None = None
+        self._token: contextvars.Token | None = None
 
     # ----- attributes -----------------------------------------------------
 
-    def set_attr(self, key: str, value) -> "Span":
+    def set_attr(self, key: str, value: Any) -> "Span":
         self.attrs[key] = value
         return self
 
-    def set_attrs(self, mapping: dict | None = None, **attrs) -> "Span":
+    def set_attrs(self, mapping: dict | None = None, **attrs: Any) -> "Span":
         if mapping:
             self.attrs.update(mapping)
         if attrs:
@@ -74,11 +75,12 @@ class Span:
         self.start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         self.end = time.perf_counter()
         if exc_type is not None:
             self.attrs.setdefault("error", "%s: %s" % (exc_type.__name__, exc))
-        _current_span.reset(self._token)
+        if self._token is not None:
+            _current_span.reset(self._token)
         if self.parent is not None:
             self.parent.children.append(self)
         else:
@@ -87,7 +89,7 @@ class Span:
 
     # ----- introspection --------------------------------------------------
 
-    def walk(self):
+    def walk(self) -> Iterator["Span"]:
         """Yield this span and every descendant, depth-first, pre-order."""
         yield self
         for child in self.children:
@@ -122,23 +124,23 @@ class NoopSpan:
     children: list = []
     duration = 0.0
 
-    def set_attr(self, key, value):
+    def set_attr(self, key: str, value: Any) -> "NoopSpan":
         return self
 
-    def set_attrs(self, mapping=None, **attrs):
+    def set_attrs(self, mapping: dict | None = None, **attrs: Any) -> "NoopSpan":
         return self
 
-    def __enter__(self):
+    def __enter__(self) -> "NoopSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb):
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
         return False
 
 
 NOOP_SPAN = NoopSpan()
 
 
-def current_span():
+def current_span() -> "Span | None":
     """The innermost open span, or ``None`` outside any traced region."""
     return _current_span.get()
 
@@ -149,7 +151,7 @@ def _finish_root(span: Span) -> None:
         exporter(span)
 
 
-def finished_roots() -> list:
+def finished_roots() -> "list[Span]":
     """Completed root spans, oldest first (bounded ring)."""
     return list(_finished_roots)
 
@@ -158,12 +160,12 @@ def clear_finished() -> None:
     _finished_roots.clear()
 
 
-def add_exporter(exporter) -> None:
+def add_exporter(exporter: "Callable[[Span], Any]") -> None:
     """Register ``exporter(root_span)`` to run on every finished root."""
     _exporters.append(exporter)
 
 
-def remove_exporter(exporter) -> None:
+def remove_exporter(exporter: "Callable[[Span], Any]") -> None:
     try:
         _exporters.remove(exporter)
     except ValueError:

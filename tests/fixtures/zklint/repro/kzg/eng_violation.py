@@ -1,0 +1,7 @@
+"""Seeded ENG-001 violation: a protocol module reaching kernel internals."""
+
+from repro.curve.msm import msm_jacobian
+
+
+def commit_unrouted(points: list[tuple], scalars: list[int]) -> tuple:
+    return msm_jacobian(points, scalars)

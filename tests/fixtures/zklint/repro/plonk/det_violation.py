@@ -1,0 +1,7 @@
+"""Seeded DET-001 violation: entropy from :mod:`random` on the prover path."""
+
+import random
+
+
+def sample_blinder() -> int:
+    return random.randrange(1 << 16)

@@ -1,0 +1,12 @@
+"""Seeded FLD-001 violation: arithmetic against an inline literal modulus."""
+
+_R_BITS = 254
+
+
+def reduce_scalar(value: int) -> int:
+    if value.bit_length() <= _R_BITS:
+        return value
+    return (
+        value
+        % 21888242871839275222246405745257275088548364400416034343698204186575808495617
+    )

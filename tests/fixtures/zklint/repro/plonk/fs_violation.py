@@ -1,0 +1,13 @@
+"""Seeded FS-001 violation: back-to-back challenges with no absorb between."""
+
+from repro.plonk.transcript import Transcript
+
+
+def derive_challenges(commitment: bytes, opening: bytes) -> tuple[int, int]:
+    transcript = Transcript(b"fixture")
+    transcript.append_bytes(b"commitment", commitment)
+    first = transcript.challenge(b"first")
+    second = transcript.challenge(b"second")
+    transcript.append_bytes(b"opening", opening)
+    final = transcript.challenge(b"final")
+    return first, second + final

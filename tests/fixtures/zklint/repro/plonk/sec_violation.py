@@ -1,0 +1,6 @@
+"""Seeded SEC-001 violation: witness material interpolated into an exception."""
+
+
+def check_witness(witness: int, expected: int) -> None:
+    if witness != expected:
+        raise ValueError(f"witness mismatch: got {witness}, wanted {expected}")

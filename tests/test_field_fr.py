@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.errors import FieldError
 from repro.field import Fr, MODULUS, batch_inverse, inv, root_of_unity
+from repro.field import fr
 
 elements = st.integers(min_value=0, max_value=MODULUS - 1)
 
@@ -98,3 +99,41 @@ def test_root_of_unity_rejects_bad_orders():
         root_of_unity(1 << 29)
     with pytest.raises(FieldError):
         root_of_unity(0)
+
+
+class TestRandomScalar:
+    """The sanctioned entropy source: secrets-backed, optional F_r^*."""
+
+    def test_default_range(self):
+        for _ in range(32):
+            assert 0 <= fr.random_scalar() < MODULUS
+
+    def test_rand_fr_is_an_alias(self):
+        assert 0 <= fr.rand_fr() < MODULUS
+
+    def test_default_permits_zero(self, monkeypatch):
+        monkeypatch.setattr(fr.secrets, "randbelow", lambda n: 0)
+        assert fr.random_scalar() == 0
+
+    def test_nonzero_rejects_zero_draws(self, monkeypatch):
+        draws = iter([0, 0, 42])
+        monkeypatch.setattr(fr.secrets, "randbelow", lambda n: next(draws))
+        assert fr.random_scalar(nonzero=True) == 42
+
+    def test_nonzero_accepts_first_nonzero_draw(self, monkeypatch):
+        calls = []
+
+        def fake_randbelow(n):
+            calls.append(n)
+            return 7
+
+        monkeypatch.setattr(fr.secrets, "randbelow", fake_randbelow)
+        assert fr.random_scalar(nonzero=True) == 7
+        assert calls == [MODULUS]
+
+    def test_uses_the_os_csprng(self):
+        # The module must draw from secrets (OS CSPRNG), never random.
+        import inspect
+
+        source = inspect.getsource(fr.random_scalar)
+        assert "secrets.randbelow" in source

@@ -1,0 +1,155 @@
+"""Runtime tests for the Fiat-Shamir transcript.
+
+The static rule FS-001 checks the absorb/squeeze *schedule*; these tests
+check the *values*: domain tags, labels, absorbed data and absorption
+order must all change the derived challenges, and the verifier's replay
+must reproduce the prover's challenge sequence bit for bit.
+"""
+
+import pytest
+
+from repro.field.fr import MODULUS as R
+from repro.kzg import SRS
+from repro.plonk import CircuitBuilder, prove, setup, verify
+from repro.plonk.transcript import Transcript
+
+
+def _challenge_after(domain_tag, events, label=b"chal"):
+    t = Transcript(domain_tag)
+    for event_label, data in events:
+        t.append_bytes(event_label, data)
+    return t.challenge(label)
+
+
+class TestChallengeSeparation:
+    def test_challenges_are_field_elements(self):
+        value = _challenge_after(b"tag", [(b"m", b"data")])
+        assert 0 <= value < R
+
+    def test_domain_tag_separates(self):
+        events = [(b"m", b"data")]
+        assert _challenge_after(b"plonk", events) != _challenge_after(b"kzg", events)
+
+    def test_challenge_label_separates(self):
+        t1 = Transcript(b"tag")
+        t2 = Transcript(b"tag")
+        t1.append_bytes(b"m", b"data")
+        t2.append_bytes(b"m", b"data")
+        assert t1.challenge(b"beta") != t2.challenge(b"gamma")
+
+    def test_absorb_label_separates(self):
+        assert _challenge_after(b"tag", [(b"a", b"data")]) != _challenge_after(
+            b"tag", [(b"b", b"data")]
+        )
+
+    def test_absorbed_value_separates(self):
+        assert _challenge_after(b"tag", [(b"m", b"x")]) != _challenge_after(
+            b"tag", [(b"m", b"y")]
+        )
+
+    def test_absorb_order_separates(self):
+        forward = [(b"m1", b"first"), (b"m2", b"second")]
+        swapped = [(b"m2", b"second"), (b"m1", b"first")]
+        assert _challenge_after(b"tag", forward) != _challenge_after(b"tag", swapped)
+
+    def test_label_data_split_is_unambiguous(self):
+        # The length-prefixed label means (label, data) pairs that
+        # concatenate identically still hash differently.
+        assert _challenge_after(b"tag", [(b"ab", b"c")]) != _challenge_after(
+            b"tag", [(b"a", b"bc")]
+        )
+
+    def test_consecutive_challenges_differ_and_fold_state(self):
+        t = Transcript(b"tag")
+        t.append_bytes(b"m", b"data")
+        first = t.challenge(b"x")
+        second = t.challenge(b"x")
+        # Same label, but the first squeeze folded back into the state.
+        assert first != second
+
+    def test_scalar_and_point_absorption(self):
+        from repro.curve.g1 import G1
+
+        t1 = Transcript(b"tag")
+        t2 = Transcript(b"tag")
+        t1.append_scalar(b"s", 5)
+        t2.append_scalar(b"s", 6)
+        assert t1.challenge(b"c") != t2.challenge(b"c")
+        t3 = Transcript(b"tag")
+        t4 = Transcript(b"tag")
+        t3.append_point(b"p", G1.generator())
+        t4.append_point(b"p", G1.generator() * 2)
+        assert t3.challenge(b"c") != t4.challenge(b"c")
+
+    def test_deterministic_replay(self):
+        seq1 = []
+        seq2 = []
+        for out in (seq1, seq2):
+            t = Transcript(b"tag")
+            t.append_scalar(b"m", 123)
+            out.append(t.challenge(b"a"))
+            t.append_scalar(b"n", 456)
+            out.append(t.challenge(b"b"))
+        assert seq1 == seq2
+
+
+class TestProverVerifierReplay:
+    @pytest.fixture(scope="class")
+    def srs(self):
+        return SRS.generate(64, tau=987654321)
+
+    def _circuit(self):
+        builder = CircuitBuilder()
+        x = builder.public_input(9)
+        w = builder.var(3)
+        builder.assert_equal(builder.mul(w, w), x)
+        return builder.compile()
+
+    def test_verifier_reproduces_prover_challenges_bitwise(self, srs, monkeypatch):
+        records = []
+        original = Transcript.challenge
+
+        def recording(self, label):
+            value = original(self, label)
+            records.append((label, value))
+            return value
+
+        monkeypatch.setattr(Transcript, "challenge", recording)
+
+        layout, assignment = self._circuit()
+        pk, vk = setup(srs, layout)
+        records.clear()
+        proof = prove(pk, assignment)
+        prover_sequence = list(records)
+        records.clear()
+        assert verify(vk, [9], proof)
+        verifier_sequence = list(records)
+
+        labels = [label for label, _ in prover_sequence]
+        assert labels == [b"beta", b"gamma", b"alpha", b"zeta", b"v", b"u"]
+        assert verifier_sequence == prover_sequence
+
+    def test_tampered_proof_diverges_challenges(self, srs, monkeypatch):
+        records = []
+        original = Transcript.challenge
+
+        def recording(self, label):
+            value = original(self, label)
+            records.append((label, value))
+            return value
+
+        monkeypatch.setattr(Transcript, "challenge", recording)
+
+        layout, assignment = self._circuit()
+        pk, vk = setup(srs, layout)
+        records.clear()
+        proof = prove(pk, assignment)
+        prover_sequence = list(records)
+        records.clear()
+        import dataclasses
+
+        tampered = dataclasses.replace(proof, c_a=proof.c_a * 2)
+        assert not verify(vk, [9], tampered)
+        # The verifier re-derives beta from the tampered commitment, so
+        # the challenge stream diverges immediately.
+        assert records and records[0] != prover_sequence[0]
