@@ -94,8 +94,12 @@ class AnalysisConfig:
         "os.urandom",
     )
     #: Module imports banned outright inside the deterministic scope.
+    #: ``repro.faults`` is measurement-layer machinery: its own seeded
+    #: draws are fine where they live (``faults/`` is outside the scope),
+    #: but importing the injector into a proving-path module would let a
+    #: fault schedule perturb proof generation.
     nondeterministic_imports: frozenset[str] = frozenset(
-        {"random", "secrets", "uuid", "numpy.random"}
+        {"random", "secrets", "uuid", "numpy.random", "repro.faults"}
     )
 
     # ----- FLD-001 --------------------------------------------------------
@@ -108,6 +112,10 @@ class AnalysisConfig:
         "costmodel/",
         "apps/",
         "telemetry/",
+        # The fault plane is measurement-layer code like telemetry; its
+        # probabilities are integer PPM by design, but overhead ratios in
+        # docstrings/diagnostics may be float-typed.
+        "faults/",
     )
     #: The fixed-point boundary: the only modules that may touch floats
     #: while producing field elements, because converting real-valued

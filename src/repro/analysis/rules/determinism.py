@@ -48,6 +48,14 @@ class Determinism(Rule):
                     root in config.nondeterministic_imports and node.level == 0
                 ):
                     yield self._import_finding(module, node, node.module or root, config)
+                elif node.module and node.level == 0:
+                    # ``from repro import faults`` names the banned module
+                    # through its parent package; join each alias to catch
+                    # the submodule-import spelling too.
+                    for alias in node.names:
+                        joined = "%s.%s" % (node.module, alias.name)
+                        if joined in config.nondeterministic_imports:
+                            yield self._import_finding(module, node, joined, config)
             elif isinstance(node, ast.Call):
                 callee = dotted_name(node.func)
                 if callee is None:

@@ -12,7 +12,8 @@ import hashlib
 import itertools
 from dataclasses import dataclass
 
-from repro.errors import ChainError, ContractError, OutOfGasError
+from repro import faults
+from repro.errors import ChainError, ContractError, OutOfGasError, TxRevertedError
 from repro.chain.contract import Contract, ExecutionContext
 from repro.chain.events import Event
 from repro.chain.gas import DEFAULT_SCHEDULE, GasSchedule
@@ -165,12 +166,28 @@ class Blockchain:
         value: int = 0,
         gas_limit: int = 30_000_000,
     ) -> TransactionReceipt:
-        """Execute a state-changing contract call as one atomic transaction."""
+        """Execute a state-changing contract call as one atomic transaction.
+
+        Under a fault plan the ``chain.transact`` site can inject: a
+        ``drop`` (the transaction is never mined — no receipt, no nonce
+        bump, :class:`TxDroppedError` raised for the submitter to retry),
+        a ``revert`` (mined but reverted before the call body ran: a
+        failed receipt is recorded and :class:`TxRevertedError` raised),
+        or a ``delay`` (inclusion latency on the virtual clock).
+        """
         if contract.address not in self.contracts:
             raise ChainError("contract is not deployed on this chain")
         fn = getattr(contract, method, None)
         if fn is None or not getattr(fn, "_is_external", False):
             raise ChainError("method %r is not an external entry point" % method)
+        try:
+            faults.check("chain.transact")
+        except TxRevertedError as exc:
+            # Mined-but-reverted: the chain records the failed attempt.
+            self._nonces[sender] = self._nonces.get(sender, 0) + 1
+            self._record(sender, contract.address, method,
+                         self.schedule.tx_base, False, [], None, str(exc))
+            raise
         calldata = encode_calldata(method, args)
         ctx = ExecutionContext(self, sender, value, gas_limit)
         self._nonces[sender] = self._nonces.get(sender, 0) + 1
@@ -262,8 +279,12 @@ class Blockchain:
             chain.query_events("Locked", address=arbiter, where=lambda e: e.get("amount") > 10**6)
 
         Events are returned in emission order across all successful
-        transactions (reverted transactions log nothing).
+        transactions (reverted transactions log nothing).  Under a fault
+        plan the ``chain.events`` site models event-delivery lag: a
+        ``delay`` fault raises :class:`repro.errors.EventDelayError`
+        (transient — re-query after backoff).
         """
+        faults.check("chain.events")
         if address is not None and not isinstance(address, str):
             address = address.address  # a deployed Contract instance
         out = []

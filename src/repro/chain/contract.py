@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import functools
 
-from repro.errors import ContractError, OutOfGasError
+from repro import faults
+from repro.errors import ContractError, OutOfGasError, TxRevertedError
 from repro.chain.events import Event
 from repro.chain.gas import GasSchedule
 
@@ -181,10 +182,21 @@ class Contract:
         self._chain._move_balance(self.address, to, amount)
 
     def call_contract(self, other: "Contract", method: str, *args):
-        """Internal call into another contract, sharing this transaction."""
+        """Internal call into another contract, sharing this transaction.
+
+        The ``chain.call`` fault site models a transient failure inside
+        the callee (out-of-gas spike, unreachable precompile): a
+        ``revert`` fault aborts the *whole* transaction atomically via
+        the normal :class:`ContractError` revert machinery, so callers
+        observe a failed receipt with every journaled write undone.
+        """
         ctx = self._ctx
         if ctx is None:
             raise ContractError("internal calls require an active transaction")
+        try:
+            faults.check("chain.call")
+        except TxRevertedError as exc:
+            raise ContractError(str(exc)) from exc
         ctx.burn(INTERNAL_CALL_GAS)
         fn = getattr(other, method)
         # msg.sender follows EVM CALL semantics: the immediate caller.

@@ -67,7 +67,35 @@ class FairSwapContract(Contract):
         self.require(self.msg_value == offer[6], "wrong payment amount")
         self.require(self._sload(("buyer", sale_id)) is None, "already accepted")
         self._sstore(("buyer", sale_id), self.msg_sender)
+        self._sstore(("accepted_at", sale_id), len(self._chain.blocks))
         self.emit("Accepted", sale_id=sale_id, buyer=self.msg_sender)
+
+    @external
+    def abort(self, sale_id: int) -> None:
+        """Buyer reclaims escrow when the seller never reveals the key.
+
+        The liveness escape hatch the fault plane exercises: with the
+        seller (or the network) persistently down after ``accept``, the
+        buyer's funds would otherwise be stranded forever.  Only
+        available once the reveal window — ``dispute_window`` blocks
+        after acceptance — has elapsed with no key on chain, so a live
+        seller cannot be griefed out of a sale she is about to complete.
+        """
+        offer = self._sload(("offer", sale_id))
+        self.require(offer is not None, "no such offer")
+        buyer = self._sload(("buyer", sale_id))
+        self.require(buyer is not None, "not yet accepted")
+        self.require(self.msg_sender == buyer, "only the buyer aborts")
+        self.require(self._sload(("key", sale_id)) is None, "key already revealed")
+        accepted_at = self._sload(("accepted_at", sale_id))
+        self.require(
+            len(self._chain.blocks) > accepted_at + offer[7],
+            "reveal window still open",
+        )
+        self._sstore(("offer", sale_id), None)
+        self._sstore(("resolved", sale_id), "aborted")
+        self.transfer_out(buyer, offer[6])
+        self.emit("Aborted", sale_id=sale_id)
 
     @external
     def reveal_key(self, sale_id: int, key: int) -> None:

@@ -16,8 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import telemetry
-from repro.errors import ProtocolError
+from repro import faults, telemetry
+from repro.errors import (
+    DeadlineExceededError,
+    ExchangeAbortedError,
+    ProtocolError,
+    RetryExhaustedError,
+)
+from repro.faults.retry import ABORT_POLICY, RetryPolicy
 from repro.field.fr import MODULUS as R, random_scalar
 from repro.gadgets.poseidon import assert_commitment_opens, poseidon_hash_gadget
 from repro.plonk.circuit import CircuitBuilder
@@ -140,15 +146,32 @@ class ExchangeResult:
     reason: str
     gas_used: int
     exchange_id: int | None = None
+    #: True when the run terminated through the abort path: no key
+    #: material reached the chain and, if payment was ever locked, the
+    #: buyer was refunded.  ``success`` and ``aborted`` are mutually
+    #: exclusive; a run that ends with neither is a plain protocol
+    #: rejection before any funds moved.
+    aborted: bool = False
 
 
 class KeySecureExchange:
-    """Orchestrates one exchange between a Seller and a Buyer on chain."""
+    """Orchestrates one exchange between a Seller and a Buyer on chain.
 
-    def __init__(self, ctx: SnarkContext, chain, arbiter):
+    Every fallible step — the two off-chain message channels and every
+    transaction — runs under ``retry`` (bounded exponential backoff with
+    deterministic jitter, see :class:`repro.faults.RetryPolicy`).  When a
+    step stays down past the policy's budget the run *aborts into a safe
+    state*: the seller never reveals key material, any locked payment is
+    refunded to the buyer, and token ownership is untouched.  The chaos
+    suite (``tests/test_faults.py``) asserts these invariants under
+    arbitrary seeded fault plans.
+    """
+
+    def __init__(self, ctx: SnarkContext, chain, arbiter, retry: RetryPolicy | None = None):
         self.ctx = ctx
         self.chain = chain
         self.arbiter = arbiter
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def run(
         self,
@@ -173,7 +196,10 @@ class KeySecureExchange:
                 seller, buyer, price, predicate, tamper_k_c, tamper_k_v
             )
             root.set_attrs(
-                success=result.success, reason=result.reason, gas_total=result.gas_used
+                success=result.success,
+                reason=result.reason,
+                gas_total=result.gas_used,
+                aborted=result.aborted,
             )
             return result
 
@@ -181,9 +207,19 @@ class KeySecureExchange:
         self, seller, buyer, price, predicate, tamper_k_c, tamper_k_v
     ) -> ExchangeResult:
         gas = 0
+        policy = self.retry
         # ----- Phase 1: data validation ---------------------------------
         with telemetry.span("exchange.prove", phase=1, proof="pi_p"):
             c_d, pi_p = seller.data_validation_message(predicate=predicate)
+        try:
+            # The (c_d, pi_p) message channel; a lost message is re-sent
+            # (the proof is computed once, above).
+            policy.run(
+                lambda: faults.check("exchange.msg.validation"),
+                site="exchange.msg.validation",
+            )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._aborted(gas, None, "phase-1 message undeliverable: %s" % exc)
         with telemetry.span("exchange.verify", phase=1, proof="pi_p") as sp:
             ok = buyer.verify_data(c_d, pi_p, predicate=predicate)
             sp.set_attr("ok", ok)
@@ -192,16 +228,28 @@ class KeySecureExchange:
         k_v, h_v = buyer.choose_verification_key()
         if tamper_k_v:
             k_v = (k_v + 1) % R  # buyer lies to the seller off-chain
+        try:
+            # The off-chain k_v channel, buyer -> seller.
+            policy.run(lambda: faults.check("exchange.msg.key"), site="exchange.msg.key")
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._aborted(gas, None, "k_v undeliverable: %s" % exc)
         with telemetry.span("exchange.commit", phase=1) as sp:
-            receipt = self.chain.transact(
-                buyer.address,
-                self.arbiter,
-                "lock_payment",
-                seller.address,
-                seller.asset.key_commitment.value,
-                h_v,
-                value=price,
-            )
+            try:
+                receipt = policy.run(
+                    lambda: self.chain.transact(
+                        buyer.address,
+                        self.arbiter,
+                        "lock_payment",
+                        seller.address,
+                        seller.asset.key_commitment.value,
+                        h_v,
+                        value=price,
+                    ),
+                    site="chain.lock_payment",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                sp.set_attr("aborted", True)
+                return self._aborted(gas, None, "payment lock undeliverable: %s" % exc)
             sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         if not receipt.status:
@@ -215,30 +263,87 @@ class KeySecureExchange:
             with telemetry.span("exchange.prove", phase=2, proof="pi_k"):
                 k_c, pi_k = seller.key_negotiation_message(k_v, h_v_on_chain)
         except ProtocolError as exc:
-            refund = self.chain.transact(buyer.address, self.arbiter, "refund", exchange_id)
-            gas += refund.gas_used
-            return ExchangeResult(False, None, str(exc), gas, exchange_id)
+            return self._abort_and_refund(buyer, exchange_id, gas, str(exc))
         if tamper_k_c:
             k_c = (k_c + 1) % R
-        with telemetry.span("exchange.reveal", phase=2) as sp:
-            receipt = self.chain.transact(
-                seller.address,
-                self.arbiter,
-                "submit_key",
-                exchange_id,
-                k_c,
-                pi_k.to_bytes(),
+        try:
+            # The (k_c, pi_k) message channel, seller -> chain.
+            policy.run(
+                lambda: faults.check("exchange.msg.negotiation"),
+                site="exchange.msg.negotiation",
             )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._abort_and_refund(
+                buyer, exchange_id, gas, "phase-2 message undeliverable: %s" % exc
+            )
+        with telemetry.span("exchange.reveal", phase=2) as sp:
+            try:
+                receipt = policy.run(
+                    lambda: self.chain.transact(
+                        seller.address,
+                        self.arbiter,
+                        "submit_key",
+                        exchange_id,
+                        k_c,
+                        pi_k.to_bytes(),
+                    ),
+                    site="chain.submit_key",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                sp.set_attr("aborted", True)
+                return self._abort_and_refund(
+                    buyer, exchange_id, gas, "key submission undeliverable: %s" % exc
+                )
             sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         if not receipt.status:
-            refund = self.chain.transact(buyer.address, self.arbiter, "refund", exchange_id)
-            gas += refund.gas_used
-            return ExchangeResult(
-                False, None, "pi_k rejected on chain: %s" % receipt.error, gas, exchange_id
+            return self._abort_and_refund(
+                buyer, exchange_id, gas, "pi_k rejected on chain: %s" % receipt.error
             )
 
         with telemetry.span("exchange.settle", phase=2):
             masked = self.chain.call_view(self.arbiter, "masked_key", exchange_id)
             plaintext = buyer.recover_plaintext(masked)
         return ExchangeResult(True, plaintext, "ok", gas, exchange_id)
+
+    # ----- abort machinery ----------------------------------------------
+
+    def _aborted(self, gas: int, exchange_id, reason: str) -> ExchangeResult:
+        """Terminal abort *before* any payment was locked: nothing to
+        unwind, the seller still holds the key, the buyer her funds."""
+        if telemetry.metrics_enabled():
+            telemetry.counter("exchange.aborted", protocol="keysecure").inc()
+        return ExchangeResult(False, None, reason, gas, exchange_id, aborted=True)
+
+    def _abort_and_refund(self, buyer, exchange_id, gas: int, reason: str) -> ExchangeResult:
+        """Terminal abort *after* the payment lock: drive the buyer's
+        refund through, retrying persistently.
+
+        The refund is the safety-critical leg — until it lands the
+        buyer's escrow is stranded — so it runs under the patient
+        :data:`repro.faults.ABORT_POLICY` rather than the per-step
+        policy.  A refund that still cannot be confirmed raises
+        :class:`ExchangeAbortedError`; chaos plans with bounded fault
+        budgets never reach it.
+        """
+        with telemetry.span("exchange.abort", exchange_id=exchange_id) as sp:
+            try:
+                refund = ABORT_POLICY.run(
+                    lambda: self.chain.transact(
+                        buyer.address, self.arbiter, "refund", exchange_id
+                    ),
+                    site="chain.refund",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                raise ExchangeAbortedError(
+                    "buyer refund for exchange %s could not be submitted: %s"
+                    % (exchange_id, exc)
+                ) from exc
+            gas += refund.gas_used
+            sp.set_attrs(refund.span_attrs("refund"))
+            if not refund.status:
+                raise ExchangeAbortedError(
+                    "buyer refund for exchange %s reverted: %s"
+                    % (exchange_id, refund.error)
+                )
+        return self._aborted(gas, exchange_id, reason)

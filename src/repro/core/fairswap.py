@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import ProtocolError
+from repro.errors import (
+    DeadlineExceededError,
+    ExchangeAbortedError,
+    ProtocolError,
+    RetryExhaustedError,
+)
+from repro.faults.retry import ABORT_POLICY, RetryPolicy
+from repro import telemetry
 from repro.field.fr import MODULUS as R, rand_fr
 from repro.gadgets.merkle import MerkleTree
 from repro.primitives.hashing import field_hash
@@ -63,14 +70,30 @@ class FairSwapResult:
     reason: str
     gas_used: int
     dispute_gas: int = 0
+    aborted: bool = False
 
 
 class FairSwapExchange:
-    """Orchestrates one FairSwap sale against the arbiter contract."""
+    """Orchestrates one FairSwap sale against the arbiter contract.
 
-    def __init__(self, chain, contract):
+    Transactions run under ``retry``; if the seller's ``reveal_key``
+    stays undeliverable past the policy budget, the driver waits out the
+    reveal window and recovers the buyer's escrow through the contract's
+    ``abort`` entry point.
+    """
+
+    def __init__(self, chain, contract, retry: RetryPolicy | None = None):
         self.chain = chain
         self.contract = contract
+        self.retry = retry if retry is not None else RetryPolicy()
+
+    def _tx(self, sender: str, method: str, *args, site: str, value: int = 0):
+        return self.retry.run(
+            lambda: self.chain.transact(
+                sender, self.contract, method, *args, value=value
+            ),
+            site=site,
+        )
 
     def run(
         self,
@@ -89,24 +112,40 @@ class FairSwapExchange:
         if cheat_block is not None:
             listing.tamper_block(cheat_block)
 
-        receipt = self.chain.transact(
-            seller, self.contract, "offer",
-            listing.cipher_tree.root, listing.plain_tree.root,
-            field_hash(listing.key), listing.nonce,
-            len(listing.blocks), price,
-        )
+        try:
+            receipt = self._tx(
+                seller, "offer",
+                listing.cipher_tree.root, listing.plain_tree.root,
+                field_hash(listing.key), listing.nonce,
+                len(listing.blocks), price,
+                site="chain.offer",
+            )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._aborted(gas, "offer undeliverable: %s" % exc)
         gas += receipt.gas_used
         sale_id = receipt.return_value
 
-        receipt = self.chain.transact(buyer, self.contract, "accept", sale_id, value=price)
+        try:
+            receipt = self._tx(buyer, "accept", sale_id, site="chain.accept", value=price)
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._aborted(gas, "accept undeliverable: %s" % exc)
         gas += receipt.gas_used
         if not receipt.status:
             return FairSwapResult(False, None, "accept failed", gas)
 
-        receipt = self.chain.transact(seller, self.contract, "reveal_key", sale_id, listing.key)
+        try:
+            receipt = self._tx(
+                seller, "reveal_key", sale_id, listing.key, site="chain.reveal"
+            )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._abort_after_accept(
+                buyer, sale_id, gas, "reveal undeliverable: %s" % exc
+            )
         gas += receipt.gas_used
         if not receipt.status:
-            return FairSwapResult(False, None, "reveal rejected", gas)
+            return self._abort_after_accept(
+                buyer, sale_id, gas, "reveal rejected: %s" % receipt.error
+            )
 
         # Buyer decrypts locally and checks every block against the
         # advertised plaintext root.
@@ -128,23 +167,76 @@ class FairSwapExchange:
             self.chain.seal_block()
             for _ in range(6):
                 self.chain.seal_block()
-            receipt = self.chain.transact(seller, self.contract, "finalize", sale_id)
+            try:
+                receipt = ABORT_POLICY.run(
+                    lambda: self.chain.transact(seller, self.contract, "finalize", sale_id),
+                    site="chain.finalize",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                raise ExchangeAbortedError(
+                    "finalize for sale %s could not be submitted: %s" % (sale_id, exc)
+                ) from exc
             gas += receipt.gas_used
             return FairSwapResult(True, decrypted, "ok", gas)
 
-        # Dispute: assemble the proof of misbehaviour.
+        # Dispute: assemble the proof of misbehaviour.  A lost complaint
+        # strands the buyer's escrow, so submission runs under the more
+        # persistent abort policy.
         c_proof = listing.cipher_tree.prove(bad_index)
         p_proof = listing.plain_tree.prove(bad_index)
-        receipt = self.chain.transact(
-            buyer, self.contract, "complain", sale_id, bad_index,
-            listing.cipher_blocks[bad_index],
-            tuple(c_proof.siblings), tuple(c_proof.path_bits),
-            listing.blocks[bad_index],
-            tuple(p_proof.siblings), tuple(p_proof.path_bits),
-        )
+        try:
+            receipt = ABORT_POLICY.run(
+                lambda: self.chain.transact(
+                    buyer, self.contract, "complain", sale_id, bad_index,
+                    listing.cipher_blocks[bad_index],
+                    tuple(c_proof.siblings), tuple(c_proof.path_bits),
+                    listing.blocks[bad_index],
+                    tuple(p_proof.siblings), tuple(p_proof.path_bits),
+                ),
+                site="chain.complain",
+            )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            raise ExchangeAbortedError(
+                "complaint for sale %s could not be submitted: %s" % (sale_id, exc)
+            ) from exc
         gas += receipt.gas_used
         if not receipt.status:
             return FairSwapResult(False, None, "complaint rejected: %s" % receipt.error, gas)
         return FairSwapResult(
             False, None, "seller cheated; buyer refunded", gas, dispute_gas=receipt.gas_used
         )
+
+    # ----- abort machinery ----------------------------------------------
+
+    def _aborted(self, gas: int, reason: str) -> FairSwapResult:
+        if telemetry.metrics_enabled():
+            telemetry.counter("exchange.aborted", protocol="fairswap").inc()
+        return FairSwapResult(False, None, reason, gas, aborted=True)
+
+    def _abort_after_accept(
+        self, buyer: str, sale_id: int, gas: int, reason: str
+    ) -> FairSwapResult:
+        """Recover the buyer's escrow when the seller never reveals.
+
+        Waits out the reveal window (the offers placed by this driver use
+        the contract's default ``dispute_window`` of 5 blocks), then pulls
+        the escrow back through the contract's ``abort`` entry point.
+        """
+        with telemetry.span("fairswap.abort", sale_id=sale_id):
+            for _ in range(6):
+                self.chain.seal_block()
+            try:
+                refund = ABORT_POLICY.run(
+                    lambda: self.chain.transact(buyer, self.contract, "abort", sale_id),
+                    site="chain.abort",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                raise ExchangeAbortedError(
+                    "buyer abort for sale %s could not be submitted: %s" % (sale_id, exc)
+                ) from exc
+            gas += refund.gas_used
+            if not refund.status:
+                raise ExchangeAbortedError(
+                    "buyer abort for sale %s reverted: %s" % (sale_id, refund.error)
+                )
+        return self._aborted(gas, reason)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro import telemetry
 from repro.errors import ProtocolError
+from repro.faults.retry import RetryPolicy
 from repro.chain import Blockchain
 from repro.contracts import (
     ClockAuctionContract,
@@ -71,11 +72,21 @@ class AuditReport:
 class ZKDETMarketplace:
     """Full-system facade; see examples/quickstart.py for a tour."""
 
-    def __init__(self, snark: SnarkContext, initial_funds: int = 10**12):
+    def __init__(
+        self,
+        snark: SnarkContext,
+        initial_funds: int = 10**12,
+        retry: RetryPolicy | None = None,
+    ):
         self.snark = snark
         self.chain = Blockchain()
         self.storage = ContentStore()
         self.initial_funds = initial_funds
+        #: Policy for the marketplace's own substrate round-trips: storage
+        #: uploads during publish/transform, URI resolution during
+        #: fetch/audit, and the facade's own transactions (mint, derived
+        #: mints, token transfer).
+        self.retry = retry if retry is not None else RetryPolicy()
 
         operator = self.chain.create_account(funded=initial_funds)
         self.operator = operator
@@ -103,6 +114,18 @@ class ZKDETMarketplace:
         """Create and fund an account."""
         return self.chain.create_account(funded=self.initial_funds)
 
+    def _tx(self, sender: str, method: str, *args, site: str):
+        """A facade transaction against the token contract, under retry.
+
+        Injected drops and reverts fire before the method body executes,
+        so resubmission is idempotent; genuine contract failures surface
+        as failed receipts and are never retried.
+        """
+        return self.retry.run(
+            lambda: self.chain.transact(sender, self.token, method, *args),
+            site=site,
+        )
+
     # ----- data lifecycle ----------------------------------------------------------
 
     def publish_dataset(self, owner: str, plaintext: list[int]) -> PublishedAsset:
@@ -113,20 +136,22 @@ class ZKDETMarketplace:
         """
         with telemetry.span("marketplace.publish", entries=len(plaintext)) as root:
             asset = DataAsset.create(plaintext)
-            asset.publish(self.storage, owner=owner)
+            self.retry.run(
+                lambda: asset.publish(self.storage, owner=owner), site="storage.put"
+            )
             with telemetry.span("publish.prove", proof="pi_e"):
                 pi_e = prove_encryption(self.snark, asset)
             with telemetry.span("publish.verify", proof="pi_e"):
                 if not verify_encryption(self.snark, asset.public_view(), pi_e):
                     raise ProtocolError("freshly generated pi_e failed verification")
             with telemetry.span("publish.mint") as sp:
-                receipt = self.chain.transact(
+                receipt = self._tx(
                     owner,
-                    self.token,
                     "mint",
                     asset.uri,
                     asset.data_commitment.value,
                     _proof_hash(pi_e.proof),
+                    site="chain.mint",
                 )
                 sp.set_attrs(receipt.span_attrs())
             if not receipt.status:
@@ -166,36 +191,39 @@ class ZKDETMarketplace:
         pending = []
         with telemetry.span("transform.publish_derived", count=len(derived_assets)):
             for d in derived_assets:
-                d.publish(self.storage, owner=owner)
+                self.retry.run(
+                    lambda d=d: d.publish(self.storage, owner=owner), site="storage.put"
+                )
                 pi_e = prove_encryption(self.snark, d)
                 pending.append((d, pi_e))
 
         name = transformation.name
         if name == "aggregation":
             d, pi_e = pending[0]
-            receipt = self.chain.transact(
-                owner, self.token, "aggregate", source_ids, d.uri,
-                d.data_commitment.value, proof_hash,
+            receipt = self._tx(
+                owner, "aggregate", source_ids, d.uri,
+                d.data_commitment.value, proof_hash, site="chain.mint",
             )
             token_ids = [receipt.return_value] if receipt.status else []
         elif name == "partition":
             parts = tuple((d.uri, d.data_commitment.value) for d, _ in pending)
-            receipt = self.chain.transact(
-                owner, self.token, "partition", source_ids[0], parts, proof_hash
+            receipt = self._tx(
+                owner, "partition", source_ids[0], parts, proof_hash,
+                site="chain.mint",
             )
             token_ids = list(receipt.return_value) if receipt.status else []
         elif name == "duplication":
             d, pi_e = pending[0]
-            receipt = self.chain.transact(
-                owner, self.token, "duplicate", source_ids[0], d.uri,
-                d.data_commitment.value, proof_hash,
+            receipt = self._tx(
+                owner, "duplicate", source_ids[0], d.uri,
+                d.data_commitment.value, proof_hash, site="chain.mint",
             )
             token_ids = [receipt.return_value] if receipt.status else []
         else:  # processing
             d, pi_e = pending[0]
-            receipt = self.chain.transact(
-                owner, self.token, "process", source_ids, d.uri,
-                d.data_commitment.value, proof_hash,
+            receipt = self._tx(
+                owner, "process", source_ids, d.uri,
+                d.data_commitment.value, proof_hash, site="chain.mint",
             )
             token_ids = [receipt.return_value] if receipt.status else []
         root.set_attrs(receipt.span_attrs("mint"))
@@ -229,12 +257,17 @@ class ZKDETMarketplace:
             buyer = Buyer(self.snark, listing.asset.public_view(), buyer_address)
             protocol = KeySecureExchange(self.snark, self.chain, self.arbiter)
             result = protocol.run(seller, buyer, price, predicate=predicate, **tamper)
-            root.set_attrs(success=result.success, gas_total=result.gas_used)
+            root.set_attrs(
+                success=result.success,
+                aborted=result.aborted,
+                gas_total=result.gas_used,
+            )
             if result.success:
                 with telemetry.span("sell.transfer_token") as sp:
-                    receipt = self.chain.transact(
-                        seller_address, self.token, "transfer_from",
+                    receipt = self._tx(
+                        seller_address, "transfer_from",
                         seller_address, buyer_address, listing.token_id,
+                        site="chain.transfer",
                     )
                     sp.set_attrs(receipt.span_attrs())
                 if not receipt.status:
@@ -252,7 +285,7 @@ class ZKDETMarketplace:
         uri = self.chain.call_view(self.token, "token_uri", token_id)
         if uri is None:
             raise ProtocolError("token %d does not exist" % token_id)
-        return self.storage.get(uri)
+        return self.retry.run(lambda: self.storage.get(uri), site="storage.get")
 
     def audit(self, token_id: int) -> AuditReport:
         """Full public audit of a token: storage integrity, pi_e, and the

@@ -14,7 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import telemetry
+from repro import faults, telemetry
+from repro.errors import DeadlineExceededError, ExchangeAbortedError, RetryExhaustedError
+from repro.faults.retry import ABORT_POLICY, RetryPolicy
 from repro.gadgets.mimc import assert_ctr_encryption
 from repro.gadgets.poseidon import poseidon_hash_gadget
 from repro.groth16 import groth16_prove, groth16_setup, groth16_verify
@@ -58,14 +60,22 @@ class ZKCPResult:
     reason: str
     gas_used: int
     leaked_key: int | None = None  # what a third party can read afterwards
+    aborted: bool = False
 
 
 class ZKCPExchange:
-    """Orchestrates the four ZKCP steps against the hash-lock arbiter."""
+    """Orchestrates the four ZKCP steps against the hash-lock arbiter.
 
-    def __init__(self, chain, arbiter):
+    Like :class:`repro.core.exchange.KeySecureExchange`, every message
+    channel and transaction runs under a :class:`repro.faults.RetryPolicy`
+    and a persistent failure aborts into a safe state (escrow refunded,
+    key unrevealed).
+    """
+
+    def __init__(self, chain, arbiter, retry: RetryPolicy | None = None):
         self.chain = chain
         self.arbiter = arbiter
+        self.retry = retry if retry is not None else RetryPolicy()
         self._key_cache: dict = {}
 
     def _keys_for(self, num_entries: int, predicate):
@@ -121,6 +131,12 @@ class ZKCPExchange:
             proof = groth16_prove(pk, witness)
 
         # ----- Verify: buyer checks pi_p, locks payment against h --------
+        try:
+            self.retry.run(
+                lambda: faults.check("exchange.msg.deliver"), site="exchange.msg.deliver"
+            )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            return self._aborted(gas, "deliver message undeliverable: %s" % exc)
         publics = list(asset.ciphertext.blocks) + [asset.ciphertext.nonce, key_hash]
         with telemetry.span("zkcp.verify", step="verify") as sp:
             ok = groth16_verify(vk, publics, proof)
@@ -128,9 +144,17 @@ class ZKCPExchange:
         if not ok:
             return ZKCPResult(False, None, "pi_p rejected by buyer", gas)
         with telemetry.span("zkcp.commit", step="lock") as sp:
-            receipt = self.chain.transact(
-                buyer_address, self.arbiter, "lock", seller_address, key_hash, value=price
-            )
+            try:
+                receipt = self.retry.run(
+                    lambda: self.chain.transact(
+                        buyer_address, self.arbiter, "lock", seller_address,
+                        key_hash, value=price,
+                    ),
+                    site="chain.lock",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                sp.set_attr("aborted", True)
+                return self._aborted(gas, "payment lock undeliverable: %s" % exc)
             sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         deal_id = receipt.return_value
@@ -138,16 +162,53 @@ class ZKCPExchange:
         # ----- Open: seller discloses k ON CHAIN --------------------------
         key = (asset.key + 1) if tamper_key else asset.key
         with telemetry.span("zkcp.reveal", step="open") as sp:
-            receipt = self.chain.transact(seller_address, self.arbiter, "open", deal_id, key)
+            try:
+                receipt = self.retry.run(
+                    lambda: self.chain.transact(
+                        seller_address, self.arbiter, "open", deal_id, key
+                    ),
+                    site="chain.open",
+                )
+            except (RetryExhaustedError, DeadlineExceededError) as exc:
+                sp.set_attr("aborted", True)
+                return self._abort_and_refund(
+                    buyer_address, deal_id, gas, "open undeliverable: %s" % exc
+                )
             sp.set_attrs(receipt.span_attrs())
         gas += receipt.gas_used
         if not receipt.status:
-            refund = self.chain.transact(buyer_address, self.arbiter, "refund", deal_id)
-            gas += refund.gas_used
-            return ZKCPResult(False, None, "open rejected: %s" % receipt.error, gas)
+            return self._abort_and_refund(
+                buyer_address, deal_id, gas, "open rejected: %s" % receipt.error
+            )
 
         # ----- Finalize: buyer decrypts — but so can anyone ---------------
         with telemetry.span("zkcp.settle", step="finalize"):
             revealed = self.chain.call_view(self.arbiter, "revealed_key", deal_id)
             plaintext = mimc_decrypt_ctr(revealed, view.ciphertext)
         return ZKCPResult(True, plaintext, "ok", gas, leaked_key=revealed)
+
+    # ----- abort machinery ----------------------------------------------
+
+    def _aborted(self, gas: int, reason: str) -> ZKCPResult:
+        if telemetry.metrics_enabled():
+            telemetry.counter("exchange.aborted", protocol="zkcp").inc()
+        return ZKCPResult(False, None, reason, gas, aborted=True)
+
+    def _abort_and_refund(
+        self, buyer_address: str, deal_id: int, gas: int, reason: str
+    ) -> ZKCPResult:
+        try:
+            refund = ABORT_POLICY.run(
+                lambda: self.chain.transact(buyer_address, self.arbiter, "refund", deal_id),
+                site="chain.refund",
+            )
+        except (RetryExhaustedError, DeadlineExceededError) as exc:
+            raise ExchangeAbortedError(
+                "buyer refund for deal %s could not be submitted: %s" % (deal_id, exc)
+            ) from exc
+        gas += refund.gas_used
+        if not refund.status:
+            raise ExchangeAbortedError(
+                "buyer refund for deal %s reverted: %s" % (deal_id, refund.error)
+            )
+        return self._aborted(gas, reason)

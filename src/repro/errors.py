@@ -45,6 +45,16 @@ class SerializationError(ReproError):
     """Proof or key (de)serialisation failed."""
 
 
+class TransientError(ReproError):
+    """A failure expected to clear on retry (timeouts, drops, churn).
+
+    Every fault the deterministic fault plane (:mod:`repro.faults`) can
+    inject that a :class:`repro.faults.RetryPolicy` is allowed to absorb
+    derives from this class; anything else is treated as a protocol-level
+    outcome and surfaces to the caller.
+    """
+
+
 class ChainError(ReproError):
     """Blockchain substrate error."""
 
@@ -57,12 +67,66 @@ class ContractError(ChainError):
     """Smart-contract level revert."""
 
 
+class TxDroppedError(ChainError, TransientError):
+    """A submitted transaction was never mined (mempool drop); resubmit."""
+
+
+class TxRevertedError(ChainError, TransientError):
+    """A transaction was mined but reverted for a transient reason
+    (injected revert); the failed receipt is on chain, resubmission may
+    succeed."""
+
+
+class EventDelayError(ChainError, TransientError):
+    """The event log is lagging behind chain head; re-query later."""
+
+
 class StorageError(ReproError):
     """Content-addressed storage error."""
 
 
+class StorageUnavailableError(StorageError, TransientError):
+    """A storage node or chunk was unreachable; another replica (or a
+    retry) may serve it."""
+
+
+class StorageTimeoutError(StorageError, TransientError):
+    """A storage read exceeded its latency budget."""
+
+
+class StorageCorruptionError(StorageError, TransientError):
+    """Fetched bytes fail content-integrity verification.
+
+    Transient because content addressing makes corruption detectable and
+    therefore recoverable: a re-read or a different replica yields the
+    genuine bytes (silent corruption is impossible by construction)."""
+
+
 class ProtocolError(ReproError):
     """A ZKDET protocol interaction was violated."""
+
+
+class MessageLossError(ProtocolError, TransientError):
+    """An off-chain protocol message was lost in transit; resend."""
+
+
+class MessageStallError(ProtocolError, TransientError):
+    """An off-chain counterparty stalled past its response window."""
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation failed on every attempt the policy allowed."""
+
+
+class DeadlineExceededError(ReproError):
+    """An operation's (virtual) per-operation timeout elapsed."""
+
+
+class ExchangeAbortedError(ProtocolError):
+    """An exchange could not be driven into a safe terminal state.
+
+    Raised only when even the abort/refund path failed persistently —
+    chaos plans with bounded fault budgets never reach this."""
 
 
 class CommitmentError(ReproError):

@@ -1,0 +1,106 @@
+"""Bounded, deterministic retry with exponential backoff.
+
+The recovery half of the fault plane: protocol drivers wrap each
+fallible step (a storage read, a transaction submission, an off-chain
+message) in :meth:`RetryPolicy.run`.  Only :class:`repro.errors.TransientError`
+subclasses are retried — everything else is a genuine protocol outcome
+and propagates immediately.
+
+Backoff is exponential with *deterministic seeded jitter*: the jitter
+fraction for attempt ``a`` at site ``s`` is a SHA-256 draw of
+``(seed, s, a)``, so two runs of the same plan back off identically and
+replays stay bit-exact.  All durations are integer microseconds on the
+injector's :class:`repro.faults.injector.VirtualClock`; no real sleeping
+ever happens, which is also why the disabled-path overhead of a policy
+is one ``try``/``except`` per call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro import telemetry
+from repro.errors import DeadlineExceededError, RetryExhaustedError, TransientError
+from repro.faults.plan import PPM, draw
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic seeded jitter.
+
+    ``max_attempts`` counts calls, not retries (1 = no retry at all).
+    ``timeout_us`` is a per-operation budget on the *virtual* clock:
+    when injected latency plus backoff exceed it, the operation fails
+    with :class:`DeadlineExceededError` even if attempts remain — the
+    "per-operation timeout" leg of the failure taxonomy.
+    """
+
+    max_attempts: int = 5
+    base_delay_us: int = 50_000
+    max_delay_us: int = 2_000_000
+    multiplier: int = 2
+    jitter_ppm: int = PPM // 2
+    timeout_us: int | None = None
+    seed: int = 0
+
+    def backoff_us(self, attempt: int, salt: str = "") -> int:
+        """Virtual backoff before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_delay_us * self.multiplier**attempt, self.max_delay_us)
+        if self.jitter_ppm:
+            fraction = draw(self.seed, attempt, 0, "retry:%s" % salt)
+            delay -= delay * self.jitter_ppm * fraction // (PPM * PPM)
+        return delay
+
+    def run(
+        self,
+        operation: Callable[[], T],
+        site: str = "operation",
+    ) -> T:
+        """Call ``operation`` until it succeeds, retrying transient errors.
+
+        Raises :class:`RetryExhaustedError` once ``max_attempts`` calls
+        all failed transiently, or :class:`DeadlineExceededError` when
+        the virtual per-operation timeout elapses first.
+        """
+        from repro import faults  # late import: faults imports this module
+
+        injector = faults.active()
+        clock = injector.clock if injector is not None else None
+        started_us = clock.now_us if clock is not None else 0
+        last: TransientError | None = None
+        for attempt in range(self.max_attempts):
+            if attempt and telemetry.metrics_enabled():
+                telemetry.counter("retry.attempts", site=site).inc()
+            try:
+                return operation()
+            except TransientError as exc:
+                last = exc
+                if clock is not None:
+                    clock.advance(self.backoff_us(attempt, site))
+                    if (
+                        self.timeout_us is not None
+                        and clock.now_us - started_us > self.timeout_us
+                    ):
+                        if telemetry.metrics_enabled():
+                            telemetry.counter("retry.deadline", site=site).inc()
+                        raise DeadlineExceededError(
+                            "operation %r exceeded its %d us budget after %d attempts"
+                            % (site, self.timeout_us, attempt + 1)
+                        ) from exc
+        if telemetry.metrics_enabled():
+            telemetry.counter("retry.exhausted", site=site).inc()
+        raise RetryExhaustedError(
+            "operation %r failed on all %d attempts; last error: %s"
+            % (site, self.max_attempts, last)
+        ) from last
+
+
+#: The default policy protocol drivers use: enough attempts to outlast
+#: every bounded budget in the shipped chaos profiles.
+DEFAULT_POLICY = RetryPolicy()
+
+#: A patient policy for safety-critical cleanup (abort/refund paths).
+ABORT_POLICY = RetryPolicy(max_attempts=8, base_delay_us=25_000)

@@ -8,12 +8,20 @@ on every read, so silently tampered content is detected.
 
 from __future__ import annotations
 
-from repro.errors import StorageError
+from repro import faults
+from repro.errors import StorageCorruptionError, StorageError
 from repro.primitives.hashing import digest_hex
 
 
 class ContentStore:
-    """An in-process content-addressed blob store."""
+    """An in-process content-addressed blob store.
+
+    Fault-plane sites (active only under a :mod:`repro.faults` plan):
+    ``storage.put`` (upload loss / latency), ``storage.get`` (chunk loss
+    / slow read) and ``storage.get.data`` (in-flight corruption — which
+    the digest check below then detects, raised as the *retryable*
+    :class:`StorageCorruptionError`).
+    """
 
     def __init__(self):
         self._blobs: dict[str, bytes] = {}
@@ -23,6 +31,7 @@ class ContentStore:
         """Store bytes; returns the content URI (and pins it for owner)."""
         if not isinstance(data, (bytes, bytearray)):
             raise StorageError("content must be bytes")
+        faults.check("storage.put")
         uri = digest_hex(bytes(data))
         self._blobs[uri] = bytes(data)
         self._pins.setdefault(uri, set()).add(owner)
@@ -30,11 +39,15 @@ class ContentStore:
 
     def get(self, uri: str) -> bytes:
         """Fetch bytes by URI, verifying content integrity."""
+        faults.check("storage.get")
         data = self._blobs.get(uri)
         if data is None:
             raise StorageError("no content at %s" % uri)
+        data = faults.filter_bytes("storage.get.data", data)
         if digest_hex(data) != uri:
-            raise StorageError("content at %s fails integrity verification" % uri)
+            raise StorageCorruptionError(
+                "content at %s fails integrity verification" % uri
+            )
         return data
 
     def has(self, uri: str) -> bool:

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import hashlib
 
-from repro.errors import StorageError
+from repro import faults
+from repro.errors import StorageCorruptionError, StorageError, StorageUnavailableError
 
 #: Identifier width in bits.
 ID_BITS = 64
@@ -53,11 +54,24 @@ class DHTNetwork:
         return ranked[:count]
 
     def put(self, data: bytes) -> str:
-        """Store bytes on the ``replication`` closest nodes."""
+        """Store bytes on the ``replication`` closest nodes.
+
+        Under a fault plan, individual replica writes can be lost
+        (site ``dht.node.put``); the write still succeeds as long as at
+        least one replica lands, mirroring quorum-less DHT semantics.
+        """
         uri = hashlib.sha256(data).hexdigest()
         key = _content_id(uri)
+        stored = 0
         for node in self._closest(key, self.replication):
+            if faults.unavailable("dht.node.put"):
+                continue  # this replica write was lost in transit
             node.blobs[uri] = bytes(data)
+            stored += 1
+        if stored == 0:
+            raise StorageUnavailableError(
+                "no replica of %s could be written; all target nodes unreachable" % uri
+            )
         return uri
 
     def get(self, uri: str) -> bytes:
@@ -71,14 +85,28 @@ class DHTNetwork:
         Walks the nodes in XOR-closeness order (each probe is one "hop")
         until a replica is found.
         """
+        faults.check("dht.get")
         key = _content_id(uri)
+        found_corrupt = False
         for hops, node in enumerate(self._closest(key, len(self.nodes)), start=1):
+            if faults.unavailable("dht.node.get"):
+                continue  # node unreachable this probe; walk on
             data = node.blobs.get(uri)
             if data is not None:
+                data = faults.filter_bytes("dht.node.data", data)
                 if hashlib.sha256(data).hexdigest() != uri:
-                    raise StorageError("replica on %s is corrupt" % node.name)
+                    # A corrupt replica is detectable, so keep walking —
+                    # another replica may be intact.
+                    found_corrupt = True
+                    continue
                 return data, hops
-        raise StorageError("content %s not found in the network" % uri)
+        if found_corrupt:
+            raise StorageCorruptionError(
+                "every reachable replica of %s is corrupt" % uri
+            )
+        raise StorageUnavailableError(
+            "content %s not found on any reachable node" % uri
+        )
 
     def replica_count(self, uri: str) -> int:
         return sum(1 for n in self.nodes.values() if uri in n.blobs)

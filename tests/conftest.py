@@ -4,7 +4,16 @@ The SNARK context (SRS + circuit-key cache) is expensive to build, so one
 session-scoped instance is shared by every protocol-level test; circuit
 keys accumulate in its cache across tests, exactly as a deployed system
 would reuse them.
+
+Seeded-randomness plumbing for the chaos and differential suites: the
+``chaos_seed`` fixture reads ``REPRO_CHAOS_SEED`` (defaulting to a fixed
+constant so plain ``pytest`` runs are reproducible), and any test that
+used it and failed gets a replay line appended to its report so the
+exact run can be reproduced from the terminal output alone.
 """
+
+import json
+import os
 
 import pytest
 
@@ -14,7 +23,53 @@ from repro.core.snark import SnarkContext
 #: logistic-regression convergence predicate is the largest test circuit.
 _SRS_DEGREE = 16400
 
+#: Default seed for chaos/differential runs when REPRO_CHAOS_SEED is unset.
+_DEFAULT_CHAOS_SEED = 20220707  # ICDCS 2022
+
 
 @pytest.fixture(scope="session")
 def snark_ctx():
     return SnarkContext.with_fresh_srs(_SRS_DEGREE, tau=0xC0FFEE)
+
+
+@pytest.fixture
+def chaos_seed(request):
+    """The session's randomness seed for chaos and differential tests.
+
+    Override with ``REPRO_CHAOS_SEED=<int>``; CI's chaos job sets a
+    run-derived value and echoes it so any red run can be replayed.
+    """
+    raw = os.environ.get("REPRO_CHAOS_SEED", "")
+    seed = int(raw) if raw.strip() else _DEFAULT_CHAOS_SEED
+    request.node._repro_chaos_seed = seed
+    return seed
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    seed = getattr(item, "_repro_chaos_seed", None)
+    if seed is not None and report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "chaos replay",
+                "REPRO_CHAOS_SEED=%d reproduces this failure (same node id)" % seed,
+            )
+        )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Optionally dump the telemetry metrics registry for CI artifacts."""
+    out = os.environ.get("REPRO_CHAOS_TELEMETRY_OUT")
+    if not out:
+        return
+    from repro import telemetry
+
+    if not telemetry.metrics_enabled():
+        return
+    parent = os.path.dirname(out)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(out, "w") as fh:
+        json.dump(telemetry.snapshot(), fh, indent=2, sort_keys=True, default=str)

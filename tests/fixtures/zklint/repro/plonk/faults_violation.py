@@ -1,0 +1,12 @@
+"""Seeded DET-001 violation: the fault injector imported on the prover path.
+
+A fault plan consulted during proof generation would make the proof
+depend on the injection schedule — the fault plane is measurement-layer
+machinery and must stay outside the deterministic scope.
+"""
+
+from repro import faults
+
+
+def prove_with_injected_faults(site: str) -> None:
+    faults.check(site)

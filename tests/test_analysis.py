@@ -78,6 +78,7 @@ class TestPerRuleFixtures:
             ("FS-001", "repro/plonk/fs_violation.py", "no absorption"),
             ("SEC-001", "repro/plonk/sec_violation.py", "witness"),
             ("DET-001", "repro/plonk/det_violation.py", "random"),
+            ("DET-001", "repro/plonk/faults_violation.py", "repro.faults"),
             ("FLD-001", "repro/plonk/fld_violation.py", "literal"),
             ("ENG-001", "repro/kzg/eng_violation.py", "compute engine"),
         ],

@@ -1,0 +1,146 @@
+"""Randomized differential tests: fast paths against reference oracles.
+
+The compute-backend layer promises that engine choice is unobservable
+(``ParallelEngine`` bit-identical to ``SerialEngine``) and the Fq2-tower
+Miller loop promises equality with the slow reference pairing.  The unit
+suites pin those claims on fixed vectors; this suite stresses them on
+*randomized* inputs drawn from the shared ``chaos_seed`` fixture, so CI's
+chaos job sweeps a fresh region of the input space on every run while any
+failure replays from the seed echoed in the test report.
+"""
+
+import random
+
+import pytest
+
+from repro.backend import ParallelEngine, SerialEngine
+from repro.curve import pairing_ref
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+from repro.field.fr import MODULUS as R
+from repro.field.ntt import COSET_SHIFT
+
+pytestmark = pytest.mark.differential
+
+
+@pytest.fixture(scope="module")
+def engines():
+    serial = SerialEngine()
+    parallel = ParallelEngine(
+        workers=2, min_msm_points=1, min_ntt_jobs=1, min_ntt_size=1, min_inverse_size=1
+    )
+    yield serial, parallel
+    parallel.close()
+
+
+def _rng(chaos_seed, salt):
+    return random.Random("%d:%s" % (chaos_seed, salt))
+
+
+class TestEngineDifferential:
+    """ParallelEngine vs SerialEngine on randomized inputs."""
+
+    def test_ntt_roundtrip_and_equivalence(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "ntt")
+        jobs = []
+        for _ in range(4):
+            n = 1 << rng.randint(2, 9)
+            coeffs = [rng.randrange(R) for _ in range(n)]
+            jobs.append(("fft", n, coeffs, 0))
+            jobs.append(("ifft", n, coeffs, 0))
+            jobs.append(("coset_fft", n, coeffs, COSET_SHIFT))
+            jobs.append(("coset_ifft", n, coeffs, COSET_SHIFT))
+        out_s = serial.ntt_batch(jobs)
+        out_p = parallel.ntt_batch(jobs)
+        assert out_s == out_p
+        # Forward/inverse really are inverses on the same random vector.
+        for i in range(0, len(jobs), 4):
+            _kind, n, coeffs, _shift = jobs[i]
+            assert serial.ntt_batch([("ifft", n, out_s[i], 0)])[0] == coeffs
+
+    def test_msm_g1_matches_naive(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "msm1")
+        n = rng.randint(1, 160)
+        points = [G1.generator() * rng.randrange(1, R) for _ in range(n)]
+        scalars = [rng.choice([0, 1, R - 1, rng.randrange(R)]) for _ in range(n)]
+        naive = G1.identity()
+        for p, s in zip(points, scalars):
+            naive = naive + p * s
+        got_s = serial.msm_g1(points, scalars)
+        got_p = parallel.msm_g1(points, scalars)
+        assert got_s == naive
+        assert got_p == naive
+        assert got_s.to_bytes() == got_p.to_bytes()
+
+    def test_msm_g2_matches_naive(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "msm2")
+        n = rng.randint(1, 12)
+        points = [G2.generator() * rng.randrange(1, R) for _ in range(n)]
+        scalars = [rng.choice([0, 1, R - 1, rng.randrange(R)]) for _ in range(n)]
+        naive = G2.identity()
+        for p, s in zip(points, scalars):
+            naive = naive + p * s
+        assert serial.msm_g2(points, scalars) == naive
+        assert parallel.msm_g2(points, scalars) == naive
+
+    def test_batch_inverse_against_fermat(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "inv")
+        values = [rng.randrange(1, R) for _ in range(rng.randint(1, 700))]
+        inv_s = serial.batch_inverse(values)
+        inv_p = parallel.batch_inverse(values)
+        assert inv_s == inv_p
+        for v, v_inv in zip(values, inv_s):
+            assert v_inv == pow(v, R - 2, R)
+
+    def test_fixed_base_mul_matches_generic(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "fb")
+        for base in (G1.generator(), G2.generator()):
+            for _ in range(4):
+                k = rng.choice([0, 1, R - 1, rng.randrange(R)])
+                expected = base * k
+                assert serial.fixed_base_mul(base, k) == expected
+                assert parallel.fixed_base_mul(base, k) == expected
+
+
+@pytest.mark.slow
+class TestPairingDifferential:
+    """The fast Fq2-tower pairing vs the reference implementation."""
+
+    def test_fast_equals_reference_on_random_points(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "pair")
+        for _ in range(3):
+            p = G1.generator() * rng.randrange(1, R)
+            q = G2.generator() * rng.randrange(1, R)
+            ref = pairing_ref.pairing(p, q)
+            assert serial.pairing(p, q) == ref
+            assert parallel.pairing(p, q) == ref
+
+    def test_bilinearity_under_random_scalars(self, engines, chaos_seed):
+        serial, _ = engines
+        rng = _rng(chaos_seed, "bilin")
+        a = rng.randrange(2, R)
+        b = rng.randrange(2, R)
+        p, q = G1.generator(), G2.generator()
+        # e(aP, bQ) == e(abP, Q) == e(P, abQ)
+        lhs = serial.pairing(p * a, q * b)
+        assert lhs == serial.pairing(p * (a * b % R), q)
+        assert lhs == serial.pairing(p, q * (a * b % R))
+
+    def test_pairing_check_random_cancellation(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "check")
+        a = rng.randrange(2, R)
+        p, q = G1.generator(), G2.generator()
+        # e(aP, Q) * e(-P, aQ) == 1
+        pairs = [(p * a, q), (-(p), q * a)]
+        assert serial.pairing_check(pairs)
+        assert parallel.pairing_check(pairs)
+        bad = [(p * a, q), (-(p), q * ((a + 1) % R))]
+        assert not serial.pairing_check(bad)
+        assert not parallel.pairing_check(bad)

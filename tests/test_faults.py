@@ -1,0 +1,653 @@
+"""The fault-injection plane and the chaos suite.
+
+Fast, unmarked tests cover the plane itself: seeded draws, plan parsing,
+typed injection at every site family, retry/backoff arithmetic, and the
+chain/storage instrumentation semantics (a dropped transaction leaves no
+trace; a reverted one leaves a failed receipt).
+
+The ``chaos``-marked classes then run the three exchange protocols end to
+end under seeded :class:`~repro.faults.FaultPlan` profiles and assert the
+safety envelope from the paper's fairness theorems survives an unreliable
+substrate:
+
+* every run terminates in exactly one of {completed, aborted-and-safe};
+* no key material reaches the chain unless the seller is paid;
+* an aborted buyer gets every escrowed coin back;
+* the same seed replays bit-identically (same fault log, same receipt
+  sequence, same final balances).
+"""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.chain import Blockchain
+from repro.contracts import (
+    KeySecureArbiterContract,
+    PlonkVerifierContract,
+    ZKCPArbiterContract,
+)
+from repro.contracts.fairswap import FairSwapContract
+from repro.core.exchange import Buyer, KeySecureExchange, Seller, key_negotiation_keys
+from repro.core.fairswap import FairSwapExchange, FairSwapListing
+from repro.core.tokens import DataAsset
+from repro.core.zkcp import ZKCPExchange
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    EventDelayError,
+    MessageLossError,
+    MessageStallError,
+    RetryExhaustedError,
+    StorageError,
+    StorageCorruptionError,
+    StorageTimeoutError,
+    StorageUnavailableError,
+    TransientError,
+    TxDroppedError,
+    TxRevertedError,
+)
+from repro.faults import (
+    PPM,
+    PROFILES,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    draw,
+)
+from repro.field.fr import MODULUS as R
+from repro.storage import ContentStore
+from repro.storage.dht import DHTNetwork
+
+
+def _always(site, kind, **kw):
+    return FaultRule(site=site, kind=kind, probability_ppm=PPM, **kw)
+
+
+def _plan(*rules, seed=1):
+    return FaultPlan(seed=seed, rules=tuple(rules), name="test")
+
+
+# ---------------------------------------------------------------------------
+# The deterministic draw
+# ---------------------------------------------------------------------------
+
+
+class TestDraw:
+    def test_range_and_stability(self):
+        values = [draw(7, 0, i, "storage.get") for i in range(200)]
+        assert all(0 <= v < PPM for v in values)
+        assert values == [draw(7, 0, i, "storage.get") for i in range(200)]
+
+    def test_streams_are_independent(self):
+        by_seed = [draw(s, 0, 0, "chain.transact") for s in range(50)]
+        by_rule = [draw(0, r, 0, "chain.transact") for r in range(50)]
+        by_site = [draw(0, 0, 0, "site-%d" % i) for i in range(50)]
+        assert len(set(by_seed)) > 40
+        assert len(set(by_rule)) > 40
+        assert len(set(by_site)) > 40
+
+
+class TestFaultPlan:
+    def test_rule_validation(self):
+        with pytest.raises(ReproError):
+            FaultRule(site="x", kind="explode", probability_ppm=1)
+        with pytest.raises(ReproError):
+            FaultRule(site="x", kind="loss", probability_ppm=PPM + 1)
+        with pytest.raises(ReproError):
+            FaultRule(site="x", kind="loss", probability_ppm=-1)
+        with pytest.raises(ReproError):
+            FaultRule(site="x", kind="delay", probability_ppm=1, delay_us=-5)
+
+    def test_rule_glob_matching(self):
+        rule = _always("exchange.msg.*", "loss")
+        assert rule.matches("exchange.msg.key")
+        assert rule.matches("exchange.msg.validation")
+        assert not rule.matches("chain.transact")
+
+    def test_profiles_exist_and_parse(self):
+        for name in PROFILES:
+            plan = FaultPlan.profile(name, seed=3)
+            assert plan.seed == 3
+            for rule in plan.rules:
+                assert rule.kind in faults.KINDS
+
+    def test_from_env_specs(self):
+        assert FaultPlan.from_env("42").seed == 42
+        plan = FaultPlan.from_env("storage:7")
+        assert plan.seed == 7
+        assert plan.rules == FaultPlan.profile("storage", seed=7).rules
+        with pytest.raises(ReproError):
+            FaultPlan.from_env("nosuchprofile:1")
+        with pytest.raises(ReproError):
+            FaultPlan.from_env("storage:notanint")
+
+    def test_with_seed(self):
+        plan = FaultPlan.profile("chain", seed=1)
+        reseeded = plan.with_seed(9)
+        assert reseeded.seed == 9
+        assert reseeded.rules == plan.rules
+
+
+# ---------------------------------------------------------------------------
+# The injector
+# ---------------------------------------------------------------------------
+
+
+class TestInjector:
+    def test_loss_error_family_per_site(self):
+        cases = [
+            ("storage.get", StorageUnavailableError),
+            ("dht.node.get", StorageUnavailableError),
+            ("chain.transact", TxDroppedError),
+            ("exchange.msg.key", MessageLossError),
+        ]
+        for site, exc_type in cases:
+            injector = FaultInjector(_plan(_always(site, "loss")))
+            with pytest.raises(exc_type):
+                injector.check(site)
+            assert isinstance(injector.log[-1].site, str)
+
+    def test_stall_error_family_per_site(self):
+        cases = [
+            ("storage.get", StorageTimeoutError),
+            ("chain.events", EventDelayError),
+            ("exchange.msg.key", MessageStallError),
+        ]
+        for site, exc_type in cases:
+            injector = FaultInjector(
+                _plan(_always(site, "stall", delay_us=10_000))
+            )
+            with pytest.raises(exc_type):
+                injector.check(site)
+            assert injector.clock.now_us == 10_000
+
+    def test_all_injected_errors_are_transient(self):
+        for kind in ("loss", "drop", "revert", "stall"):
+            injector = FaultInjector(
+                _plan(_always("chain.transact", kind, delay_us=1))
+            )
+            with pytest.raises(TransientError):
+                injector.check("chain.transact")
+
+    def test_delay_advances_clock_without_raising(self):
+        injector = FaultInjector(_plan(_always("chain.transact", "delay", delay_us=250)))
+        injector.check("chain.transact")
+        injector.check("chain.transact")
+        assert injector.clock.now_us == 500
+        assert [f.kind for f in injector.log] == ["delay", "delay"]
+
+    def test_max_faults_budget(self):
+        injector = FaultInjector(
+            _plan(_always("chain.transact", "drop", max_faults=2))
+        )
+        for _ in range(2):
+            with pytest.raises(TxDroppedError):
+                injector.check("chain.transact")
+        injector.check("chain.transact")  # budget spent: passes
+        assert injector.injected == 2
+
+    def test_corrupt_flips_first_byte_deterministically(self):
+        injector = FaultInjector(_plan(_always("storage.get.data", "corrupt")))
+        out = injector.filter_bytes("storage.get.data", b"hello")
+        assert out != b"hello"
+        assert out[0] == b"hello"[0] ^ 0xFF
+        assert out[1:] == b"ello"
+        assert injector.log[-1].kind == "corrupt"
+
+    def test_unavailable_is_boolean_and_counted(self):
+        injector = FaultInjector(_plan(_always("dht.node.get", "loss")))
+        assert injector.unavailable("dht.node.get") is True
+        assert injector.injected == 1
+        assert injector.unavailable("dht.get") is False
+
+    def test_same_seed_same_log(self):
+        plan = FaultPlan.profile("chain", seed=77)
+        logs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            for _ in range(40):
+                try:
+                    injector.check("chain.transact")
+                except TransientError:
+                    pass
+            logs.append(injector.log)
+        assert logs[0] == logs[1]
+
+    def test_consultations_counted(self):
+        injector = FaultInjector(_plan(FaultRule("chain.*", "drop", 0)))
+        for _ in range(5):
+            injector.check("chain.transact")
+        assert injector.consultations == 5
+        assert injector.injected == 0
+
+
+class TestModuleHelpers:
+    def test_disabled_helpers_are_noops(self):
+        assert faults.active() is None or True  # other tests may leave state
+        with faults.use_plan(None):
+            assert not faults.enabled()
+            faults.check("chain.transact")
+            assert faults.unavailable("dht.node.get") is False
+            assert faults.filter_bytes("storage.get.data", b"x") == b"x"
+            assert faults.clock() is None
+
+    def test_use_plan_restores_previous(self):
+        outer = FaultPlan.profile("off", seed=1)
+        with faults.use_plan(outer):
+            before = faults.active()
+            with faults.use_plan(FaultPlan.profile("chain", seed=2)) as inner:
+                assert faults.active() is inner
+            assert faults.active() is before
+
+    def test_configure_from_env(self):
+        with faults.use_plan(None):
+            faults.configure_from_env({"REPRO_FAULTS": "exchange:11"})
+            try:
+                assert faults.enabled()
+                assert faults.active().plan.seed == 11
+            finally:
+                faults.set_plan(None)
+            faults.configure_from_env({})
+            assert not faults.enabled()
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(seed=5)
+        delays = [policy.backoff_us(a, "chain.lock") for a in range(8)]
+        assert delays == [policy.backoff_us(a, "chain.lock") for a in range(8)]
+        assert all(0 <= d <= policy.max_delay_us for d in delays)
+        # Different sites draw different jitter.
+        assert delays != [policy.backoff_us(a, "chain.open") for a in range(8)]
+
+    def test_retries_transient_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TxDroppedError("gone")
+            return "ok"
+
+        assert RetryPolicy().run(flaky, site="chain.transact") == "ok"
+        assert len(attempts) == 3
+
+    def test_exhaustion_raises_typed_error(self):
+        def always_down():
+            raise StorageUnavailableError("nope")
+
+        with pytest.raises(RetryExhaustedError):
+            RetryPolicy(max_attempts=3).run(always_down, site="storage.get")
+
+    def test_non_transient_propagates_immediately(self):
+        attempts = []
+
+        def broken():
+            attempts.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            RetryPolicy().run(broken, site="x")
+        assert len(attempts) == 1
+
+    def test_deadline_uses_virtual_clock(self):
+        plan = _plan(_always("chain.transact", "drop"))
+        with faults.use_plan(plan):
+            policy = RetryPolicy(
+                max_attempts=50, base_delay_us=300_000, timeout_us=1_000_000
+            )
+            with pytest.raises(DeadlineExceededError):
+                policy.run(
+                    lambda: faults.check("chain.transact"), site="chain.transact"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Instrumented subsystems
+# ---------------------------------------------------------------------------
+
+
+class TestStorageInjection:
+    def test_store_loss_and_recovery(self):
+        store = ContentStore()
+        with faults.use_plan(_plan(_always("storage.put", "loss", max_faults=1))):
+            with pytest.raises(StorageUnavailableError):
+                store.put(b"payload")
+            uri = store.put(b"payload")  # budget spent: retry succeeds
+        assert store.get(uri) == b"payload"
+
+    def test_corrupted_read_is_detected(self):
+        store = ContentStore()
+        uri = store.put(b"payload")
+        with faults.use_plan(_plan(_always("storage.get.data", "corrupt", max_faults=1))):
+            with pytest.raises(StorageCorruptionError):
+                store.get(uri)
+            assert store.get(uri) == b"payload"
+
+    def test_dht_survives_minority_replica_loss(self):
+        net = DHTNetwork(["n%d" % i for i in range(8)], replication=4)
+        uri = net.put(b"blob")
+        with faults.use_plan(_plan(_always("dht.node.get", "loss", max_faults=2))):
+            data, _hops = net.get_with_hops(uri)
+        assert data == b"blob"
+
+    def test_dht_reports_unavailable_when_all_replicas_down(self):
+        net = DHTNetwork(["n%d" % i for i in range(4)], replication=2)
+        uri = net.put(b"blob")
+        with faults.use_plan(_plan(_always("dht.node.get", "loss"))):
+            with pytest.raises(StorageError):
+                net.get_with_hops(uri)
+
+
+class TestChainInjection:
+    def _market(self):
+        chain = Blockchain()
+        operator = chain.create_account(funded=10**12)
+        contract = FairSwapContract()
+        chain.deploy(contract, operator)
+        return chain, contract, operator
+
+    def test_dropped_tx_leaves_no_trace(self):
+        chain, contract, operator = self._market()
+        receipts_before = len(chain.receipts)
+        with faults.use_plan(_plan(_always("chain.transact", "drop", max_faults=1))):
+            with pytest.raises(TxDroppedError):
+                chain.transact(operator, contract, "offer", 1, 2, 3, 4, 1, 100)
+        assert len(chain.receipts) == receipts_before
+
+    def test_reverted_tx_leaves_failed_receipt(self):
+        chain, contract, operator = self._market()
+        with faults.use_plan(_plan(_always("chain.transact", "revert", max_faults=1))):
+            with pytest.raises(TxRevertedError):
+                chain.transact(operator, contract, "offer", 1, 2, 3, 4, 1, 100)
+        assert chain.receipts[-1].status is False
+        # The very next submission goes through and executes the method.
+        receipt = chain.transact(operator, contract, "offer", 1, 2, 3, 4, 1, 100)
+        assert receipt.status
+
+    def test_event_query_stall(self):
+        chain, contract, operator = self._market()
+        with faults.use_plan(_plan(_always("chain.events", "stall", delay_us=1))):
+            with pytest.raises(EventDelayError):
+                chain.query_events(contract.address)
+
+
+class TestTelemetryAccounting:
+    def test_injections_and_retries_counted(self):
+        with telemetry.use_level("metrics"):
+            telemetry.reset_metrics()
+            plan = _plan(_always("chain.transact", "drop", max_faults=2))
+            with faults.use_plan(plan):
+                RetryPolicy().run(
+                    lambda: faults.check("chain.transact"), site="chain.transact"
+                )
+            counters = telemetry.snapshot()["counters"]
+            assert counters["faults.injected.drop{site=chain.transact}"] == 2
+            assert counters["retry.attempts{site=chain.transact}"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Chaos: the full protocols under seeded fault profiles
+# ---------------------------------------------------------------------------
+
+CHAOS_PROFILES = ("chain", "exchange", "all")
+
+
+def _keysecure_market(snark_ctx):
+    chain = Blockchain()
+    operator = chain.create_account(funded=10**12)
+    verifier = PlonkVerifierContract(key_negotiation_keys(snark_ctx).vk)
+    chain.deploy(verifier, operator)
+    arbiter = KeySecureArbiterContract(verifier)
+    chain.deploy(arbiter, operator)
+    seller_addr = chain.create_account(funded=10**9)
+    buyer_addr = chain.create_account(funded=10**9)
+    return chain, arbiter, seller_addr, buyer_addr
+
+
+def _run_keysecure(snark_ctx, profile, seed):
+    chain, arbiter, seller_addr, buyer_addr = _keysecure_market(snark_ctx)
+    asset = DataAsset.create([42, 84], key=555, nonce=666)
+    asset.uri = "u"
+    seller = Seller(snark_ctx, asset, seller_addr)
+    buyer = Buyer(snark_ctx, asset.public_view(), buyer_addr)
+    protocol = KeySecureExchange(snark_ctx, chain, arbiter)
+    with faults.use_plan(FaultPlan.profile(profile, seed=seed)) as injector:
+        result = protocol.run(seller, buyer, price=5000)
+    return {
+        "chain": chain,
+        "arbiter": arbiter,
+        "seller": seller_addr,
+        "buyer": buyer_addr,
+        "asset": asset,
+        "result": result,
+        "log": injector.log,
+    }
+
+
+def _keysecure_invariants(run):
+    chain, result = run["chain"], run["result"]
+    seller, buyer = run["seller"], run["buyer"]
+    # Exactly one terminal state; a fault can never produce a third.
+    assert result.success != result.aborted
+    key_events = [
+        e for r in chain.receipts if r.status for e in r.events if e.name == "KeyDelivered"
+    ]
+    if result.success:
+        assert result.plaintext == run["asset"].plaintext
+        assert chain.balance_of(seller) == 10**9 + 5000
+        assert chain.balance_of(buyer) == 10**9 - 5000
+        assert len(key_events) == 1
+        masked = chain.call_view(run["arbiter"], "masked_key", result.exchange_id)
+        assert masked is not None and masked != run["asset"].key
+    else:
+        # Safe abort: nobody lost a coin, and no key material on chain.
+        assert chain.balance_of(seller) == 10**9
+        assert chain.balance_of(buyer) == 10**9
+        assert key_events == []
+        if result.exchange_id is not None:
+            masked = chain.call_view(run["arbiter"], "masked_key", result.exchange_id)
+            assert masked is None
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+class TestKeySecureChaos:
+    @pytest.mark.parametrize("profile", CHAOS_PROFILES)
+    @pytest.mark.parametrize("offset", (0, 1, 2))
+    def test_terminates_safely(self, snark_ctx, chaos_seed, profile, offset):
+        run = _run_keysecure(snark_ctx, profile, chaos_seed + offset)
+        _keysecure_invariants(run)
+
+    def test_same_seed_replays_bit_identically(self, snark_ctx, chaos_seed):
+        runs = [_run_keysecure(snark_ctx, "all", chaos_seed) for _ in range(2)]
+        a, b = runs
+        assert a["log"] == b["log"]
+        assert a["result"].success == b["result"].success
+        assert a["result"].aborted == b["result"].aborted
+        assert a["result"].reason == b["result"].reason
+        assert [(r.method, r.status) for r in a["chain"].receipts] == [
+            (r.method, r.status) for r in b["chain"].receipts
+        ]
+        for addr_a, addr_b in (("seller", "seller"), ("buyer", "buyer")):
+            assert a["chain"].balance_of(a[addr_a]) == b["chain"].balance_of(b[addr_b])
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+class TestZKCPChaos:
+    @pytest.mark.parametrize("offset", (0, 1))
+    def test_terminates_safely(self, chaos_seed, offset):
+        chain = Blockchain()
+        operator = chain.create_account(funded=10**12)
+        arbiter = ZKCPArbiterContract()
+        chain.deploy(arbiter, operator)
+        seller = chain.create_account(funded=10**9)
+        buyer = chain.create_account(funded=10**9)
+        asset = DataAsset.create([7, 8], key=4242, nonce=1)
+        protocol = ZKCPExchange(chain, arbiter)
+        with faults.use_plan(
+            FaultPlan.profile("all", seed=chaos_seed + offset)
+        ):
+            result = protocol.run(seller, buyer, asset, price=3000)
+        assert result.success != result.aborted
+        opened = [
+            e for r in chain.receipts if r.status for e in r.events if e.name == "Opened"
+        ]
+        if result.success:
+            assert chain.balance_of(seller) == 10**9 + 3000
+            assert result.plaintext == asset.plaintext
+        else:
+            assert chain.balance_of(seller) == 10**9
+            assert chain.balance_of(buyer) == 10**9
+            assert opened == []  # key never reached the chain
+
+
+@pytest.mark.chaos
+class TestFairSwapChaos:
+    def _run(self, profile, seed):
+        chain = Blockchain()
+        seller = chain.create_account(funded=10**9)
+        buyer = chain.create_account(funded=10**9)
+        contract = FairSwapContract()
+        chain.deploy(contract, seller)
+        listing = FairSwapListing.create([10, 20, 30, 40], key=777, nonce=3)
+        protocol = FairSwapExchange(chain, contract)
+        with faults.use_plan(FaultPlan.profile(profile, seed=seed)) as injector:
+            result = protocol.run(seller, buyer, listing, price=5000)
+        return chain, contract, seller, buyer, result, injector.log
+
+    @pytest.mark.parametrize("profile", ("chain", "all"))
+    @pytest.mark.parametrize("offset", tuple(range(6)))
+    def test_terminates_safely(self, chaos_seed, profile, offset):
+        chain, contract, seller, buyer, result, _log = self._run(
+            profile, chaos_seed + offset
+        )
+        assert not (result.success and result.aborted)
+        if result.success:
+            assert chain.balance_of(seller) == 10**9 + 5000
+            assert chain.balance_of(buyer) == 10**9 - 5000
+        else:
+            # Abort or pre-escrow failure: the buyer keeps every coin.
+            assert chain.balance_of(buyer) == 10**9
+            assert chain.balance_of(seller) == 10**9
+            if result.aborted and "reveal" in result.reason:
+                assert chain.call_view(contract, "resolution", 1) == "aborted"
+                assert chain.call_view(contract, "revealed_key", 1) is None
+
+    def test_same_seed_replays_bit_identically(self, chaos_seed):
+        runs = [self._run("all", chaos_seed) for _ in range(2)]
+        (ca, _, _, _, ra, la), (cb, _, _, _, rb, lb) = runs
+        assert la == lb
+        assert (ra.success, ra.aborted, ra.reason, ra.gas_used) == (
+            rb.success,
+            rb.aborted,
+            rb.reason,
+            rb.gas_used,
+        )
+        assert [(r.method, r.status) for r in ca.receipts] == [
+            (r.method, r.status) for r in cb.receipts
+        ]
+
+
+@pytest.mark.chaos
+class TestForcedAbortPaths:
+    """Plans crafted to push each driver down its abort path."""
+
+    def test_fairswap_reveal_blackout_refunds_buyer(self):
+        """Seller vanishes after the buyer escrows: offer + accept run
+        clean, then a total-blackout plan makes every reveal attempt
+        drop.  The driver must wait out the reveal window and pull the
+        escrow back through the contract's abort entry point — surviving
+        a few dropped abort submissions along the way (the blackout plan
+        still has budget left when the abort transactions start)."""
+        from repro.primitives.hashing import field_hash
+
+        chain = Blockchain()
+        seller = chain.create_account(funded=10**9)
+        buyer = chain.create_account(funded=10**9)
+        contract = FairSwapContract()
+        chain.deploy(contract, seller)
+        listing = FairSwapListing.create([10, 20], key=777, nonce=3)
+        protocol = FairSwapExchange(chain, contract, retry=RetryPolicy(max_attempts=3))
+
+        receipt = chain.transact(
+            seller, contract, "offer",
+            listing.cipher_tree.root, listing.plain_tree.root,
+            field_hash(listing.key), listing.nonce, len(listing.blocks), 5000,
+        )
+        sale_id = receipt.return_value
+        chain.transact(buyer, contract, "accept", sale_id, value=5000)
+        assert chain.balance_of(buyer) == 10**9 - 5000
+
+        blackout = _plan(
+            FaultRule("chain.transact", "drop", PPM, max_faults=5), seed=13
+        )
+        with faults.use_plan(blackout) as injector:
+            with pytest.raises(RetryExhaustedError):
+                protocol._tx(seller, "reveal_key", sale_id, listing.key,
+                             site="chain.reveal")
+            aborted = protocol._abort_after_accept(
+                buyer, sale_id, 0, "reveal undeliverable"
+            )
+            assert injector.injected == 5  # 3 reveals + 2 abort submissions
+        assert aborted.aborted and not aborted.success
+        assert chain.balance_of(buyer) == 10**9
+        assert chain.call_view(contract, "resolution", sale_id) == "aborted"
+        assert chain.call_view(contract, "revealed_key", sale_id) is None
+
+    def test_fairswap_abort_respects_reveal_window(self):
+        chain = Blockchain()
+        seller = chain.create_account(funded=10**9)
+        buyer = chain.create_account(funded=10**9)
+        contract = FairSwapContract()
+        chain.deploy(contract, seller)
+        listing = FairSwapListing.create([10, 20], key=777, nonce=3)
+        from repro.primitives.hashing import field_hash
+
+        receipt = chain.transact(
+            seller, contract, "offer",
+            listing.cipher_tree.root, listing.plain_tree.root,
+            field_hash(listing.key), listing.nonce, len(listing.blocks), 100,
+        )
+        sale_id = receipt.return_value
+        chain.transact(buyer, contract, "accept", sale_id, value=100)
+        # Immediately aborting must revert: the seller still has time.
+        receipt = chain.transact(buyer, contract, "abort", sale_id)
+        assert not receipt.status
+        assert "window" in receipt.error
+
+
+# ---------------------------------------------------------------------------
+# Disabled-plane guarantees (fast)
+# ---------------------------------------------------------------------------
+
+
+class TestDisabledPlaneIsInert:
+    def test_protocol_results_identical_with_and_without_empty_plan(self):
+        def sale():
+            chain = Blockchain()
+            seller = chain.create_account(funded=10**9)
+            buyer = chain.create_account(funded=10**9)
+            contract = FairSwapContract()
+            chain.deploy(contract, seller)
+            listing = FairSwapListing.create([10, 20, 30, 40], key=777, nonce=3)
+            result = FairSwapExchange(chain, contract).run(
+                seller, buyer, listing, price=5000
+            )
+            return result.success, result.reason, result.gas_used
+
+        bare = sale()
+        with faults.use_plan(FaultPlan.profile("off", seed=1)):
+            empty = sale()
+        assert bare == empty
+
+    def test_fr_modulus_sanity(self):
+        # Anchor for the suite: field ops used by chaos invariants.
+        assert pow(2, R - 1, R) == 1

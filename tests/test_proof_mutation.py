@@ -1,0 +1,166 @@
+"""Proof-mutation fuzzing: every field of a valid proof is load-bearing.
+
+Knowledge soundness is not directly testable, but a cheap and strong
+corollary is: take an honestly generated proof and flip any single
+component — any of the 9 G1 commitments or 6 scalar evaluations of a
+Plonk proof, any of the (A, B, C) elements of a Groth16 proof, or any
+public input — and the verifier must reject.  A mutation that survives
+verification would mean that component never entered the pairing checks,
+i.e. a forgery degree of freedom.
+
+Mutations stay inside the valid encoding space (points remain on-curve,
+scalars remain reduced) so every rejection is semantic, not a parsing
+artifact; a verifier that raises on a mutant instead of returning False
+is also accepted.
+"""
+
+import random
+
+import pytest
+
+from repro.curve.g1 import G1
+from repro.curve.g2 import G2
+from repro.errors import ReproError
+from repro.field.fr import MODULUS as R
+from repro.groth16 import Groth16Proof, groth16_prove, groth16_setup, groth16_verify
+from repro.kzg import SRS
+from repro.plonk import CircuitBuilder, prove, setup, verify
+from repro.plonk.proof import _POINT_FIELDS, _SCALAR_FIELDS
+from repro.r1cs import R1CSBuilder
+
+pytestmark = pytest.mark.slow
+
+
+def _rejects(checker):
+    """A mutant is rejected if the verifier says False *or* raises."""
+    try:
+        return not checker()
+    except ReproError:
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Plonk
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def plonk_case():
+    builder = CircuitBuilder()
+    x = builder.public_input(9)
+    y = builder.public_input(12)
+    w = builder.var(3)
+    builder.assert_equal(builder.mul(w, w), x)
+    builder.assert_equal(builder.add(w, x), y)
+    layout, assignment = builder.compile()
+    srs = SRS.generate(64, tau=987654321)
+    pk, vk = setup(srs, layout)
+    proof = prove(pk, assignment)
+    publics = assignment.public_inputs
+    assert verify(vk, publics, proof)  # sanity: the unmutated proof passes
+    return vk, publics, proof
+
+
+class TestPlonkProofMutation:
+    @pytest.mark.parametrize("field", _POINT_FIELDS)
+    def test_nudged_commitment_rejected(self, plonk_case, field):
+        vk, publics, proof = plonk_case
+        mutant = proof.replace(**{field: getattr(proof, field) + G1.generator()})
+        assert _rejects(lambda: verify(vk, publics, mutant)), field
+
+    @pytest.mark.parametrize("field", _POINT_FIELDS)
+    def test_replaced_commitment_rejected(self, plonk_case, field):
+        vk, publics, proof = plonk_case
+        mutant = proof.replace(**{field: G1.generator() * 7})
+        assert _rejects(lambda: verify(vk, publics, mutant)), field
+
+    @pytest.mark.parametrize("field", _SCALAR_FIELDS)
+    def test_incremented_scalar_rejected(self, plonk_case, field):
+        vk, publics, proof = plonk_case
+        mutant = proof.replace(**{field: (getattr(proof, field) + 1) % R})
+        assert _rejects(lambda: verify(vk, publics, mutant)), field
+
+    @pytest.mark.parametrize("field", _SCALAR_FIELDS)
+    def test_randomized_scalar_rejected(self, plonk_case, field, chaos_seed):
+        vk, publics, proof = plonk_case
+        rng = random.Random("%d:%s" % (chaos_seed, field))
+        original = getattr(proof, field)
+        value = original
+        while value == original:
+            value = rng.randrange(R)
+        mutant = proof.replace(**{field: value})
+        assert _rejects(lambda: verify(vk, publics, mutant)), field
+
+    def test_each_public_input_is_binding(self, plonk_case):
+        vk, publics, proof = plonk_case
+        for i in range(len(publics)):
+            mutated = list(publics)
+            mutated[i] = (mutated[i] + 1) % R
+            assert _rejects(lambda: verify(vk, mutated, proof)), "public[%d]" % i
+
+    def test_swapped_commitments_rejected(self, plonk_case):
+        """Two valid points in each other's slots still fail: the checks
+        bind each commitment to its role, not just to the curve."""
+        vk, publics, proof = plonk_case
+        mutant = proof.replace(c_a=proof.c_b, c_b=proof.c_a)
+        assert _rejects(lambda: verify(vk, publics, mutant))
+
+
+# ---------------------------------------------------------------------------
+# Groth16
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def groth16_case():
+    b = R1CSBuilder()
+    x = b.public_input(35)
+    y = b.public_input(105)
+    w = b.var(3)
+    w2 = b.mul(w, w)
+    w3 = b.mul(w2, w)
+    t = b.linear_combination([(1, w3), (1, w)], 5)
+    b.assert_equal(t, x)
+    b.assert_equal(b.mul(w, x), y)
+    system, witness = b.compile()
+    pk, vk = groth16_setup(system)
+    proof = groth16_prove(pk, witness)
+    publics = witness.public_inputs
+    assert groth16_verify(vk, publics, proof)
+    return vk, publics, proof
+
+
+class TestGroth16ProofMutation:
+    def test_mutated_a_rejected(self, groth16_case):
+        vk, publics, proof = groth16_case
+        mutant = Groth16Proof(a=proof.a + G1.generator(), b=proof.b, c=proof.c)
+        assert _rejects(lambda: groth16_verify(vk, publics, mutant))
+
+    def test_mutated_b_rejected(self, groth16_case):
+        vk, publics, proof = groth16_case
+        mutant = Groth16Proof(a=proof.a, b=proof.b + G2.generator(), c=proof.c)
+        assert _rejects(lambda: groth16_verify(vk, publics, mutant))
+
+    def test_mutated_c_rejected(self, groth16_case):
+        vk, publics, proof = groth16_case
+        mutant = Groth16Proof(a=proof.a, b=proof.b, c=proof.c + G1.generator())
+        assert _rejects(lambda: groth16_verify(vk, publics, mutant))
+
+    def test_replaced_elements_rejected(self, groth16_case, chaos_seed):
+        vk, publics, proof = groth16_case
+        rng = random.Random(chaos_seed)
+        s = rng.randrange(2, R)
+        mutants = [
+            Groth16Proof(a=G1.generator() * s, b=proof.b, c=proof.c),
+            Groth16Proof(a=proof.a, b=G2.generator() * s, c=proof.c),
+            Groth16Proof(a=proof.a, b=proof.b, c=G1.generator() * s),
+        ]
+        for i, mutant in enumerate(mutants):
+            assert _rejects(lambda: groth16_verify(vk, publics, mutant)), i
+
+    def test_each_public_input_is_binding(self, groth16_case):
+        vk, publics, proof = groth16_case
+        for i in range(len(publics)):
+            mutated = list(publics)
+            mutated[i] = (mutated[i] + 1) % R
+            assert _rejects(lambda: groth16_verify(vk, mutated, proof)), "public[%d]" % i
