@@ -1,0 +1,151 @@
+"""Data-plane speedup: the fast substrate vs the retained reference plane.
+
+PR 6 rebuilt the scalar/point data plane (GLV G1 scalar multiplication,
+lazy-reduction NTT butterflies, contiguous scalar cells — see
+``docs/data_plane.md``) behind the ``repro.substrate`` mode switch.  Both
+planes are bit-identical by the differential suite; this benchmark
+measures the speed gap by flipping ``substrate.use_mode`` around the
+*same* warm prover in one process, so SRS, circuit, engine caches and
+background load are all shared.
+
+Floors: >= 1.3x on warm Plonk proof generation (the issue's acceptance
+bar), plus a kernel-level >= 1.4x on a warm prover-sized SRS MSM — the
+fixed-base window-table path that produces most of the proof win — to
+catch it regressing independently of prover mix.  Both pytest and
+``python benchmarks/bench_substrate.py [--quick]`` enforce the floors;
+either path writes ``BENCH_substrate.json`` via the shared emitter.
+"""
+
+import argparse
+import random
+import sys
+import time
+
+from conftest import print_table, run_once
+
+from repro import substrate
+from repro.backend.serial import SerialEngine
+from repro.core.snark import SnarkContext
+from repro.curve.g1 import jac_to_affine
+from repro.field.fr import MODULUS as R
+from repro.plonk.circuit import CircuitBuilder
+from repro.plonk.prover import prove
+from repro.plonk.verifier import verify
+
+WARM_PROOF_FLOOR = 1.3
+MSM_FLOOR = 1.4
+
+#: Enough SRS headroom for the n=256 range circuit's 8n coset domain.
+_SRS_DEGREE = 2200
+
+
+def _range_circuit(builder, value, bits=64):
+    total = builder.constant(0)
+    weight = 1
+    for i in range(bits):
+        bit = builder.var((value >> i) & 1)
+        builder.assert_bool(bit)
+        total = builder.add(total, builder.scale(bit, weight))
+        weight *= 2
+    public = builder.public_input(value)
+    builder.assert_equal(total, public)
+
+
+def _best(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(repeats: int = 3) -> dict:
+    """Warm-proof and MSM timings under both substrate modes."""
+    builder = CircuitBuilder()
+    _range_circuit(builder, 0xDEADBEEF)
+    layout, assignment = builder.compile()
+    ctx = SnarkContext.with_fresh_srs(_SRS_DEGREE, tau=0xBEEF)
+    keys = ctx.keys_for(layout)
+
+    rng = random.Random(0xC0FFEE)
+    n = 260  # one wire-commitment MSM for an n=256 circuit
+    scalars = [rng.randrange(R) for _ in range(n)]
+
+    results = {}
+    proof = None
+    with SerialEngine() as engine:
+        # Interleave the modes so a background-load burst lands on both
+        # equally; min-of-N then discards whatever noise remains.  One
+        # priming proof per mode makes every timed measurement warm (the
+        # engine's Jacobian/coset caches are mode-independent; the fast
+        # mode's window tables are built during its priming proof).
+        for mode in (substrate.MODE_REFERENCE, substrate.MODE_FAST):
+            with substrate.use_mode(mode):
+                prove(keys.pk, assignment, engine=engine)
+                proof_s, proof = _best(
+                    lambda: prove(keys.pk, assignment, engine=engine), repeats
+                )
+                msm_s, point = _best(lambda: engine.msm_srs(ctx.srs, scalars), repeats)
+            results["%s_proof_seconds" % mode] = proof_s
+            results["%s_msm_seconds" % mode] = msm_s
+            results["%s_msm_point" % mode] = jac_to_affine(point)
+    assert verify(keys.vk, assignment.public_inputs, proof)
+    assert results["reference_msm_point"] == results["fast_msm_point"]
+
+    results["proof_speedup"] = (
+        results["reference_proof_seconds"] / results["fast_proof_seconds"]
+    )
+    results["msm_speedup"] = results["reference_msm_seconds"] / results["fast_msm_seconds"]
+    return results
+
+
+def report(results: dict) -> None:
+    print_table(
+        "substrate",
+        ["measurement", "reference s", "fast s", "speedup"],
+        [
+            ("warm Plonk proof (n=256)",
+             "%.3f" % results["reference_proof_seconds"],
+             "%.3f" % results["fast_proof_seconds"],
+             "%.2fx" % results["proof_speedup"]),
+            ("warm SRS MSM (n=260)",
+             "%.3f" % results["reference_msm_seconds"],
+             "%.3f" % results["fast_msm_seconds"],
+             "%.2fx" % results["msm_speedup"]),
+            ("required floors", "-", "-",
+             ">=%.1fx proof / >=%.1fx msm" % (WARM_PROOF_FLOOR, MSM_FLOOR)),
+        ],
+    )
+
+
+def test_substrate_speedup(benchmark):
+    results = {}
+
+    def run():
+        results.update(measure(repeats=2))
+
+    run_once(benchmark, run)
+    report(results)
+    assert results["proof_speedup"] >= WARM_PROOF_FLOOR
+    assert results["msm_speedup"] >= MSM_FLOOR
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single timing rep per measurement (CI smoke mode)",
+    )
+    args = parser.parse_args()
+    results = measure(repeats=1 if args.quick else 3)
+    report(results)
+    ok = (
+        results["proof_speedup"] >= WARM_PROOF_FLOOR
+        and results["msm_speedup"] >= MSM_FLOOR
+    )
+    if not ok:
+        print("FAIL: speedup below the %.1fx/%.1fx floors"
+              % (WARM_PROOF_FLOOR, MSM_FLOOR))
+        sys.exit(1)

@@ -137,6 +137,16 @@ class AnalysisConfig:
     #: Names importable from banned kernel modules anyway: pure constants
     #: with no execution strategy attached.
     allowed_kernel_names: frozenset[str] = frozenset({"COSET_SHIFT"})
+    #: Layers that must stay ignorant of the contiguous data plane.  The
+    #: packed scalar/point representation (cell layout, shm segment
+    #: lifetimes) is owned by the compute engine; a protocol module that
+    #: unpacks cells itself would freeze the layout into the protocol
+    #: layer and bypass the ownership rules in ``docs/data_plane.md``.
+    substrate_scopes: tuple[str, ...] = ("kzg/", "plonk/", "groth16/", "core/")
+    #: Contiguous-representation internals only ``backend/`` may import.
+    substrate_internal_modules: frozenset[str] = frozenset(
+        {"repro.field.frvec", "repro.backend.shm"}
+    )
     #: Engine modules whose public kernels must record telemetry.
     backend_scopes: tuple[str, ...] = ("backend/",)
     #: The public kernel surface of :class:`repro.backend.engine.Engine`.
@@ -149,6 +159,8 @@ class AnalysisConfig:
             "ntt_batch",
             "msm_jac",
             "msm_jac_g2",
+            "msm_srs",
+            "msm_g1_fixed",
             "fixed_base_mul_jac",
             "pairing",
             "pairing_check",

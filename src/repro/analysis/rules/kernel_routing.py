@@ -14,6 +14,12 @@ Two invariants from the compute-backend architecture (PR 1-3):
   counter/histogram recording call (``_tel.counter``, ``_record_*``, ...)
   — the cache-accounting tests treat those counters as the source of
   truth, and a kernel that forgets to record undercounts every backend.
+- **The contiguous data plane is engine-internal** (PR 6).  Protocol
+  layers (``kzg/``, ``plonk/``, ``groth16/``, ``core/``) must not import
+  the packed-representation internals (``repro.field.frvec``,
+  ``repro.backend.shm``): the cell layout and shared-memory segment
+  ownership rules belong to the backend, and a protocol module that
+  unpacks cells itself would pin the layout across layers.
 """
 
 from __future__ import annotations
@@ -43,6 +49,8 @@ class KernelRouting(Rule):
     def check(self, module: "ModuleInfo", config: "AnalysisConfig") -> Iterator[Finding]:
         if module.rel.startswith(tuple(config.protocol_scopes)):
             yield from self._check_protocol_imports(module, config)
+        if module.rel.startswith(tuple(config.substrate_scopes)):
+            yield from self._check_substrate_imports(module, config)
         if module.rel.startswith(tuple(config.backend_scopes)):
             yield from self._check_kernel_telemetry(module, config)
 
@@ -78,6 +86,32 @@ class KernelRouting(Rule):
                         "route through the compute engine so backend selection, "
                         "caches and telemetry apply"
                         % (module.rel, alias.name, node.module),
+                    )
+
+    def _check_substrate_imports(
+        self, module: "ModuleInfo", config: "AnalysisConfig"
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom):
+                # Catch both spellings: ``from repro.field.frvec import X``
+                # and ``from repro.field import frvec``.
+                names = [node.module] if node.module else []
+                if node.module:
+                    names += ["%s.%s" % (node.module, a.name) for a in node.names]
+            else:
+                continue
+            for name in names:
+                if name in config.substrate_internal_modules:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        "module %r imports contiguous-representation internals %r "
+                        "— the packed data plane is engine-internal; pass plain "
+                        "lists to the compute engine and let the backend pack"
+                        % (module.rel, name),
                     )
 
     # ----- backend side ---------------------------------------------------

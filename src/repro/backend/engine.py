@@ -53,7 +53,16 @@ from repro.curve.g2 import (
     jac2_batch_normalize,
     jac2_double,
 )
-from repro.curve.msm import msm_g2_jacobian, msm_jacobian
+from repro import substrate
+from repro.curve.msm import (
+    FIXED_WINDOW_MAX,
+    FIXED_WINDOW_MIN,
+    build_window_tables,
+    fixed_window_c,
+    msm_fixed_window,
+    msm_g2_jacobian,
+    msm_jacobian,
+)
 from repro.curve.pairing import (
     PreparedG2,
     final_exponentiation as _final_exponentiation,
@@ -167,6 +176,9 @@ class Engine:
 
     def __init__(self) -> None:
         self._srs_jac: dict[int, tuple] = {}
+        self._fixed_jac: dict[int, tuple] = {}
+        #: id(owner) -> (owner, window width c, per-point window tables).
+        self._window_tables: dict[int, tuple[Any, int, list[list[tuple]]]] = {}
         self._fb_tables: dict[tuple, _FixedBaseTable] = {}
         self._eval_cache: OrderedDict = OrderedDict()
         self.eval_cache_capacity = 64
@@ -316,6 +328,107 @@ class Engine:
         """MSM over affine G2 points; returns an affine point."""
         jac = self.msm_jac_g2([p.to_jacobian() for p in points], [int(s) for s in scalars])
         return G2.from_jacobian(jac)
+
+    def msm_srs(self, srs: Any, scalars: list[int]) -> tuple:
+        """MSM of the first ``len(scalars)`` SRS G1 powers; Jacobian result.
+
+        The KZG commit hot path.  The points resolve through the cached
+        Jacobian view (:meth:`srs_g1_jacobian`), so the caller never
+        copies the point list; backends may additionally pin a packed
+        shared-memory image of the SRS keyed by the same identity, which
+        makes the per-call worker payload just the scalars.
+        """
+        if _tel.metrics_enabled():
+            _tel.counter("engine.msm.calls", group="g1").inc()
+            _tel.histogram("engine.msm.points", group="g1").observe(len(scalars))
+        return self._msm_srs(srs, [int(s) for s in scalars])
+
+    def _msm_srs(self, srs: Any, scalars: list[int]) -> tuple:
+        points = self.srs_g1_jacobian(srs)
+        if len(scalars) > len(points):
+            raise BackendError(
+                "msm_srs: %d scalars but SRS has %d G1 powers" % (len(scalars), len(points))
+            )
+        fixed = self._window_msm(srs, points, scalars)
+        if fixed is not None:
+            return fixed
+        return self._msm_jac(list(points[: len(scalars)]), scalars)
+
+    def _window_msm(self, owner: Any, points: tuple, scalars: list[int]) -> tuple | None:
+        """Fixed-base single-window MSM against cached precomputed tables.
+
+        The warm-proof fast path for :meth:`msm_srs` / :meth:`msm_g1_fixed`:
+        the owner's point table is fixed across proofs, so the window
+        shifts ``2^(w*c) * P_i`` are computed once (first proof) and every
+        later MSM collapses to a single bucket pass.  Returns ``None``
+        when the path does not apply (reference substrate, or a size
+        outside the table bounds) — callers fall back to the generic MSM.
+        Tables are pinned by owner identity like the Jacobian caches and
+        extended in place when a longer prefix is first requested.
+        """
+        n = len(scalars)
+        if not substrate.fast_enabled() or not FIXED_WINDOW_MIN <= n <= FIXED_WINDOW_MAX:
+            return None
+        key = id(owner)
+        hit = self._window_tables.get(key)
+        if hit is not None and hit[0] is owner:
+            _, c, tables = hit
+            if _tel.metrics_enabled():
+                _record_cache("msm_window", len(tables) >= n)
+            if len(tables) < n:
+                tables.extend(build_window_tables(list(points[len(tables) : n]), c))
+        else:
+            if _tel.metrics_enabled():
+                _record_cache("msm_window", False)
+            c = fixed_window_c(n)
+            tables = build_window_tables(list(points[:n]), c)
+            self._window_tables[key] = (owner, c, tables)
+        return msm_fixed_window(tables, c, scalars)
+
+    def _fixed_jacobian(self, table: Any) -> tuple:
+        """Jacobian view of a fixed affine point table, cached by identity.
+
+        Same pinning contract as :meth:`srs_g1_jacobian`: the entry
+        holds the table alive, so ``id`` reuse cannot alias.  Groth16
+        proving-key query tables hit this every proof.
+        """
+        key = id(table)
+        hit = self._fixed_jac.get(key)
+        if hit is not None and hit[0] is table:
+            if _tel.metrics_enabled():
+                _record_cache("msm_table", True)
+            return hit[1]
+        if _tel.metrics_enabled():
+            _record_cache("msm_table", False)
+        jac = tuple(p.to_jacobian() for p in table)
+        self._fixed_jac[key] = (table, jac)
+        return jac
+
+    def msm_g1_fixed(self, points: Any, scalars: list[int]) -> G1:
+        """MSM over a fixed affine G1 table with prefix semantics.
+
+        ``points`` is a sequence reused across proofs (Groth16 query
+        tables); only the first ``len(scalars)`` entries are combined.
+        The affine->Jacobian conversion is cached per table identity and
+        shared-memory backends pin the packed image, so warm proofs ship
+        no points at all.
+        """
+        if _tel.metrics_enabled():
+            _tel.counter("engine.msm.calls", group="g1").inc()
+            _tel.histogram("engine.msm.points", group="g1").observe(len(scalars))
+        if len(scalars) > len(points):
+            raise BackendError(
+                "msm_g1_fixed: %d scalars but table has %d points"
+                % (len(scalars), len(points))
+            )
+        return G1.from_jacobian(self._msm_g1_fixed(points, [int(s) for s in scalars]))
+
+    def _msm_g1_fixed(self, points: Any, scalars: list[int]) -> tuple:
+        jac = self._fixed_jacobian(points)
+        fixed = self._window_msm(points, jac, scalars)
+        if fixed is not None:
+            return fixed
+        return self._msm_jac(list(jac[: len(scalars)]), scalars)
 
     # ----------------------------------------------------------- fixed base
 

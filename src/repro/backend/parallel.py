@@ -17,44 +17,105 @@ so :class:`ParallelEngine` shards work across a lazily created
 - **batch inversion**: Montgomery's trick is sequential within a chain,
   so long inputs are split into independent chains, one per worker.
 
-Small inputs fall back to the serial kernels (fork/pickle overhead would
-swamp the win); the thresholds are constructor arguments so tests can
-force the parallel paths.  All outputs are bit-identical to
-:class:`~repro.backend.serial.SerialEngine` by construction.
+Under the fast substrate, inputs travel through
+``multiprocessing.shared_memory`` segments of the contiguous packed
+representation (:mod:`repro.backend.shm`) instead of being pickled:
+
+- fixed point tables (SRS G1 powers, Groth16 query tables) are packed
+  into a segment *once per table* and pinned by owner identity, so warm
+  proofs ship only scalars;
+- per-call scalars/values go into scratch segments that are unlinked in
+  a ``finally`` — worker crash and abort paths included — and a
+  watchdog timeout (``task_timeout``) converts a wedged pool into a
+  :class:`~repro.errors.BackendError` rather than a hang;
+- NTT/inverse results are written by workers into a result segment, so
+  nothing big is pickled in either direction.
+
+The pickled-list path is retained, bit-identical, both as the
+``reference`` substrate mode and via ``use_shm=False`` (the oracle the
+differential suite compares against).  Small inputs fall back to the
+serial kernels (fork/pickle overhead would swamp the win); the
+thresholds are constructor arguments so tests can force the parallel
+paths.
 
 The overrides are the internal ``_ntt_batch`` / ``_msm_jac`` /
-``_msm_jac_g2`` / ``_batch_inverse`` dispatch targets — telemetry is
-recorded by the public wrappers in the base class, in this (parent)
-process, so a parallel run reports exactly the same kernel metrics as a
-serial run of the same workload.  (Worker-local state such as the
-per-process NTT-plan cache is invisible to the parent's counters.)
+``_msm_srs`` / ``_msm_g1_fixed`` / ``_msm_jac_g2`` / ``_batch_inverse``
+dispatch targets — telemetry is recorded by the public wrappers in the
+base class, in this (parent) process, so a parallel run reports exactly
+the same kernel metrics as a serial run of the same workload.  (Worker-
+local state such as the per-process NTT-plan cache is invisible to the
+parent's counters.)  Every worker task carries the parent's substrate
+mode: workers are forked, so a runtime mode flip in the parent would
+otherwise leave them on the import-time mode.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 
+from repro import substrate
+from repro.backend import shm as _shm
 from repro.backend.engine import Engine, apply_ntt_job
-from repro.curve.g1 import jac_add
+from repro.curve.g1 import jac_add, jac_batch_normalize
 from repro.curve.g2 import jac2_add
 from repro.curve.msm import msm_g2_jacobian, msm_jacobian
 from repro.errors import BackendError, FieldError
 from repro.field.fr import MODULUS as _R, batch_inverse as _fr_batch_inverse
+from repro.field.frvec import pack_scalars, unpack_scalars
+
+_CELL = 32  # packed scalar cell size, bytes
 
 
 def _msm_chunk_g1(args: tuple) -> tuple:
-    points, scalars = args
+    mode, points, scalars = args
+    substrate.set_mode(mode)
     return msm_jacobian(points, scalars)
 
 
 def _msm_chunk_g2(args: tuple) -> tuple:
-    points, scalars = args
+    mode, points, scalars = args
+    substrate.set_mode(mode)
     return msm_g2_jacobian(points, scalars)
 
 
 def _batch_inverse_chunk(values: list[int]) -> list[int]:
     return _fr_batch_inverse(values)
+
+
+def _ntt_job_with_mode(args: tuple) -> list[int]:
+    mode, job = args
+    substrate.set_mode(mode)
+    return apply_ntt_job(job)
+
+
+def _msm_shm_chunk(args: tuple) -> tuple:
+    """Worker: MSM over a slice of packed shared-memory segments."""
+    mode, pts_name, scal_name, start, count = args
+    substrate.set_mode(mode)
+    points = _shm.unpack_points(_shm.attach_segment(pts_name).buf, start, count)
+    scalars = unpack_scalars(_shm.attach_segment(scal_name).buf, start, count)
+    return msm_jacobian(points, scalars)
+
+
+def _ntt_shm_job(args: tuple) -> None:
+    """Worker: one NTT over packed cells; result written back to shm."""
+    mode, in_name, out_name, kind, n, in_start, in_count, out_start, shift = args
+    substrate.set_mode(mode)
+    values = unpack_scalars(_shm.attach_segment(in_name).buf, in_start, in_count)
+    out = apply_ntt_job((kind, n, values, shift))
+    buf = _shm.attach_segment(out_name).buf
+    buf[out_start * _CELL : (out_start + len(out)) * _CELL] = pack_scalars(out)
+
+
+def _inverse_shm_chunk(args: tuple) -> None:
+    """Worker: Montgomery-chain inversion of a shm slice, written back."""
+    in_name, out_name, start, count = args
+    values = unpack_scalars(_shm.attach_segment(in_name).buf, start, count)
+    out = _fr_batch_inverse(values)
+    buf = _shm.attach_segment(out_name).buf
+    buf[start * _CELL : (start + count) * _CELL] = pack_scalars(out)
 
 
 def _chunk(seq: list, pieces: int) -> list[list]:
@@ -70,6 +131,19 @@ def _chunk(seq: list, pieces: int) -> list[list]:
     return out
 
 
+def _spans(n: int, pieces: int) -> list[tuple[int, int]]:
+    """Balanced contiguous ``(start, count)`` spans covering ``range(n)``."""
+    pieces = max(1, min(pieces, n))
+    size, extra = divmod(n, pieces)
+    out = []
+    start = 0
+    for i in range(pieces):
+        count = size + (1 if i < extra else 0)
+        out.append((start, count))
+        start += count
+    return out
+
+
 class ParallelEngine(Engine):
     """Engine that chunks MSMs, NTT batches and inversions across workers."""
 
@@ -82,6 +156,8 @@ class ParallelEngine(Engine):
         min_ntt_jobs: int = 2,
         min_ntt_size: int = 256,
         min_inverse_size: int = 8192,
+        use_shm: bool = True,
+        task_timeout: float | None = None,
     ):
         super().__init__()
         if workers is None:
@@ -100,7 +176,11 @@ class ParallelEngine(Engine):
         self.min_ntt_jobs = min_ntt_jobs
         self.min_ntt_size = min_ntt_size
         self.min_inverse_size = min_inverse_size
+        self.use_shm = use_shm
+        self.task_timeout = task_timeout
         self._pool = None
+        #: Pinned packed-point segments: id(owner) -> (owner, segment).
+        self._point_segs: dict = {}
 
     # ------------------------------------------------------------ pool mgmt
 
@@ -112,16 +192,95 @@ class ParallelEngine(Engine):
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._discard_pool(blocking=True)
+        for owner_id in list(self._point_segs):
+            _, seg = self._point_segs.pop(owner_id)
+            _shm.release_segment(seg)
+
+    def _discard_pool(self, blocking: bool) -> None:
+        """Tear down the worker pool.
+
+        ``blocking=False`` is the crash path: a SIGKILLed worker can die
+        holding the shared task-queue lock, and ``Pool.terminate()`` then
+        deadlocks joining its handler threads — so after a watchdog
+        timeout the pool is terminated from a daemon thread and abandoned
+        rather than joined.  Segment cleanup never depends on it.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        if blocking:
+            pool.terminate()
+            pool.join()
+        else:
+            threading.Thread(target=pool.terminate, daemon=True).start()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
         try:
             self.close()
         except Exception:
             pass
+
+    def _run_tasks(self, func, tasks: list) -> list:
+        """``pool.map`` with a watchdog: a crashed/wedged worker surfaces
+        as a :class:`BackendError` (after pool teardown) instead of a
+        hang, so callers' ``finally`` blocks can release segments."""
+        pool = self._get_pool()
+        if self.task_timeout is None:
+            return pool.map(func, tasks)
+        result = pool.map_async(func, tasks)
+        try:
+            return result.get(self.task_timeout)
+        except multiprocessing.TimeoutError:
+            self._discard_pool(blocking=False)
+            for owner_id in list(self._point_segs):
+                _, seg = self._point_segs.pop(owner_id)
+                _shm.release_segment(seg)
+            raise BackendError(
+                "parallel kernel timed out after %.1fs (worker crash?)"
+                % self.task_timeout
+            ) from None
+
+    # ----------------------------------------------------- shm MSM plumbing
+
+    def _shm_enabled(self) -> bool:
+        return self.use_shm and substrate.fast_enabled()
+
+    def _pinned_point_segment(self, owner, jac_points) -> object:
+        """The packed shm image of a fixed point table, created once.
+
+        Keyed and pinned by owner identity like the engine's Jacobian
+        caches; released by :meth:`close` (and the shm module's atexit
+        backstop)."""
+        key = id(owner)
+        hit = self._point_segs.get(key)
+        if hit is not None and hit[0] is owner:
+            return hit[1]
+        packed = _shm.pack_points(list(jac_points))
+        seg = _shm.create_segment(len(packed))
+        seg.buf[: len(packed)] = packed
+        self._point_segs[key] = (owner, seg)
+        return seg
+
+    def _msm_shm_sharded(self, pts_name: str, scalars: list[int]) -> tuple:
+        """Fan an MSM out over shm slices; scalars go in a scratch segment."""
+        n = len(scalars)
+        packed = pack_scalars(scalars)
+        scal_seg = _shm.create_segment(len(packed))
+        try:
+            scal_seg.buf[: len(packed)] = packed
+            mode = substrate.mode()
+            tasks = [
+                (mode, pts_name, scal_seg.name, start, count)
+                for start, count in _spans(n, self.workers)
+            ]
+            partials = self._run_tasks(_msm_shm_chunk, tasks)
+        finally:
+            _shm.release_segment(scal_seg)
+        result = partials[0]
+        for part in partials[1:]:
+            result = jac_add(result, part)
+        return result
 
     # -------------------------------------------------------------- kernels
 
@@ -132,27 +291,116 @@ class ParallelEngine(Engine):
         big_jobs = sum(1 for job in jobs if job[1] >= self.min_ntt_size)
         if not self._use_pool(big_jobs, self.min_ntt_jobs):
             return [apply_ntt_job(job) for job in jobs]
-        return self._get_pool().map(apply_ntt_job, jobs)
+        if not self._shm_enabled():
+            mode = substrate.mode()
+            return self._run_tasks(_ntt_job_with_mode, [(mode, job) for job in jobs])
+        # Concatenate every job's input cells into one segment; workers
+        # write transforms into a second segment at per-job offsets.
+        in_cells = sum(len(job[2]) for job in jobs)
+        out_cells = sum(job[1] for job in jobs)
+        in_seg = _shm.create_segment(in_cells * _CELL)
+        out_seg = _shm.create_segment(out_cells * _CELL)
+        try:
+            mode = substrate.mode()
+            tasks = []
+            in_start = out_start = 0
+            pos = 0
+            for kind, n, values, shift in jobs:
+                packed = pack_scalars(values)
+                in_seg.buf[pos : pos + len(packed)] = packed
+                pos += len(packed)
+                tasks.append(
+                    (
+                        mode,
+                        in_seg.name,
+                        out_seg.name,
+                        kind,
+                        n,
+                        in_start,
+                        len(values),
+                        out_start,
+                        shift,
+                    )
+                )
+                in_start += len(values)
+                out_start += n
+            self._run_tasks(_ntt_shm_job, tasks)
+            out = []
+            start = 0
+            for _, n, _, _ in jobs:
+                out.append(unpack_scalars(out_seg.buf, start, n))
+                start += n
+            return out
+        finally:
+            _shm.release_segment(in_seg)
+            _shm.release_segment(out_seg)
 
     def _msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         if not self._use_pool(len(points), self.min_msm_points):
             return msm_jacobian(points, scalars)
-        chunks = list(
-            zip(_chunk(list(points), self.workers), _chunk(list(scalars), self.workers))
-        )
-        partials = self._get_pool().map(_msm_chunk_g1, chunks)
-        result = partials[0]
-        for part in partials[1:]:
-            result = jac_add(result, part)
-        return result
+        if not self._shm_enabled():
+            mode = substrate.mode()
+            chunks = [
+                (mode, pts, scs)
+                for pts, scs in zip(
+                    _chunk(list(points), self.workers),
+                    _chunk(list(scalars), self.workers),
+                )
+            ]
+            partials = self._run_tasks(_msm_chunk_g1, chunks)
+            result = partials[0]
+            for part in partials[1:]:
+                result = jac_add(result, part)
+            return result
+        if len(points) != len(scalars):
+            raise BackendError(
+                "msm: %d points but %d scalars" % (len(points), len(scalars))
+            )
+        # Normalise in the parent so points pack as 64-byte affine cells
+        # (infinity packs as the zero cell and is filtered by workers).
+        finite = [i for i, p in enumerate(points) if p[2] != 0]
+        normalized = jac_batch_normalize([points[i] for i in finite])
+        cells: list[tuple] = [_shm_INF] * len(points)
+        for i, p in zip(finite, normalized):
+            cells[i] = p
+        packed = _shm.pack_points(cells)
+        pts_seg = _shm.create_segment(len(packed))
+        try:
+            pts_seg.buf[: len(packed)] = packed
+            return self._msm_shm_sharded(pts_seg.name, [int(s) % _R for s in scalars])
+        finally:
+            _shm.release_segment(pts_seg)
+
+    def _msm_srs(self, srs, scalars: list[int]) -> tuple:
+        if not (self._shm_enabled() and self._use_pool(len(scalars), self.min_msm_points)):
+            return super()._msm_srs(srs, scalars)
+        points = self.srs_g1_jacobian(srs)
+        if len(scalars) > len(points):
+            raise BackendError(
+                "msm_srs: %d scalars but SRS has %d G1 powers"
+                % (len(scalars), len(points))
+            )
+        seg = self._pinned_point_segment(srs, points)
+        return self._msm_shm_sharded(seg.name, [int(s) % _R for s in scalars])
+
+    def _msm_g1_fixed(self, points, scalars: list[int]) -> tuple:
+        if not (self._shm_enabled() and self._use_pool(len(scalars), self.min_msm_points)):
+            return super()._msm_g1_fixed(points, scalars)
+        jac = self._fixed_jacobian(points)
+        seg = self._pinned_point_segment(points, jac)
+        return self._msm_shm_sharded(seg.name, [int(s) % _R for s in scalars])
 
     def _msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         if not self._use_pool(len(points), self.min_msm_points):
             return msm_g2_jacobian(points, scalars)
-        chunks = list(
-            zip(_chunk(list(points), self.workers), _chunk(list(scalars), self.workers))
-        )
-        partials = self._get_pool().map(_msm_chunk_g2, chunks)
+        mode = substrate.mode()
+        chunks = [
+            (mode, pts, scs)
+            for pts, scs in zip(
+                _chunk(list(points), self.workers), _chunk(list(scalars), self.workers)
+            )
+        ]
+        partials = self._run_tasks(_msm_chunk_g2, chunks)
         result = partials[0]
         for part in partials[1:]:
             result = jac2_add(result, part)
@@ -166,9 +414,29 @@ class ParallelEngine(Engine):
         for i, v in enumerate(values):
             if v % _R == 0:
                 raise FieldError("batch inverse of zero at index %d" % i)
-        chunks = _chunk(list(values), self.workers)
-        parts = self._get_pool().map(_batch_inverse_chunk, chunks)
-        out: list[int] = []
-        for part in parts:
-            out.extend(part)
-        return out
+        if not self._shm_enabled():
+            chunks = _chunk(list(values), self.workers)
+            parts = self._run_tasks(_batch_inverse_chunk, chunks)
+            out: list[int] = []
+            for part in parts:
+                out.extend(part)
+            return out
+        n = len(values)
+        packed = pack_scalars(values)
+        in_seg = _shm.create_segment(len(packed))
+        out_seg = _shm.create_segment(n * _CELL)
+        try:
+            in_seg.buf[: len(packed)] = packed
+            tasks = [
+                (in_seg.name, out_seg.name, start, count)
+                for start, count in _spans(n, self.workers)
+            ]
+            self._run_tasks(_inverse_shm_chunk, tasks)
+            return unpack_scalars(out_seg.buf, 0, n)
+        finally:
+            _shm.release_segment(in_seg)
+            _shm.release_segment(out_seg)
+
+
+#: Placeholder cell for points at infinity in the parent-side packer.
+_shm_INF = (0, 0, 0)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro import faults
 from repro.errors import ChainError, ContractError, OutOfGasError, TxRevertedError
 from repro.chain.contract import Contract, ExecutionContext
-from repro.chain.events import Event
+from repro.chain.events import Event, EventIndex
 from repro.chain.gas import DEFAULT_SCHEDULE, GasSchedule
 
 
@@ -107,6 +107,7 @@ class Blockchain:
         self._nonces: dict[str, int] = {}
         self.contracts: dict[str, Contract] = {}
         self.receipts: list[TransactionReceipt] = []
+        self._event_index = EventIndex()
         self.blocks: list[Block] = []
         self._pending: list[str] = []
         self._counter = itertools.count(1)
@@ -233,6 +234,8 @@ class Blockchain:
             tx_hash, sender, to, method, gas, status, list(events), ret, error
         )
         self.receipts.append(receipt)
+        for event in receipt.events:
+            self._event_index.add(event)
         self._pending.append(tx_hash)
         return receipt
 
@@ -287,6 +290,34 @@ class Blockchain:
         faults.check("chain.events")
         if address is not None and not isinstance(address, str):
             address = address.address  # a deployed Contract instance
+        # Name/address narrowing is an O(1) posting-list hit in the
+        # emission-order index; only the already-narrowed candidates pay
+        # the per-event field/predicate checks.
+        out = []
+        for event in self._event_index.select(name=name, address=address):
+            if fields and any(event.get(k) != v for k, v in fields.items()):
+                continue
+            if where is not None and not where(event):
+                continue
+            out.append(event)
+        return out
+
+    def query_events_linear(
+        self,
+        name: str | None = None,
+        address: str | None = None,
+        where=None,
+        **fields,
+    ) -> list[Event]:
+        """Reference receipt-scan implementation of :meth:`query_events`.
+
+        Retained as the oracle the index is tested against (same
+        filters, same emission order, no index) — not for production
+        use.  Deliberately does *not* consult the fault plane: oracle
+        reads must be deterministic.
+        """
+        if address is not None and not isinstance(address, str):
+            address = address.address
         out = []
         for receipt in self.receipts:
             for event in receipt.events:

@@ -1,4 +1,4 @@
-"""Contract event logs."""
+"""Contract event logs and the chain's emission-order event index."""
 
 from __future__ import annotations
 
@@ -22,3 +22,60 @@ class Event:
 
     def as_dict(self) -> dict:
         return dict(self.fields)
+
+
+class EventIndex:
+    """Emission-ordered event log with O(1) name/address narrowing.
+
+    The chain appends every event of every *successful* transaction as
+    it is recorded; :meth:`select` serves ``query_events`` lookups from
+    per-name and per-address posting lists (dict hit + slice) instead of
+    rescanning all receipts.  Posting lists hold positions in the global
+    emission order, so filtered results keep the exact order the linear
+    scan produces — ``tests/test_chain.py`` holds the two paths equal.
+    """
+
+    __slots__ = ("_all", "_by_name", "_by_address")
+
+    def __init__(self) -> None:
+        self._all: list[Event] = []
+        self._by_name: dict[str, list[int]] = {}
+        self._by_address: dict[str, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def add(self, event: Event) -> None:
+        """Append one emitted event (next position in emission order)."""
+        pos = len(self._all)
+        self._all.append(event)
+        self._by_name.setdefault(event.name, []).append(pos)
+        self._by_address.setdefault(event.address, []).append(pos)
+
+    def select(self, name: str | None = None, address: str | None = None) -> list[Event]:
+        """Events matching ``name`` and/or ``address``, in emission order.
+
+        Both posting lists are ascending, so the AND case is a linear
+        merge of two sorted lists — no set building, order preserved.
+        """
+        if name is None and address is None:
+            return list(self._all)
+        if name is not None and address is not None:
+            a = self._by_name.get(name, [])
+            b = self._by_address.get(address, [])
+            out = []
+            i = j = 0
+            while i < len(a) and j < len(b):
+                if a[i] == b[j]:
+                    out.append(self._all[a[i]])
+                    i += 1
+                    j += 1
+                elif a[i] < b[j]:
+                    i += 1
+                else:
+                    j += 1
+            return out
+        postings = self._by_name.get(name, []) if name is not None else self._by_address.get(
+            address, []
+        )
+        return [self._all[p] for p in postings]

@@ -7,6 +7,7 @@ for protocol-level code and (de)serialisation.
 
 from __future__ import annotations
 
+from repro import substrate
 from repro.errors import CurveError
 from repro.curve.fq import B, Q, fq_batch_inverse, fq_inv
 from repro.field.fr import MODULUS as R
@@ -215,6 +216,12 @@ class G1:
     def __mul__(self, k) -> "G1":
         if not isinstance(k, int):
             k = int(k)
+        if substrate.fast_enabled():
+            # Lazy import: glv derives its constants from this module at
+            # its own import time.
+            from repro.curve.glv import glv_jac_mul
+
+            return G1.from_jacobian(glv_jac_mul(self.to_jacobian(), k))
         return G1.from_jacobian(jac_mul(self.to_jacobian(), k))
 
     __rmul__ = __mul__

@@ -20,7 +20,9 @@ generic signed bucket loop with mixed Jacobian additions.
 
 from __future__ import annotations
 
+from repro import substrate
 from repro.errors import CurveError
+from repro.curve import glv
 from repro.curve.fq import Q, fq2_is_zero, fq2_neg, fq_batch_inverse
 from repro.curve.g1 import (
     G1,
@@ -148,43 +150,13 @@ def _g2_neg_norm(p: tuple) -> tuple:
     return (p[0], fq2_neg(p[1]), p[2])
 
 
-def _bucket_msm_g1(pairs: list) -> tuple:
-    """Signed-window G1 MSM with batch-affine bucket accumulation.
+def _batch_affine_reduce(buckets: list) -> None:
+    """Reduce every bucket list to at most one affine point, in place.
 
-    ``pairs`` must hold normalised ``z = 1`` points.  Bucket contents are
-    kept *affine* throughout: every bucket is reduced by pairwise affine
-    additions whose slope denominators are inverted together (one
-    :func:`fq_batch_inverse` per round across all windows), so each
-    addition costs ~6 field multiplications instead of the ~11 of a mixed
-    Jacobian addition.  The final running-sum aggregation then adds affine
-    buckets into Jacobian accumulators via the mixed-addition fast path.
-
-    G1 has prime order, so no finite point has ``y == 0`` and the affine
-    doubling denominator ``2y`` is always invertible.
+    Each round halves every pending bucket by pairwise affine additions;
+    all slope denominators across all buckets share a single batched
+    inversion per round.
     """
-    c = _window_size(len(pairs))
-    half = 1 << (c - 1)
-    num_windows = (_SCALAR_BITS + c - 1) // c
-
-    # Phase 1: scatter affine points into per-window bucket lists (the
-    # signed recoding's trailing carry can spill into one extra window).
-    buckets: list[list] = [[] for _ in range((num_windows + 1) * half)]
-    top = 0
-    for (x, y, _), s in pairs:
-        digits = _signed_digits(s, c, num_windows)
-        for w, d in enumerate(digits):
-            if d == 0:
-                continue
-            if d > 0:
-                buckets[w * half + d - 1].append((x, y))
-            else:
-                buckets[w * half - d - 1].append((x, Q - y))
-            if w >= top:
-                top = w + 1
-
-    # Phase 2: reduce every bucket to at most one affine point.  Each
-    # round halves every pending bucket; all slope denominators across all
-    # windows share a single batched inversion.
     pending = [i for i, b in enumerate(buckets) if len(b) > 1]
     while pending:
         ops = []  # (bucket_index, x1, y1, x2, y2, is_doubling)
@@ -214,6 +186,48 @@ def _bucket_msm_g1(pairs: list) -> tuple:
                 buckets[bi].append((x3, (lam * (x1 - x3) - y1) % Q))
         pending = [bi for bi in pending if len(buckets[bi]) > 1]
 
+
+def _bucket_msm_g1(pairs: list, bits: int = _SCALAR_BITS) -> tuple:
+    """Signed-window G1 MSM with batch-affine bucket accumulation.
+
+    ``pairs`` must hold normalised ``z = 1`` points.  Bucket contents are
+    kept *affine* throughout: every bucket is reduced by pairwise affine
+    additions whose slope denominators are inverted together (one
+    :func:`fq_batch_inverse` per round across all windows), so each
+    addition costs ~6 field multiplications instead of the ~11 of a mixed
+    Jacobian addition.  The final running-sum aggregation then adds affine
+    buckets into Jacobian accumulators via the mixed-addition fast path.
+
+    G1 has prime order, so no finite point has ``y == 0`` and the affine
+    doubling denominator ``2y`` is always invertible.
+
+    ``bits`` bounds the scalar widths: the GLV front-end passes
+    half-width pairs with ``bits ~ 129``, halving the window count (and
+    with it the doubling chain in phase 3).
+    """
+    c = _window_size(len(pairs))
+    half = 1 << (c - 1)
+    num_windows = (bits + c - 1) // c
+
+    # Phase 1: scatter affine points into per-window bucket lists (the
+    # signed recoding's trailing carry can spill into one extra window).
+    buckets: list[list] = [[] for _ in range((num_windows + 1) * half)]
+    top = 0
+    for (x, y, _), s in pairs:
+        digits = _signed_digits(s, c, num_windows)
+        for w, d in enumerate(digits):
+            if d == 0:
+                continue
+            if d > 0:
+                buckets[w * half + d - 1].append((x, y))
+            else:
+                buckets[w * half - d - 1].append((x, Q - y))
+            if w >= top:
+                top = w + 1
+
+    # Phase 2: reduce every bucket to at most one affine point.
+    _batch_affine_reduce(buckets)
+
     # Phase 3: running-sum aggregation per window, then fold windows.
     result = JAC_INF
     for w in range(top - 1, -1, -1):
@@ -239,15 +253,124 @@ def _bucket_msm_g1(pairs: list) -> tuple:
 
 
 def msm_jacobian(points: list[tuple], scalars: list[int]) -> tuple:
-    """MSM over G1 Jacobian point tuples; returns a Jacobian tuple."""
+    """MSM over G1 Jacobian point tuples; returns a Jacobian tuple.
+
+    Under the fast substrate each (point, scalar) pair is GLV-split
+    into two half-width pairs before bucketing: twice the bucket
+    insertions, but half the windows — and the per-window doubling
+    chain in the aggregation phase is the serial bottleneck.
+    """
     pairs = _collect_pairs(points, scalars, _jac_is_inf, "msm")
     if not pairs:
         return JAC_INF
     if len(pairs) == 1:
+        if substrate.fast_enabled():
+            return glv.glv_jac_mul(pairs[0][0], pairs[0][1])
         return jac_mul(pairs[0][0], pairs[0][1])
     normalized = jac_batch_normalize([p for p, _ in pairs])
     pairs = [(p, s) for p, (_, s) in zip(normalized, pairs)]
+    if substrate.fast_enabled():
+        pairs = glv.split_pairs(pairs)
+        if not pairs:
+            return JAC_INF
+        return _bucket_msm_g1(pairs, bits=glv.HALF_BITS)
     return _bucket_msm_g1(pairs)
+
+
+# --------------------------------------------------------- fixed-base MSM
+
+#: Bounds for the precomputed-table path: below the floor the single
+#: window is mostly empty slots (the plain GLV path wins); above the cap
+#: the tables' memory footprint stops being worth pinning.
+FIXED_WINDOW_MIN = 32
+FIXED_WINDOW_MAX = 2048
+
+
+def fixed_window_c(n: int) -> int:
+    """Window width for :func:`msm_fixed_window` (empirical, like
+    :func:`_window_size` — but wider: with precomputed window shifts the
+    per-window aggregation cost is gone, so only scatter density and the
+    single running sum push back)."""
+    return 10 if n >= 128 else 8
+
+
+def window_table_depth(c: int) -> int:
+    """Rows per point: one per half-width window plus the carry spill."""
+    return (glv.HALF_BITS + c - 1) // c + 1
+
+
+def build_window_tables(jac_points: list[tuple], c: int) -> list[list[tuple]]:
+    """Precompute ``2^(w*c) * P`` for every point and window ``w``.
+
+    The tables turn a fixed-base MSM into a *single-window* bucket pass
+    (:func:`msm_fixed_window`): every digit of every scalar lands in one
+    shared bucket array, so the per-window doubling chain and running-sum
+    aggregation of the generic method collapse into one final sweep.
+    Rows are normalised to ``z = 1``; identity points get all-infinity
+    rows (they contribute nothing and are skipped at scatter time).
+    """
+    depth = window_table_depth(c)
+    flat = []
+    finite = []
+    for i, p in enumerate(jac_points):
+        if p[2] == 0:
+            continue
+        finite.append(i)
+        t = p
+        for _ in range(depth):
+            flat.append(t)
+            for _ in range(c):
+                t = jac_double(t)
+    norm = jac_batch_normalize(flat)
+    tables: list[list[tuple]] = [[JAC_INF] * depth for _ in jac_points]
+    for row, i in enumerate(finite):
+        tables[i] = norm[row * depth : (row + 1) * depth]
+    return tables
+
+
+def msm_fixed_window(tables: list[list[tuple]], c: int, scalars: list[int]) -> tuple:
+    """GLV MSM against precomputed window tables (fast substrate only).
+
+    Each scalar is GLV-decomposed into two half-width signed parts; the
+    ``k2`` part maps through the endomorphism on the fly (``psi`` commutes
+    with scalar multiplication, so ``psi(2^(wc) P) = 2^(wc) psi(P)`` costs
+    one field multiplication per scattered point instead of a second
+    table).  All windows scatter into one bucket array.
+    """
+    half = 1 << (c - 1)
+    depth = window_table_depth(c)
+    buckets: list[list] = [[] for _ in range(half)]
+    beta = glv.BETA
+    for i, k in enumerate(scalars):
+        tab = tables[i]
+        k1, k2 = glv.decompose(k)
+        for kk, endo in ((k1, False), (k2, True)):
+            if kk == 0:
+                continue
+            neg = kk < 0
+            digits = _signed_digits(-kk if neg else kk, c, depth - 1)
+            for w, d in enumerate(digits):
+                if d == 0:
+                    continue
+                x, y, z = tab[w]
+                if z == 0:
+                    continue
+                if endo:
+                    x = x * beta % Q
+                if (d < 0) != neg:
+                    y = Q - y
+                buckets[(d if d > 0 else -d) - 1].append((x, y))
+    _batch_affine_reduce(buckets)
+    running = None
+    acc = None
+    for b in range(half - 1, -1, -1):
+        lst = buckets[b]
+        if lst:
+            x, y = lst[0]
+            running = (x, y, 1) if running is None else jac_add(running, (x, y, 1))
+        if running is not None:
+            acc = running if acc is None else jac_add(acc, running)
+    return acc if acc is not None else JAC_INF
 
 
 def msm_g2_jacobian(points: list[tuple], scalars: list[int]) -> tuple:

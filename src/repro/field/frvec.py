@@ -1,0 +1,184 @@
+"""Contiguous scalar vectors: packed 32-byte little-endian F_r elements.
+
+Python lists of 254-bit ints are the wrong shape for two of the
+prover's bottlenecks: shipping MSM/NTT inputs across the
+``multiprocessing`` process boundary (pickling each bigint separately)
+and caching large per-key scalar tables.  :class:`ScalarVector` stores
+``n`` field elements as one flat ``bytearray`` of ``32 * n`` bytes
+(canonical little-endian, the same encoding as :meth:`repro.field.fr.Fr.
+to_bytes`), so a vector can be
+
+- copied into / out of a ``multiprocessing.shared_memory`` segment with
+  one ``memoryview`` slice assignment (zero pickling, zero per-element
+  work),
+- handed to workers as a ``(segment, offset, count)`` triple,
+- converted to and from plain int lists only at the explicit
+  :meth:`from_list` / :meth:`to_list` boundaries.
+
+The conversion boundaries are the contract: *inside* a kernel, scalars
+are plain ints (CPython bigint arithmetic needs ints anyway); *between*
+kernels and across processes they travel packed.  See
+``docs/data_plane.md`` for the ownership and lifetime rules.
+
+Protocol modules (``plonk/``, ``groth16/``, ``kzg/``, ``core/``) must
+not import this module directly — the compute engine owns the
+representation (enforced by zklint ENG-001).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.errors import FieldError
+from repro.field.fr import MODULUS, NUM_BYTES
+
+_R = MODULUS
+
+
+def pack_scalars(values: Sequence[int]) -> bytearray:
+    """Pack reduced scalars into contiguous 32-byte little-endian cells."""
+    out = bytearray(NUM_BYTES * len(values))
+    pos = 0
+    for v in values:
+        out[pos : pos + NUM_BYTES] = (v % _R).to_bytes(NUM_BYTES, "little")
+        pos += NUM_BYTES
+    return out
+
+
+def unpack_scalars(buf, start: int = 0, count: int | None = None) -> list[int]:
+    """Unpack ``count`` scalars from a packed buffer starting at cell ``start``.
+
+    ``buf`` is anything supporting the buffer protocol (bytes, bytearray,
+    memoryview over a shared-memory segment).  Reads are zero-copy until
+    the final per-element ``int.from_bytes``.
+    """
+    view = memoryview(buf)
+    if count is None:
+        count = (len(view) - start * NUM_BYTES) // NUM_BYTES
+    out = [0] * count
+    pos = start * NUM_BYTES
+    for i in range(count):
+        out[i] = int.from_bytes(view[pos : pos + NUM_BYTES], "little")
+        pos += NUM_BYTES
+    return out
+
+
+class ScalarVector:
+    """A contiguous, mutable vector of F_r elements.
+
+    The backing store is a single ``bytearray`` (or any writable buffer
+    passed to :meth:`from_buffer`); elements are canonical little-endian
+    32-byte cells.  Random access decodes one cell; bulk moves use
+    :attr:`data` directly.
+    """
+
+    __slots__ = ("_buf", "_n")
+
+    def __init__(self, n: int = 0):
+        self._n = int(n)
+        if self._n < 0:
+            raise FieldError("vector length must be non-negative")
+        self._buf = memoryview(bytearray(NUM_BYTES * self._n))
+
+    # ------------------------------------------------------------ boundaries
+
+    @classmethod
+    def from_list(cls, values: Sequence[int]) -> "ScalarVector":
+        """The explicit list -> contiguous boundary (reduces mod r)."""
+        vec = cls.__new__(cls)
+        vec._n = len(values)
+        vec._buf = memoryview(pack_scalars(values))
+        return vec
+
+    def to_list(self) -> list[int]:
+        """The explicit contiguous -> list boundary."""
+        return unpack_scalars(self._buf, 0, self._n)
+
+    @classmethod
+    def from_buffer(cls, buf, count: int | None = None) -> "ScalarVector":
+        """Zero-copy view over an existing packed buffer.
+
+        The caller keeps ownership of ``buf`` (for shared-memory
+        segments: the segment must outlive this vector; see
+        ``docs/data_plane.md``).
+        """
+        view = memoryview(buf)
+        if count is None:
+            if len(view) % NUM_BYTES:
+                raise FieldError("packed buffer length is not a multiple of %d" % NUM_BYTES)
+            count = len(view) // NUM_BYTES
+        elif count * NUM_BYTES > len(view):
+            raise FieldError("packed buffer too short for %d scalars" % count)
+        vec = cls.__new__(cls)
+        vec._n = count
+        vec._buf = view[: count * NUM_BYTES]
+        return vec
+
+    def tobytes(self) -> bytes:
+        """An immutable copy of the packed representation."""
+        return self._buf.tobytes()
+
+    @property
+    def data(self) -> memoryview:
+        """The backing buffer (packed cells); treat as owned by the vector."""
+        return self._buf
+
+    @property
+    def nbytes(self) -> int:
+        return self._n * NUM_BYTES
+
+    # ------------------------------------------------------------- sequence
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index: int) -> int:
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._n)
+            if step != 1:
+                raise FieldError("ScalarVector slices must be contiguous")
+            return ScalarVector.from_buffer(
+                self._buf[start * NUM_BYTES : stop * NUM_BYTES]
+            )
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError("scalar index out of range")
+        pos = index * NUM_BYTES
+        return int.from_bytes(self._buf[pos : pos + NUM_BYTES], "little")
+
+    def __setitem__(self, index: int, value: int) -> None:
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError("scalar index out of range")
+        pos = index * NUM_BYTES
+        self._buf[pos : pos + NUM_BYTES] = (value % _R).to_bytes(NUM_BYTES, "little")
+
+    def __iter__(self) -> Iterator[int]:
+        buf = self._buf
+        pos = 0
+        for _ in range(self._n):
+            yield int.from_bytes(buf[pos : pos + NUM_BYTES], "little")
+            pos += NUM_BYTES
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ScalarVector):
+            return self._buf == other._buf
+        if isinstance(other, (list, tuple)):
+            return len(other) == self._n and self.to_list() == [v % _R for v in other]
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "ScalarVector(n=%d)" % self._n
+
+
+def as_scalar_list(values) -> list[int]:
+    """Coerce a list or :class:`ScalarVector` to a plain int list.
+
+    The single conversion point kernels use to accept either
+    representation at their boundary.
+    """
+    if isinstance(values, ScalarVector):
+        return values.to_list()
+    return list(values)

@@ -184,18 +184,23 @@ def groth16_prove(
         ell = pk.qap.num_public
 
         with telemetry.span("msm"):
-            a_acc = engine.msm_g1(list(pk.a_query), values)
+            # The query tables are fixed per proving key: msm_g1_fixed
+            # caches their Jacobian view (and, on shm backends, a pinned
+            # packed segment) by table identity, so warm proofs ship only
+            # scalars to the workers.  Prefix semantics replace the old
+            # per-call list slices.
+            a_acc = engine.msm_g1_fixed(pk.a_query, values)
             proof_a = pk.alpha_g1 + a_acc + pk.delta_g1 * r
 
             b_g2_acc = engine.msm_g2(list(pk.b_g2_query), values)
             proof_b = pk.beta_g2 + b_g2_acc + pk.delta_g2 * s
 
-            b_g1_acc = engine.msm_g1(list(pk.b_g1_query), values)
+            b_g1_acc = engine.msm_g1_fixed(pk.b_g1_query, values)
             b_g1_full = pk.beta_g1 + b_g1_acc + pk.delta_g1 * s
 
-            c_acc = engine.msm_g1(list(pk.l_query), values[ell + 1 :])
+            c_acc = engine.msm_g1_fixed(pk.l_query, values[ell + 1 :])
             if h:
-                c_acc = c_acc + engine.msm_g1(list(pk.h_query[: len(h)]), h)
+                c_acc = c_acc + engine.msm_g1_fixed(pk.h_query, h)
             proof_c = (
                 c_acc + proof_a * s + b_g1_full * r - pk.delta_g1 * (r * s % R)
             )

@@ -39,8 +39,10 @@ def commit(srs: SRS, coeffs: list[int], engine=None) -> G1:
     if telemetry.metrics_enabled():
         telemetry.counter("kzg.commit.calls").inc()
         telemetry.histogram("kzg.commit.degree").observe(max(len(coeffs) - 1, 0))
-    points = engine.srs_g1_jacobian(srs)
-    return G1.from_jacobian(engine.msm_jac(list(points[: len(coeffs)]), coeffs))
+    # msm_srs resolves the points inside the engine (cached Jacobian view
+    # plus, on shm backends, a pinned packed segment) — no per-call copy
+    # of the SRS prefix and no point pickling on the parallel path.
+    return G1.from_jacobian(engine.msm_srs(srs, coeffs))
 
 
 def open_at(srs: SRS, coeffs: list[int], z: int, engine=None) -> tuple[int, G1]:

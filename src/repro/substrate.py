@@ -1,0 +1,78 @@
+"""Substrate mode: the switch between the fast and reference data planes.
+
+The scalar/point data plane has two complete implementations of every
+accelerated kernel:
+
+- **fast** (the default) — GLV endomorphism decomposition for G1 scalar
+  multiplication, lazy-reduction NTT butterflies over the contiguous
+  scalar representation, and zero-pickle shared-memory dispatch in the
+  parallel backend;
+- **reference** — the retained pre-substrate kernels: plain double-and-
+  add / full-width Pippenger windows, modulo-per-butterfly NTT, and
+  pickled worker payloads.
+
+Both modes are *observationally identical* (the differential suite
+asserts bit-for-bit equality of affine points, NTT outputs and engine
+results); they differ only in speed.  The mode is read once from the
+``REPRO_SUBSTRATE`` environment variable and can be flipped at runtime —
+``benchmarks/bench_substrate.py`` uses :func:`use_mode` to measure the
+same proof under both planes in one process.
+
+This module is deliberately tiny and import-free so that ``field/``,
+``curve/`` and ``backend/`` can all consult it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+MODE_FAST = "fast"
+MODE_REFERENCE = "reference"
+
+_VALID = (MODE_FAST, MODE_REFERENCE)
+
+_mode: str = MODE_FAST
+
+
+def _init_from_env() -> str:
+    raw = os.environ.get("REPRO_SUBSTRATE", MODE_FAST).strip().lower() or MODE_FAST
+    return raw if raw in _VALID else MODE_FAST
+
+
+_mode = _init_from_env()
+
+
+def mode() -> str:
+    """The active substrate mode (``"fast"`` or ``"reference"``)."""
+    return _mode
+
+
+def fast_enabled() -> bool:
+    """True when the accelerated kernels (GLV, lazy NTT, shm) are active."""
+    return _mode == MODE_FAST
+
+
+def set_mode(new_mode: str) -> str:
+    """Set the substrate mode; returns the previous mode.
+
+    Raises :class:`ValueError` on anything other than ``"fast"`` /
+    ``"reference"`` so a typo cannot silently select the slow plane.
+    """
+    global _mode
+    if new_mode not in _VALID:
+        raise ValueError("unknown substrate mode %r (expected one of %s)" % (new_mode, _VALID))
+    previous = _mode
+    _mode = new_mode
+    return previous
+
+
+@contextmanager
+def use_mode(new_mode: str) -> Iterator[str]:
+    """Scoped substrate-mode override (restores the previous mode)."""
+    previous = set_mode(new_mode)
+    try:
+        yield new_mode
+    finally:
+        set_mode(previous)

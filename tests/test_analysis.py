@@ -81,6 +81,7 @@ class TestPerRuleFixtures:
             ("DET-001", "repro/plonk/faults_violation.py", "repro.faults"),
             ("FLD-001", "repro/plonk/fld_violation.py", "literal"),
             ("ENG-001", "repro/kzg/eng_violation.py", "compute engine"),
+            ("ENG-001", "repro/plonk/substrate_violation.py", "contiguous-representation"),
         ],
     )
     def test_seeded_violation_fires(self, rule_id, fixture, needle):

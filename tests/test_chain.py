@@ -94,6 +94,28 @@ class TestTransactions:
         # The one-filter form stays equivalent to the legacy events() API.
         assert chain.query_events("Incremented") == chain.events("Incremented")
 
+    def test_query_events_index_matches_linear_oracle(self, deployed):
+        chain, sender, contract = deployed
+        # A second deployed contract so address narrowing has real work.
+        other = Counter()
+        chain.deploy(other, sender)
+        for target, amount in ((contract, 1), (other, 2), (contract, 3), (other, 4)):
+            chain.transact(sender, target, "increment", amount)
+        queries = [
+            {},
+            {"name": "Incremented"},
+            {"name": "NoSuchEvent"},
+            {"address": contract},
+            {"address": other.address},
+            {"name": "Incremented", "address": contract},
+            {"name": "Incremented", "value": 4},
+            {"name": "Incremented", "where": lambda e: e.get("value") > 2},
+            {"address": other, "where": lambda e: e.get("value") % 2 == 0},
+            {"address": "0x" + "0" * 40},
+        ]
+        for kwargs in queries:
+            assert chain.query_events(**kwargs) == chain.query_events_linear(**kwargs), kwargs
+
     def test_gas_components(self, deployed):
         chain, sender, contract = deployed
         receipt = chain.transact(sender, contract, "increment", 5)

@@ -13,12 +13,14 @@ import random
 
 import pytest
 
+from repro import substrate
 from repro.backend import ParallelEngine, SerialEngine
-from repro.curve import pairing_ref
-from repro.curve.g1 import G1
+from repro.curve import glv, pairing_ref
+from repro.curve.g1 import G1, jac_mul, jac_to_affine
 from repro.curve.g2 import G2
 from repro.field.fr import MODULUS as R
-from repro.field.ntt import COSET_SHIFT
+from repro.field.frvec import ScalarVector
+from repro.field.ntt import COSET_SHIFT, Domain, _ntt_in_place_fast, _ntt_in_place_ref
 
 pytestmark = pytest.mark.differential
 
@@ -105,6 +107,141 @@ class TestEngineDifferential:
                 expected = base * k
                 assert serial.fixed_base_mul(base, k) == expected
                 assert parallel.fixed_base_mul(base, k) == expected
+
+
+class TestSubstrateDifferential:
+    """The fast data plane (GLV, lazy NTT, shared memory) vs the
+    retained reference kernels — bit-for-bit, per the PR 6 gate."""
+
+    def test_glv_decomposition_reconstructs_and_is_short(self, chaos_seed):
+        rng = _rng(chaos_seed, "glv-split")
+        for k in [0, 1, 2, R - 1, glv.LAMBDA, R - glv.LAMBDA] + [
+            rng.randrange(R) for _ in range(64)
+        ]:
+            k1, k2 = glv.decompose(k)
+            assert (k1 + k2 * glv.LAMBDA) % R == k % R
+            assert abs(k1).bit_length() <= glv.HALF_BITS
+            assert abs(k2).bit_length() <= glv.HALF_BITS
+
+    def test_glv_mul_equals_double_and_add(self, chaos_seed):
+        rng = _rng(chaos_seed, "glv-mul")
+        for _ in range(12):
+            p = (G1.generator() * rng.randrange(1, R)).to_jacobian()
+            k = rng.choice([0, 1, R - 1, glv.LAMBDA, rng.randrange(R)])
+            assert jac_to_affine(glv.glv_jac_mul(p, k)) == jac_to_affine(jac_mul(p, k))
+
+    def test_g1_mul_identical_across_substrate_modes(self, chaos_seed):
+        rng = _rng(chaos_seed, "glv-g1")
+        p = G1.generator() * rng.randrange(1, R)
+        for _ in range(6):
+            k = rng.randrange(R)
+            with substrate.use_mode("reference"):
+                ref = p * k
+            assert (p * k).to_bytes() == ref.to_bytes()
+
+    def test_fast_ntt_butterflies_bit_identical(self, chaos_seed):
+        rng = _rng(chaos_seed, "ntt-lazy")
+        for _ in range(4):
+            n = 1 << rng.randint(1, 10)
+            dom = Domain.get(n)
+            values = [rng.randrange(R) for _ in range(n)]
+            ref = list(values)
+            fast = list(values)
+            _ntt_in_place_ref(ref, dom._twiddles)
+            _ntt_in_place_fast(fast, dom._twiddles)
+            assert fast == ref
+
+    def test_ntt_over_vector_equals_ntt_over_list(self, chaos_seed):
+        rng = _rng(chaos_seed, "ntt-vec")
+        n = 1 << rng.randint(2, 9)
+        dom = Domain.get(n)
+        coeffs = [rng.randrange(R) for _ in range(n)]
+        vec = ScalarVector.from_list(coeffs)
+        assert dom.fft(vec) == dom.fft(list(coeffs))
+        assert dom.ifft(ScalarVector.from_list(coeffs)) == dom.ifft(list(coeffs))
+        assert dom.coset_fft(vec) == dom.coset_fft(list(coeffs))
+        assert vec.to_list() == coeffs  # boundary round-trip is lossless
+
+    def test_scalar_vector_roundtrip(self, chaos_seed):
+        rng = _rng(chaos_seed, "frvec")
+        values = [rng.randrange(R) for _ in range(rng.randint(1, 200))]
+        vec = ScalarVector.from_list(values)
+        assert list(vec) == values
+        assert ScalarVector.from_buffer(vec.tobytes()).to_list() == values
+        assert vec == values
+
+    def test_shared_memory_msm_equals_pickle_path(self, chaos_seed):
+        rng = _rng(chaos_seed, "shm-msm")
+        n = rng.randint(130, 200)
+        points = [G1.generator() * rng.randrange(1, R) for _ in range(n)]
+        scalars = [rng.choice([0, 1, R - 1, rng.randrange(R)]) for _ in range(n)]
+        shm_engine = ParallelEngine(workers=2, min_msm_points=1, use_shm=True)
+        pkl_engine = ParallelEngine(workers=2, min_msm_points=1, use_shm=False)
+        try:
+            got_shm = shm_engine.msm_g1(points, scalars)
+            got_pkl = pkl_engine.msm_g1(points, scalars)
+            assert got_shm.to_bytes() == got_pkl.to_bytes()
+        finally:
+            shm_engine.close()
+            pkl_engine.close()
+
+    def test_shared_memory_ntt_and_inverse_equal_pickle_path(self, chaos_seed):
+        rng = _rng(chaos_seed, "shm-ntt")
+        jobs = []
+        for _ in range(3):
+            n = 1 << rng.randint(4, 9)
+            coeffs = [rng.randrange(R) for _ in range(n)]
+            jobs.append(("fft", n, coeffs, 0))
+            jobs.append(("coset_ifft", n, coeffs, COSET_SHIFT))
+        values = [rng.randrange(1, R) for _ in range(300)]
+        shm_engine = ParallelEngine(
+            workers=2, min_ntt_jobs=1, min_ntt_size=1, min_inverse_size=1, use_shm=True
+        )
+        pkl_engine = ParallelEngine(
+            workers=2, min_ntt_jobs=1, min_ntt_size=1, min_inverse_size=1, use_shm=False
+        )
+        try:
+            assert shm_engine.ntt_batch(list(jobs)) == pkl_engine.ntt_batch(list(jobs))
+            assert shm_engine.batch_inverse(values) == pkl_engine.batch_inverse(values)
+        finally:
+            shm_engine.close()
+            pkl_engine.close()
+
+    def test_msm_srs_and_fixed_table_kernels_match_msm_jac(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "srs-msm")
+
+        class _FakeSRS:
+            def __init__(self, points):
+                self.g1_powers = points
+
+        n = rng.randint(140, 180)
+        powers = [G1.generator() * rng.randrange(1, R) for _ in range(n)]
+        srs = _FakeSRS(powers)
+        coeffs = [rng.randrange(R) for _ in range(rng.randint(100, n))]
+        expected = serial.msm_jac(
+            [p.to_jacobian() for p in powers[: len(coeffs)]], coeffs
+        )
+        for eng in (serial, parallel):
+            got = eng.msm_srs(srs, coeffs)
+            assert jac_to_affine(got) == jac_to_affine(expected)
+            table = tuple(powers)
+            got_fixed = eng.msm_g1_fixed(table, coeffs)
+            assert got_fixed.to_bytes() == G1.from_jacobian(expected).to_bytes()
+
+    def test_full_engines_identical_under_both_substrate_modes(self, engines, chaos_seed):
+        serial, parallel = engines
+        rng = _rng(chaos_seed, "modes")
+        n = rng.randint(130, 170)
+        points = [G1.generator() * rng.randrange(1, R) for _ in range(n)]
+        scalars = [rng.randrange(R) for _ in range(n)]
+        jobs = [("coset_fft", 64, [rng.randrange(R) for _ in range(64)], COSET_SHIFT)]
+        with substrate.use_mode("reference"):
+            ref_msm = serial.msm_g1(points, scalars)
+            ref_ntt = serial.ntt_batch(list(jobs))
+        for eng in (serial, parallel):
+            assert eng.msm_g1(points, scalars).to_bytes() == ref_msm.to_bytes()
+            assert eng.ntt_batch(list(jobs)) == ref_ntt
 
 
 @pytest.mark.slow
