@@ -25,6 +25,7 @@ import pytest
 
 from repro import telemetry
 from repro.core.snark import SnarkContext
+from repro.telemetry import ledger as _ledger
 
 #: Bump when the BENCH json payload shape changes incompatibly.
 BENCH_SCHEMA_VERSION = 2
@@ -87,6 +88,27 @@ def _emit_json(title: str, headers: list, rows: list) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=str)
         fh.write("\n")
+    # With REPRO_LEDGER set, every emitted table also lands in the run
+    # ledger (the CI perf gate diffs that record against the committed
+    # baseline with `python -m repro.telemetry diff --check`).
+    ledger_path = _ledger.default_path()
+    if ledger_path is not None:
+        metrics = (
+            _ledger.diff_snapshots({}, telemetry.snapshot())
+            if telemetry.metrics_enabled()
+            else {"counters": {}, "histograms": {}}
+        )
+        _ledger.writer(ledger_path).append(
+            {
+                "name": "bench.%s" % _slugify(title),
+                "attrs": {"headers": payload["headers"], "rows": payload["rows"]},
+                "env": _ledger.environment(),
+                "metrics": metrics,
+                "cache_hit_rates": _ledger.cache_hit_rates(metrics["counters"]),
+                "faults": [],
+                "spans": [],
+            }
+        )
 
 
 def print_table(title: str, headers: list, rows: list) -> None:

@@ -1,25 +1,42 @@
-"""A fully traced key-secure exchange: spans, gas attributes, kernel counters.
+"""A fully traced key-secure exchange: spans, kernel counters, run ledger.
 
 Runs the publish -> sell pipeline with the telemetry layer at trace
-level and then shows the three things it produces:
+level and then shows the four things it produces:
 
 1. the span tree of the exchange — every protocol step (prove, verify,
    commit, reveal, settle) with the matching transaction's gas and
    emitted events attached as attributes;
 2. the prover's own span tree — the five Plonk rounds with wall-clock;
 3. the kernel counters — NTT/MSM calls and the engine-cache hit/miss
-   accounting (warm proofs show the 9 cached coset FFTs directly).
+   accounting (warm proofs show the 9 cached coset FFTs directly);
+4. the run ledger — the durable JSONL record the exchange appended, and
+   the `python -m repro.telemetry report` rendered from it.
 
 Run:  python examples/traced_exchange.py        (~2 minutes, real proofs)
-Tip:  REPRO_TELEMETRY_FILE=trace.jsonl python examples/traced_exchange.py
-      additionally appends every span as one JSON line for tooling.
+Tip:  REPRO_TELEMETRY=profile REPRO_BACKEND=parallel REPRO_WORKERS=2 \
+          python examples/traced_exchange.py
+      additionally reconstructs worker.task child spans inside every
+      parallel dispatch and attributes queue-wait/shm-attach/compute
+      time per worker in the report.
 """
 
+import os
+import tempfile
+
 from repro import SnarkContext, ZKDETMarketplace, telemetry
+from repro.telemetry import cli as telemetry_cli
+from repro.telemetry import ledger
 
 
 def main():
-    telemetry.set_level("trace")
+    # REPRO_TELEMETRY is honoured if it asks for trace or profile;
+    # anything lower is raised to trace so the span trees below exist.
+    if telemetry.level() < telemetry.TRACE:
+        telemetry.set_level("trace")
+    ledger_path = ledger.default_path()
+    if ledger_path is None:
+        ledger_path = os.path.join(tempfile.mkdtemp(prefix="repro-"), "runs.jsonl")
+        os.environ[ledger.ENV_VAR] = ledger_path
 
     print("[setup] universal SRS ceremony + marketplace deployment...")
     snark = SnarkContext.with_fresh_srs(8208)
@@ -63,6 +80,20 @@ def main():
     print()
     print("mint gas: %d; exchange gas total: %d; events on mint: %s"
           % (mint_gas, result.gas_used, publish.find("publish.mint").attrs["tx.events"]))
+
+    # The exchange appended one durable record per run; render it the
+    # way the CI perf job does.
+    records = ledger.read(ledger_path)
+    print()
+    print("=" * 70)
+    print("Run ledger (%s): %d record(s)" % (ledger_path, len(records)))
+    print("=" * 70)
+    telemetry_cli.main(["report", ledger_path])
+    print()
+    print("flame input (`python -m repro.telemetry flame %s`):" % ledger_path)
+    for line in list(telemetry_cli.collapsed_stacks(records))[:5]:
+        print("  " + line)
+    print("  ...")
     print("Done.")
 
 

@@ -149,6 +149,9 @@ class AnalysisConfig:
     )
     #: Engine modules whose public kernels must record telemetry.
     backend_scopes: tuple[str, ...] = ("backend/",)
+    #: Call leaf-names that count as *timing* a kernel (the duration half
+    #: of the count-and-time contract; see ``telemetry.kernel_timer``).
+    kernel_timer_calls: frozenset[str] = frozenset({"kernel_timer"})
     #: The public kernel surface of :class:`repro.backend.engine.Engine`.
     kernel_methods: frozenset[str] = frozenset(
         {

@@ -9,11 +9,14 @@ Two invariants from the compute-backend architecture (PR 1-3):
   Jacobian views, coset-eval memo, prepared-G2 LRU) *and* the telemetry
   counters, so the parallel backend silently stops applying and the
   metrics lie.  Pure constants (``COSET_SHIFT``) are exempt.
-- **Every engine kernel records telemetry.**  Each public kernel method
-  on an :class:`repro.backend.engine.Engine` subclass must contain a
-  counter/histogram recording call (``_tel.counter``, ``_record_*``, ...)
-  — the cache-accounting tests treat those counters as the source of
-  truth, and a kernel that forgets to record undercounts every backend.
+- **Every engine kernel counts AND times.**  Each public kernel method
+  on an :class:`repro.backend.engine.Engine` subclass must contain both
+  a counter/histogram recording call (``_tel.counter``, ``_record_*``,
+  ...) *and* a ``telemetry.kernel_timer`` call — the cache-accounting
+  tests treat the counters as the source of truth, and the telemetry
+  CLI's hot-kernel table ranks kernels by the timer's
+  ``engine.kernel.seconds`` histogram; a kernel that forgets either
+  undercounts (or un-times) every backend.
 - **The contiguous data plane is engine-internal** (PR 6).  Protocol
   layers (``kzg/``, ``plonk/``, ``groth16/``, ``core/``) must not import
   the packed-representation internals (``repro.field.frvec``,
@@ -116,7 +119,13 @@ class KernelRouting(Rule):
 
     # ----- backend side ---------------------------------------------------
 
-    def _records_telemetry(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    def _kernel_accounting(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        config: "AnalysisConfig",
+    ) -> tuple[bool, bool]:
+        """``(counts, times)`` — which halves of the contract the body has."""
+        counts = times = False
         for node in ast.walk(func):
             if not isinstance(node, ast.Call):
                 continue
@@ -124,11 +133,15 @@ class KernelRouting(Rule):
             if callee is None:
                 continue
             leaf = callee.split(".")[-1]
-            if leaf in _RECORD_ATTRS and "." in callee:
-                return True
-            if leaf.startswith(_RECORD_PREFIX):
-                return True
-        return False
+            if (leaf in _RECORD_ATTRS and "." in callee) or leaf.startswith(
+                _RECORD_PREFIX
+            ):
+                counts = True
+            if leaf in config.kernel_timer_calls:
+                times = True
+            if counts and times:
+                break
+        return counts, times
 
     def _check_kernel_telemetry(
         self, module: "ModuleInfo", config: "AnalysisConfig"
@@ -141,7 +154,8 @@ class KernelRouting(Rule):
                     continue
                 if item.name not in config.kernel_methods:
                     continue
-                if not self._records_telemetry(item):
+                counts, times = self._kernel_accounting(item, config)
+                if not counts:
                     yield self.finding(
                         module,
                         item.lineno,
@@ -149,5 +163,15 @@ class KernelRouting(Rule):
                         "engine kernel %s.%s records no telemetry counter — "
                         "every public kernel must count its calls so the "
                         "metrics registry stays the source of truth"
+                        % (node.name, item.name),
+                    )
+                if not times:
+                    yield self.finding(
+                        module,
+                        item.lineno,
+                        item.col_offset,
+                        "engine kernel %s.%s never times itself — every public "
+                        "kernel must wrap its dispatch in telemetry.kernel_timer "
+                        "so the hot-kernel report can rank kernels by wall-clock"
                         % (node.name, item.name),
                     )

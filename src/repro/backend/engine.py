@@ -26,8 +26,11 @@ The base class implements every kernel serially; subclasses override the
 internal batch entry points (:meth:`_ntt_batch`, :meth:`_msm_jac`, ...)
 to change the execution strategy — the public methods are thin dispatch
 wrappers that record telemetry (call counts, input sizes, cache hit/miss
-outcomes) when ``REPRO_TELEMETRY`` enables it, so every backend reports
-identical metrics for identical work.  See
+outcomes, and wall-clock via ``telemetry.kernel_timer``) when
+``REPRO_TELEMETRY`` enables it, so every backend reports identical
+counter metrics for identical work.  The count-AND-time pairing is the
+ENG-001 lint contract: a kernel wrapper that counts but never times (or
+vice versa) is a finding.  See
 :class:`repro.backend.parallel.ParallelEngine` for the multiprocessing
 implementation.
 """
@@ -193,27 +196,35 @@ class Engine:
 
     def ntt(self, coeffs: list[int], n: int) -> list[int]:
         """Evaluate ``coeffs`` over the size-``n`` domain."""
-        if _tel.metrics_enabled():
-            _record_ntt("fft", n)
-        return Domain.get(n).fft(coeffs)
+        if not _tel.metrics_enabled():
+            return Domain.get(n).fft(coeffs)
+        _record_ntt("fft", n)
+        with _tel.kernel_timer("ntt"):
+            return Domain.get(n).fft(coeffs)
 
     def intt(self, evals: list[int]) -> list[int]:
         """Interpolate coefficients from evaluations (n = len(evals))."""
-        if _tel.metrics_enabled():
-            _record_ntt("ifft", len(evals))
-        return Domain.get(len(evals)).ifft(evals)
+        if not _tel.metrics_enabled():
+            return Domain.get(len(evals)).ifft(evals)
+        _record_ntt("ifft", len(evals))
+        with _tel.kernel_timer("intt"):
+            return Domain.get(len(evals)).ifft(evals)
 
     def coset_ntt(self, coeffs: list[int], n: int, shift: int = COSET_SHIFT) -> list[int]:
         """Evaluate ``coeffs`` over the coset ``shift * H`` of size ``n``."""
-        if _tel.metrics_enabled():
-            _record_ntt("coset_fft", n)
-        return Domain.get(n).coset_fft(coeffs, shift)
+        if not _tel.metrics_enabled():
+            return Domain.get(n).coset_fft(coeffs, shift)
+        _record_ntt("coset_fft", n)
+        with _tel.kernel_timer("coset_ntt"):
+            return Domain.get(n).coset_fft(coeffs, shift)
 
     def coset_intt(self, evals: list[int], shift: int = COSET_SHIFT) -> list[int]:
         """Interpolate from coset evaluations (n = len(evals))."""
-        if _tel.metrics_enabled():
-            _record_ntt("coset_ifft", len(evals))
-        return Domain.get(len(evals)).coset_ifft(evals, shift)
+        if not _tel.metrics_enabled():
+            return Domain.get(len(evals)).coset_ifft(evals, shift)
+        _record_ntt("coset_ifft", len(evals))
+        with _tel.kernel_timer("coset_intt"):
+            return Domain.get(len(evals)).coset_ifft(evals, shift)
 
     def ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
         """Run many independent NTT jobs ``(kind, n, values, shift)``.
@@ -224,10 +235,12 @@ class Engine:
         metric totals are identical whether the transforms then run
         in-process or on pool workers.
         """
-        if _tel.metrics_enabled():
-            for kind, n, _, _ in jobs:
-                _record_ntt(kind, n)
-        return self._ntt_batch(jobs)
+        if not _tel.metrics_enabled():
+            return self._ntt_batch(jobs)
+        for kind, n, _, _ in jobs:
+            _record_ntt(kind, n)
+        with _tel.kernel_timer("ntt_batch"):
+            return self._ntt_batch(jobs)
 
     def _ntt_batch(self, jobs: list[tuple]) -> list[list[int]]:
         return [apply_ntt_job(job) for job in jobs]
@@ -301,20 +314,24 @@ class Engine:
 
     def msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         """MSM over G1 Jacobian tuples; returns a Jacobian tuple."""
-        if _tel.metrics_enabled():
-            _tel.counter("engine.msm.calls", group="g1").inc()
-            _tel.histogram("engine.msm.points", group="g1").observe(len(points))
-        return self._msm_jac(points, scalars)
+        if not _tel.metrics_enabled():
+            return self._msm_jac(points, scalars)
+        _tel.counter("engine.msm.calls", group="g1").inc()
+        _tel.histogram("engine.msm.points", group="g1").observe(len(points))
+        with _tel.kernel_timer("msm_jac"):
+            return self._msm_jac(points, scalars)
 
     def _msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         return msm_jacobian(points, scalars)
 
     def msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         """MSM over G2 Jacobian tuples; returns a Jacobian tuple."""
-        if _tel.metrics_enabled():
-            _tel.counter("engine.msm.calls", group="g2").inc()
-            _tel.histogram("engine.msm.points", group="g2").observe(len(points))
-        return self._msm_jac_g2(points, scalars)
+        if not _tel.metrics_enabled():
+            return self._msm_jac_g2(points, scalars)
+        _tel.counter("engine.msm.calls", group="g2").inc()
+        _tel.histogram("engine.msm.points", group="g2").observe(len(points))
+        with _tel.kernel_timer("msm_jac_g2"):
+            return self._msm_jac_g2(points, scalars)
 
     def _msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         return msm_g2_jacobian(points, scalars)
@@ -338,10 +355,12 @@ class Engine:
         shared-memory image of the SRS keyed by the same identity, which
         makes the per-call worker payload just the scalars.
         """
-        if _tel.metrics_enabled():
-            _tel.counter("engine.msm.calls", group="g1").inc()
-            _tel.histogram("engine.msm.points", group="g1").observe(len(scalars))
-        return self._msm_srs(srs, [int(s) for s in scalars])
+        if not _tel.metrics_enabled():
+            return self._msm_srs(srs, [int(s) for s in scalars])
+        _tel.counter("engine.msm.calls", group="g1").inc()
+        _tel.histogram("engine.msm.points", group="g1").observe(len(scalars))
+        with _tel.kernel_timer("msm_srs"):
+            return self._msm_srs(srs, [int(s) for s in scalars])
 
     def _msm_srs(self, srs: Any, scalars: list[int]) -> tuple:
         points = self.srs_g1_jacobian(srs)
@@ -413,15 +432,17 @@ class Engine:
         shared-memory backends pin the packed image, so warm proofs ship
         no points at all.
         """
-        if _tel.metrics_enabled():
-            _tel.counter("engine.msm.calls", group="g1").inc()
-            _tel.histogram("engine.msm.points", group="g1").observe(len(scalars))
         if len(scalars) > len(points):
             raise BackendError(
                 "msm_g1_fixed: %d scalars but table has %d points"
                 % (len(scalars), len(points))
             )
-        return G1.from_jacobian(self._msm_g1_fixed(points, [int(s) for s in scalars]))
+        if not _tel.metrics_enabled():
+            return G1.from_jacobian(self._msm_g1_fixed(points, [int(s) for s in scalars]))
+        _tel.counter("engine.msm.calls", group="g1").inc()
+        _tel.histogram("engine.msm.points", group="g1").observe(len(scalars))
+        with _tel.kernel_timer("msm_g1_fixed"):
+            return G1.from_jacobian(self._msm_g1_fixed(points, [int(s) for s in scalars]))
 
     def _msm_g1_fixed(self, points: Any, scalars: list[int]) -> tuple:
         jac = self._fixed_jacobian(points)
@@ -463,14 +484,18 @@ class Engine:
         Callers doing many multiples of the same base should use this and
         batch-convert to affine at the end.
         """
-        if _tel.metrics_enabled():
-            _tel.counter(
-                "engine.fixed_base.calls", group="g1" if isinstance(base, G1) else "g2"
-            ).inc()
         k = int(scalar) % _R
-        if k == 0 or getattr(base, "inf", False):
-            return JAC_INF if isinstance(base, G1) else JAC2_INF
-        return self._fb_table(base).mul(k)
+        if not _tel.metrics_enabled():
+            if k == 0 or getattr(base, "inf", False):
+                return JAC_INF if isinstance(base, G1) else JAC2_INF
+            return self._fb_table(base).mul(k)
+        _tel.counter(
+            "engine.fixed_base.calls", group="g1" if isinstance(base, G1) else "g2"
+        ).inc()
+        with _tel.kernel_timer("fixed_base_mul_jac"):
+            if k == 0 or getattr(base, "inf", False):
+                return JAC_INF if isinstance(base, G1) else JAC2_INF
+            return self._fb_table(base).mul(k)
 
     def fixed_base_mul(self, base: "G1 | G2", scalar: int) -> "G1 | G2":
         """``scalar * base`` for a repeated base point (G1 or G2)."""
@@ -515,10 +540,13 @@ class Engine:
         boolean product checks prefer :meth:`pairing_check`, which
         shares one final exponentiation across all pairs.
         """
-        if _tel.metrics_enabled():
-            _tel.counter("engine.pairing.calls", kind="single").inc()
+        if not _tel.metrics_enabled():
+            prep = q_pt if isinstance(q_pt, PreparedG2) else self.prepared_g2(q_pt)
+            return self._pairing(p_pt, prep)
+        _tel.counter("engine.pairing.calls", kind="single").inc()
         prep = q_pt if isinstance(q_pt, PreparedG2) else self.prepared_g2(q_pt)
-        return self._pairing(p_pt, prep)
+        with _tel.kernel_timer("pairing"):
+            return self._pairing(p_pt, prep)
 
     def _pairing(self, p_pt: G1, prep: PreparedG2) -> tuple:
         return _final_exponentiation(_miller_loop_prepared(prep, p_pt))
@@ -533,14 +561,16 @@ class Engine:
         precomputed GT constant (e.g. Groth16's e(alpha, beta)) instead
         of folding it into the product.
         """
-        if _tel.metrics_enabled():
-            _tel.counter("engine.pairing.calls").inc()
-            _tel.histogram("engine.pairing.pairs").observe(len(pairs))
         prepared = [
             (p, q if isinstance(q, PreparedG2) else self.prepared_g2(q))
             for p, q in pairs
         ]
-        return self._pairing_check(prepared, target)
+        if not _tel.metrics_enabled():
+            return self._pairing_check(prepared, target)
+        _tel.counter("engine.pairing.calls").inc()
+        _tel.histogram("engine.pairing.pairs").observe(len(pairs))
+        with _tel.kernel_timer("pairing_check"):
+            return self._pairing_check(prepared, target)
 
     def _pairing_check(self, pairs: list, target: tuple | None) -> bool:
         if target is None:
@@ -551,10 +581,12 @@ class Engine:
 
     def batch_inverse(self, values: list[int]) -> list[int]:
         """Invert many scalar-field elements (Montgomery's trick)."""
-        if _tel.metrics_enabled():
-            _tel.counter("engine.batch_inverse.calls").inc()
-            _tel.histogram("engine.batch_inverse.size").observe(len(values))
-        return self._batch_inverse(values)
+        if not _tel.metrics_enabled():
+            return self._batch_inverse(values)
+        _tel.counter("engine.batch_inverse.calls").inc()
+        _tel.histogram("engine.batch_inverse.size").observe(len(values))
+        with _tel.kernel_timer("batch_inverse"):
+            return self._batch_inverse(values)
 
     def _batch_inverse(self, values: list[int]) -> list[int]:
         return _fr_batch_inverse(values)

@@ -40,13 +40,20 @@ paths.
 
 The overrides are the internal ``_ntt_batch`` / ``_msm_jac`` /
 ``_msm_srs`` / ``_msm_g1_fixed`` / ``_msm_jac_g2`` / ``_batch_inverse``
-dispatch targets — telemetry is recorded by the public wrappers in the
-base class, in this (parent) process, so a parallel run reports exactly
-the same kernel metrics as a serial run of the same workload.  (Worker-
-local state such as the per-process NTT-plan cache is invisible to the
-parent's counters.)  Every worker task carries the parent's substrate
-mode: workers are forked, so a runtime mode flip in the parent would
-otherwise leave them on the import-time mode.
+dispatch targets.  The ``engine.*`` kernel metrics are recorded by the
+public wrappers in the base class, in this (parent) process, so a
+parallel run reports exactly the same ``engine.*`` counters as a serial
+run of the same workload.  On top of that, every fan-out goes through
+:func:`repro.telemetry.workers.dispatch`: at ``REPRO_TELEMETRY=profile``
+each task payload carries a trace context, workers time their
+queue-wait / shm-attach / compute phases and count the kernels they ran,
+and the parent merges the piggybacked stats back as ``worker.*`` metrics
+and ``worker.task`` child spans of the ``engine.dispatch`` span — so the
+pool is no longer a telemetry black box.  (The ``worker.*`` namespace is
+separate from ``engine.*`` precisely so the serial/parallel counter
+parity above stays bit-exact.)  Every worker task carries the parent's
+substrate mode: workers are forked, so a runtime mode flip in the parent
+would otherwise leave them on the import-time mode.
 """
 
 from __future__ import annotations
@@ -64,58 +71,105 @@ from repro.curve.msm import msm_g2_jacobian, msm_jacobian
 from repro.errors import BackendError, FieldError
 from repro.field.fr import MODULUS as _R, batch_inverse as _fr_batch_inverse
 from repro.field.frvec import pack_scalars, unpack_scalars
+from repro.telemetry import workers as _workers
 
 _CELL = 32  # packed scalar cell size, bytes
 
+# Every worker function takes ``(ctx, ...)`` — the first element is the
+# dispatch trace context (``None`` below profile level) prepended by
+# ``Dispatch.tag`` — and returns ``(result, stats-blob-or-None)`` so the
+# parent's ``Dispatch.collect`` can merge worker-side telemetry.
+
 
 def _msm_chunk_g1(args: tuple) -> tuple:
-    mode, points, scalars = args
+    ctx, mode, points, scalars = args
+    rec = _workers.task_begin(ctx)
     substrate.set_mode(mode)
-    return msm_jacobian(points, scalars)
+    rec.set_size(len(points))
+    rec.count("msm_g1")
+    with rec.timer("compute"):
+        out = msm_jacobian(points, scalars)
+    return out, rec.blob()
 
 
 def _msm_chunk_g2(args: tuple) -> tuple:
-    mode, points, scalars = args
+    ctx, mode, points, scalars = args
+    rec = _workers.task_begin(ctx)
     substrate.set_mode(mode)
-    return msm_g2_jacobian(points, scalars)
+    rec.set_size(len(points))
+    rec.count("msm_g2")
+    with rec.timer("compute"):
+        out = msm_g2_jacobian(points, scalars)
+    return out, rec.blob()
 
 
-def _batch_inverse_chunk(values: list[int]) -> list[int]:
-    return _fr_batch_inverse(values)
+def _batch_inverse_chunk(args: tuple) -> tuple:
+    ctx, values = args
+    rec = _workers.task_begin(ctx)
+    rec.set_size(len(values))
+    rec.count("inverse")
+    with rec.timer("compute"):
+        out = _fr_batch_inverse(values)
+    return out, rec.blob()
 
 
-def _ntt_job_with_mode(args: tuple) -> list[int]:
-    mode, job = args
+def _ntt_job_with_mode(args: tuple) -> tuple:
+    ctx, mode, job = args
+    rec = _workers.task_begin(ctx)
     substrate.set_mode(mode)
-    return apply_ntt_job(job)
+    rec.set_size(job[1])
+    rec.count(job[0])
+    with rec.timer("compute"):
+        out = apply_ntt_job(job)
+    return out, rec.blob()
 
 
 def _msm_shm_chunk(args: tuple) -> tuple:
     """Worker: MSM over a slice of packed shared-memory segments."""
-    mode, pts_name, scal_name, start, count = args
+    ctx, mode, pts_name, scal_name, start, count = args
+    rec = _workers.task_begin(ctx)
     substrate.set_mode(mode)
-    points = _shm.unpack_points(_shm.attach_segment(pts_name).buf, start, count)
-    scalars = unpack_scalars(_shm.attach_segment(scal_name).buf, start, count)
-    return msm_jacobian(points, scalars)
+    with rec.timer("shm_attach"):
+        points = _shm.unpack_points(_shm.attach_segment(pts_name).buf, start, count)
+        scalars = unpack_scalars(_shm.attach_segment(scal_name).buf, start, count)
+    rec.set_size(count)
+    rec.count("msm_g1")
+    with rec.timer("compute"):
+        out = msm_jacobian(points, scalars)
+    return out, rec.blob()
 
 
-def _ntt_shm_job(args: tuple) -> None:
+def _ntt_shm_job(args: tuple) -> tuple:
     """Worker: one NTT over packed cells; result written back to shm."""
-    mode, in_name, out_name, kind, n, in_start, in_count, out_start, shift = args
+    ctx, mode, in_name, out_name, kind, n, in_start, in_count, out_start, shift = args
+    rec = _workers.task_begin(ctx)
     substrate.set_mode(mode)
-    values = unpack_scalars(_shm.attach_segment(in_name).buf, in_start, in_count)
-    out = apply_ntt_job((kind, n, values, shift))
-    buf = _shm.attach_segment(out_name).buf
-    buf[out_start * _CELL : (out_start + len(out)) * _CELL] = pack_scalars(out)
+    with rec.timer("shm_attach"):
+        values = unpack_scalars(_shm.attach_segment(in_name).buf, in_start, in_count)
+    rec.set_size(n)
+    rec.count(kind)
+    with rec.timer("compute"):
+        out = apply_ntt_job((kind, n, values, shift))
+    with rec.timer("shm_attach"):
+        buf = _shm.attach_segment(out_name).buf
+        buf[out_start * _CELL : (out_start + len(out)) * _CELL] = pack_scalars(out)
+    return None, rec.blob()
 
 
-def _inverse_shm_chunk(args: tuple) -> None:
+def _inverse_shm_chunk(args: tuple) -> tuple:
     """Worker: Montgomery-chain inversion of a shm slice, written back."""
-    in_name, out_name, start, count = args
-    values = unpack_scalars(_shm.attach_segment(in_name).buf, start, count)
-    out = _fr_batch_inverse(values)
-    buf = _shm.attach_segment(out_name).buf
-    buf[start * _CELL : (start + count) * _CELL] = pack_scalars(out)
+    ctx, in_name, out_name, start, count = args
+    rec = _workers.task_begin(ctx)
+    with rec.timer("shm_attach"):
+        values = unpack_scalars(_shm.attach_segment(in_name).buf, start, count)
+    rec.set_size(count)
+    rec.count("inverse")
+    with rec.timer("compute"):
+        out = _fr_batch_inverse(values)
+    with rec.timer("shm_attach"):
+        buf = _shm.attach_segment(out_name).buf
+        buf[start * _CELL : (start + count) * _CELL] = pack_scalars(out)
+    return None, rec.blob()
 
 
 def _chunk(seq: list, pieces: int) -> list[list]:
@@ -221,25 +275,33 @@ class ParallelEngine(Engine):
         except Exception:
             pass
 
-    def _run_tasks(self, func, tasks: list) -> list:
-        """``pool.map`` with a watchdog: a crashed/wedged worker surfaces
-        as a :class:`BackendError` (after pool teardown) instead of a
-        hang, so callers' ``finally`` blocks can release segments."""
-        pool = self._get_pool()
-        if self.task_timeout is None:
-            return pool.map(func, tasks)
-        result = pool.map_async(func, tasks)
-        try:
-            return result.get(self.task_timeout)
-        except multiprocessing.TimeoutError:
-            self._discard_pool(blocking=False)
-            for owner_id in list(self._point_segs):
-                _, seg = self._point_segs.pop(owner_id)
-                _shm.release_segment(seg)
-            raise BackendError(
-                "parallel kernel timed out after %.1fs (worker crash?)"
-                % self.task_timeout
-            ) from None
+    def _run_tasks(self, func, tasks: list, kernel: str) -> list:
+        """``pool.map`` with a watchdog and telemetry dispatch wrapping.
+
+        A crashed/wedged worker surfaces as a :class:`BackendError`
+        (after pool teardown) instead of a hang, so callers' ``finally``
+        blocks can release segments.  The dispatch context tags every
+        task payload with the trace context (profile level) and merges
+        the workers' piggybacked stats blobs on the way out; below
+        profile it only strips the uniform ``(result, None)`` wrapping.
+        """
+        with _workers.dispatch(kernel, len(tasks)) as dsp:
+            tagged = dsp.tag(tasks)
+            pool = self._get_pool()
+            if self.task_timeout is None:
+                return dsp.collect(pool.map(func, tagged))
+            result = pool.map_async(func, tagged)
+            try:
+                return dsp.collect(result.get(self.task_timeout))
+            except multiprocessing.TimeoutError:
+                self._discard_pool(blocking=False)
+                for owner_id in list(self._point_segs):
+                    _, seg = self._point_segs.pop(owner_id)
+                    _shm.release_segment(seg)
+                raise BackendError(
+                    "parallel kernel timed out after %.1fs (worker crash?)"
+                    % self.task_timeout
+                ) from None
 
     # ----------------------------------------------------- shm MSM plumbing
 
@@ -262,7 +324,9 @@ class ParallelEngine(Engine):
         self._point_segs[key] = (owner, seg)
         return seg
 
-    def _msm_shm_sharded(self, pts_name: str, scalars: list[int]) -> tuple:
+    def _msm_shm_sharded(
+        self, pts_name: str, scalars: list[int], kernel: str = "msm_g1"
+    ) -> tuple:
         """Fan an MSM out over shm slices; scalars go in a scratch segment."""
         n = len(scalars)
         packed = pack_scalars(scalars)
@@ -274,7 +338,7 @@ class ParallelEngine(Engine):
                 (mode, pts_name, scal_seg.name, start, count)
                 for start, count in _spans(n, self.workers)
             ]
-            partials = self._run_tasks(_msm_shm_chunk, tasks)
+            partials = self._run_tasks(_msm_shm_chunk, tasks, kernel)
         finally:
             _shm.release_segment(scal_seg)
         result = partials[0]
@@ -293,7 +357,9 @@ class ParallelEngine(Engine):
             return [apply_ntt_job(job) for job in jobs]
         if not self._shm_enabled():
             mode = substrate.mode()
-            return self._run_tasks(_ntt_job_with_mode, [(mode, job) for job in jobs])
+            return self._run_tasks(
+                _ntt_job_with_mode, [(mode, job) for job in jobs], "ntt"
+            )
         # Concatenate every job's input cells into one segment; workers
         # write transforms into a second segment at per-job offsets.
         in_cells = sum(len(job[2]) for job in jobs)
@@ -324,7 +390,7 @@ class ParallelEngine(Engine):
                 )
                 in_start += len(values)
                 out_start += n
-            self._run_tasks(_ntt_shm_job, tasks)
+            self._run_tasks(_ntt_shm_job, tasks, "ntt")
             out = []
             start = 0
             for _, n, _, _ in jobs:
@@ -347,7 +413,7 @@ class ParallelEngine(Engine):
                     _chunk(list(scalars), self.workers),
                 )
             ]
-            partials = self._run_tasks(_msm_chunk_g1, chunks)
+            partials = self._run_tasks(_msm_chunk_g1, chunks, "msm_g1")
             result = partials[0]
             for part in partials[1:]:
                 result = jac_add(result, part)
@@ -381,14 +447,18 @@ class ParallelEngine(Engine):
                 % (len(scalars), len(points))
             )
         seg = self._pinned_point_segment(srs, points)
-        return self._msm_shm_sharded(seg.name, [int(s) % _R for s in scalars])
+        return self._msm_shm_sharded(
+            seg.name, [int(s) % _R for s in scalars], "msm_srs"
+        )
 
     def _msm_g1_fixed(self, points, scalars: list[int]) -> tuple:
         if not (self._shm_enabled() and self._use_pool(len(scalars), self.min_msm_points)):
             return super()._msm_g1_fixed(points, scalars)
         jac = self._fixed_jacobian(points)
         seg = self._pinned_point_segment(points, jac)
-        return self._msm_shm_sharded(seg.name, [int(s) % _R for s in scalars])
+        return self._msm_shm_sharded(
+            seg.name, [int(s) % _R for s in scalars], "msm_g1_fixed"
+        )
 
     def _msm_jac_g2(self, points: list[tuple], scalars: list[int]) -> tuple:
         if not self._use_pool(len(points), self.min_msm_points):
@@ -400,7 +470,7 @@ class ParallelEngine(Engine):
                 _chunk(list(points), self.workers), _chunk(list(scalars), self.workers)
             )
         ]
-        partials = self._run_tasks(_msm_chunk_g2, chunks)
+        partials = self._run_tasks(_msm_chunk_g2, chunks, "msm_g2")
         result = partials[0]
         for part in partials[1:]:
             result = jac2_add(result, part)
@@ -415,8 +485,8 @@ class ParallelEngine(Engine):
             if v % _R == 0:
                 raise FieldError("batch inverse of zero at index %d" % i)
         if not self._shm_enabled():
-            chunks = _chunk(list(values), self.workers)
-            parts = self._run_tasks(_batch_inverse_chunk, chunks)
+            chunks = [(c,) for c in _chunk(list(values), self.workers)]
+            parts = self._run_tasks(_batch_inverse_chunk, chunks, "inverse")
             out: list[int] = []
             for part in parts:
                 out.extend(part)
@@ -431,7 +501,7 @@ class ParallelEngine(Engine):
                 (in_seg.name, out_seg.name, start, count)
                 for start, count in _spans(n, self.workers)
             ]
-            self._run_tasks(_inverse_shm_chunk, tasks)
+            self._run_tasks(_inverse_shm_chunk, tasks, "inverse")
             return unpack_scalars(out_seg.buf, 0, n)
         finally:
             _shm.release_segment(in_seg)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import faults, telemetry
+from repro.telemetry import ledger as _ledger
 from repro.errors import (
     DeadlineExceededError,
     ExchangeAbortedError,
@@ -189,8 +190,12 @@ class KeySecureExchange:
         span with one child per protocol step — prove/verify (phase 1),
         commit (payment lock), prove/reveal (phase 2 key submission) and
         settle — each chain step carrying its transaction's gas and
-        emitted event names as attributes.
+        emitted event names as attributes.  With ``REPRO_LEDGER=<path>``
+        set, each run additionally appends one record to the run ledger:
+        the span tree, the run's metric deltas, cache hit rates and any
+        injected faults (see :mod:`repro.telemetry.ledger`).
         """
+        recorder = _ledger.begin("exchange.keysecure")
         with telemetry.span("exchange.run", price=price) as root:
             result = self._run_steps(
                 seller, buyer, price, predicate, tamper_k_c, tamper_k_v
@@ -201,7 +206,15 @@ class KeySecureExchange:
                 gas_total=result.gas_used,
                 aborted=result.aborted,
             )
-            return result
+        recorder.finish(
+            span=root,
+            success=result.success,
+            reason=result.reason,
+            gas_used=result.gas_used,
+            aborted=result.aborted,
+            price=price,
+        )
+        return result
 
     def _run_steps(
         self, seller, buyer, price, predicate, tamper_k_c, tamper_k_v

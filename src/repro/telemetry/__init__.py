@@ -1,16 +1,22 @@
 """Structured observability for the whole stack — spans, metrics, exporters.
 
 Zero-dependency and **off by default**: the ``REPRO_TELEMETRY``
-environment variable selects one of three levels,
+environment variable selects one of four levels,
 
 - ``off``     — every instrumentation point is a module-level no-op
   fast path (a single integer comparison; budgeted at <2% of proof
   wall-clock, see ``benchmarks/bench_telemetry_overhead.py``);
-- ``metrics`` — counters and histograms record kernel calls, sizes and
-  cache hit/miss outcomes, but no spans are created;
+- ``metrics`` — counters and histograms record kernel calls, sizes,
+  durations and cache hit/miss outcomes, but no spans are created;
 - ``trace``   — metrics plus nested wall-clock spans (prover rounds,
   Groth16 phases, exchange protocol steps) exported to stderr and/or a
-  JSON-lines file.
+  JSON-lines file;
+- ``profile`` — trace plus cross-process worker attribution: the
+  parallel backend ships a trace context with every pool task, workers
+  time their queue-wait/shm-attach/compute phases, and the parent
+  merges the piggybacked stats back as ``worker.*`` metrics and child
+  spans of the dispatching kernel span (see
+  :mod:`repro.telemetry.workers`).
 
 Typical use::
 
@@ -29,6 +35,7 @@ programmatically via :func:`add_exporter`.  See ``docs/observability.md``.
 from __future__ import annotations
 
 import os
+import time
 from contextlib import contextmanager
 from typing import Any, Iterator, Mapping, Union
 
@@ -46,6 +53,8 @@ from repro.telemetry.metrics import (
     Counter,
     Histogram,
     Registry,
+    quantile_from_bucket_dict,
+    quantile_from_buckets,
 )
 from repro.telemetry.spans import (
     NOOP_SPAN,
@@ -59,10 +68,11 @@ from repro.telemetry.spans import (
 )
 
 #: Telemetry levels, ordered.  ``metrics`` implies counters/histograms;
-#: ``trace`` additionally creates spans.
-OFF, METRICS, TRACE = 0, 1, 2
+#: ``trace`` additionally creates spans; ``profile`` additionally ships
+#: trace contexts to pool workers and merges their stats back.
+OFF, METRICS, TRACE, PROFILE = 0, 1, 2, 3
 
-_LEVEL_NAMES = {"off": OFF, "metrics": METRICS, "trace": TRACE}
+_LEVEL_NAMES = {"off": OFF, "metrics": METRICS, "trace": TRACE, "profile": PROFILE}
 
 #: The active level.  Module-level integer so the disabled fast path is
 #: one global load and compare — cheap enough for the hottest kernels.
@@ -73,30 +83,30 @@ _registry = Registry()
 
 def _parse_level(value: Union[int, str]) -> int:
     if isinstance(value, int):
-        if value not in (OFF, METRICS, TRACE):
-            raise ValueError("telemetry level must be 0, 1 or 2, got %r" % value)
+        if value not in (OFF, METRICS, TRACE, PROFILE):
+            raise ValueError("telemetry level must be 0, 1, 2 or 3, got %r" % value)
         return value
     name = str(value).strip().lower()
     if name in _LEVEL_NAMES:
         return _LEVEL_NAMES[name]
-    if name.isdigit() and int(name) in (OFF, METRICS, TRACE):
+    if name.isdigit() and int(name) in (OFF, METRICS, TRACE, PROFILE):
         return int(name)
     raise ValueError(
-        "unknown telemetry level %r (expected off, metrics or trace)" % (value,)
+        "unknown telemetry level %r (expected off, metrics, trace or profile)" % (value,)
     )
 
 
 def level() -> int:
-    """The active level as an integer (OFF / METRICS / TRACE)."""
+    """The active level as an integer (OFF / METRICS / TRACE / PROFILE)."""
     return _level
 
 
 def level_name() -> str:
-    return {OFF: "off", METRICS: "metrics", TRACE: "trace"}[_level]
+    return {OFF: "off", METRICS: "metrics", TRACE: "trace", PROFILE: "profile"}[_level]
 
 
 def set_level(value: Union[int, str]) -> int:
-    """Set the active level ('off' | 'metrics' | 'trace' or 0-2); returns the previous."""
+    """Set the active level ('off' ... 'profile' or 0-3); returns the previous."""
     global _level
     previous = _level
     _level = _parse_level(value)
@@ -119,6 +129,10 @@ def metrics_enabled() -> bool:
 
 def trace_enabled() -> bool:
     return _level >= TRACE
+
+
+def profile_enabled() -> bool:
+    return _level >= PROFILE
 
 
 # ----- instruments --------------------------------------------------------
@@ -159,6 +173,41 @@ def span(name: str, **attrs: Any) -> Union[Span, NoopSpan]:
     return Span(name, attrs)
 
 
+class _KernelTimer:
+    """``with``-scoped duration observation into a latency histogram."""
+
+    __slots__ = ("_hist", "_start")
+
+    def __init__(self, hist: Histogram) -> None:
+        self._hist = hist
+        self._start = 0.0
+
+    def __enter__(self) -> "_KernelTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self._hist.observe(time.perf_counter() - self._start)
+        return False
+
+
+def kernel_timer(kernel: str, **labels: object) -> Union[_KernelTimer, NoopSpan]:
+    """Time one kernel invocation into ``engine.kernel.seconds{kernel=...}``.
+
+    The duration half of the ENG-001 contract: every public engine
+    kernel wrapper both *counts* its call (counter/histogram) and
+    *times* it through this context manager, so the hot-kernel table in
+    ``python -m repro.telemetry report`` can rank kernels by wall-clock
+    and quantiles, not just call counts.  Returns the shared no-op span
+    below metrics level, so the disabled path stays one compare.
+    """
+    if _level < METRICS:
+        return NOOP_SPAN
+    return _KernelTimer(
+        _registry.histogram("engine.kernel.seconds", LATENCY_BUCKETS, kernel=kernel, **labels)
+    )
+
+
 # ----- environment wiring -------------------------------------------------
 
 
@@ -186,6 +235,7 @@ __all__ = [
     "OFF",
     "METRICS",
     "TRACE",
+    "PROFILE",
     "Counter",
     "Histogram",
     "Registry",
@@ -203,9 +253,13 @@ __all__ = [
     "finished_roots",
     "format_span_tree",
     "histogram",
+    "kernel_timer",
     "level",
     "level_name",
     "metrics_enabled",
+    "profile_enabled",
+    "quantile_from_bucket_dict",
+    "quantile_from_buckets",
     "read_spans",
     "registry",
     "remove_exporter",

@@ -1,0 +1,8 @@
+"""``python -m repro.telemetry`` — see :mod:`repro.telemetry.cli`."""
+
+import sys
+
+from repro.telemetry.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

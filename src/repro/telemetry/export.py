@@ -56,6 +56,9 @@ def span_records(root: Span) -> list[dict]:
 
     Ids are depth-first pre-order positions within this tree (the root is
     0), so records are self-contained per tree and stable across runs.
+    ``root`` may itself be an interior span of a larger trace (e.g. an
+    ``exchange.run`` nested under ``marketplace.sell``); parents outside
+    the exported subtree serialise as ``None``.
     """
     ids: dict[int, int] = {}
     records: list[dict] = []
@@ -64,7 +67,7 @@ def span_records(root: Span) -> list[dict]:
         records.append(
             {
                 "id": i,
-                "parent": ids[id(node.parent)] if node.parent is not None else None,
+                "parent": ids.get(id(node.parent)) if node.parent is not None else None,
                 "name": node.name,
                 "start": node.start,
                 "duration": node.duration,

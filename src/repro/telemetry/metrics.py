@@ -14,6 +14,8 @@ no third-party dependencies.
 
 from __future__ import annotations
 
+from typing import Mapping, Sequence
+
 #: Default histogram boundaries for *size-like* quantities (NTT domain
 #: sizes, MSM point counts, inversion batch lengths): powers of two up to
 #: 2**20, matching the radix-2 domains the kernels actually see.
@@ -80,10 +82,27 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the fixed buckets.
+
+        See :func:`quantile_from_buckets` for the estimation contract
+        (linear interpolation inside a bucket, overflow clamped to the
+        last finite bound, 0.0 on an empty histogram).
+        """
+        return quantile_from_buckets(self.bounds, self.bucket_counts, q)
+
     def as_dict(self) -> dict:
         buckets = {("le_%g" % b): c for b, c in zip(self.bounds, self.bucket_counts)}
         buckets["inf"] = self.bucket_counts[-1]
-        return {"count": self.count, "sum": self.total, "buckets": buckets}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
 
     def __repr__(self) -> str:
         return "<Histogram %s count=%d sum=%s>" % (
@@ -91,6 +110,53 @@ class Histogram:
             self.count,
             self.total,
         )
+
+
+def quantile_from_buckets(
+    bounds: Sequence[float], bucket_counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q``-quantile of a fixed-bucket distribution.
+
+    The classic Prometheus-style estimator: find the bucket the rank
+    falls into, then interpolate linearly between the bucket's lower and
+    upper bound (the first bucket's lower bound is 0).  Observations in
+    the overflow bucket are clamped to the last *finite* bound — the
+    histogram records nothing above it, so the estimate is a documented
+    lower bound rather than an invented extrapolation.  An empty
+    histogram estimates 0.0.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+    total = sum(bucket_counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, count in enumerate(bucket_counts):
+        cumulative += count
+        if cumulative >= rank and count:
+            if i >= len(bounds):  # overflow bucket: clamp to the last bound
+                return float(bounds[-1])
+            lower = float(bounds[i - 1]) if i else 0.0
+            upper = float(bounds[i])
+            fraction = (rank - (cumulative - count)) / count
+            return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+    return float(bounds[-1])
+
+
+def quantile_from_bucket_dict(buckets: Mapping[str, int], q: float) -> float:
+    """:func:`quantile_from_buckets` over a serialised ``as_dict`` bucket map.
+
+    Accepts the ``{"le_<bound>": count, ..., "inf": count}`` shape the
+    exporters and the run ledger store, so tooling can recompute
+    quantiles after differencing two snapshots.
+    """
+    bounds = sorted(float(name[3:]) for name in buckets if name.startswith("le_"))
+    counts = [int(buckets["le_%g" % b]) for b in bounds]
+    counts.append(int(buckets.get("inf", 0)))
+    if not bounds:
+        return 0.0
+    return quantile_from_buckets(bounds, counts, q)
 
 
 def format_key(name: str, labels: tuple) -> str:

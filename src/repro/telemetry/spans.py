@@ -3,11 +3,12 @@
 A span is a named ``with`` region; entering pushes it onto a
 ``contextvars`` stack so children attach to the innermost open span no
 matter which thread or task runs them.  The :class:`repro.backend.parallel.ParallelEngine`
-fan-out boundary needs no special handling: kernels are *recorded at the
-dispatch site in the parent process* (sizes and counts are known before
-the pool ever sees the job), so worker processes never touch the span
-stack and the tree stays consistent for serial and parallel backends
-alike.
+fan-out boundary keeps the stack parent-only — worker processes never
+push spans — but at ``REPRO_TELEMETRY=profile`` the dispatch machinery
+in :mod:`repro.telemetry.workers` reconstructs each pool task as a
+``worker.task`` child span from the stats blob the worker piggybacks on
+its result, stamped directly with the worker's (fork-shared) monotonic
+clock rather than entered through this stack.
 
 When a **root** span (one with no open parent) closes, the finished tree
 is handed to every registered exporter and kept in a bounded in-memory

@@ -1,0 +1,283 @@
+"""Cross-process worker telemetry: trace propagation and stats piggyback.
+
+PR 2 recorded kernel metrics *at the dispatch site in the parent
+process*, which keeps serial/parallel counter parity but makes the pool
+workers a black box: queue wait, shared-memory attach and the actual
+compute all disappear into one opaque ``pool.map``.  This module is the
+missing half.  At ``REPRO_TELEMETRY=profile`` every worker task payload
+carries a compact :data:`TaskContext` — trace id, the dispatching
+kernel, the telemetry level and the parent's enqueue timestamp — and the
+worker runs a lightweight local recorder (phase timers plus per-kernel
+counts; no global registry, no exporters).  The recorder's stats blob
+rides back on the task result, and the parent merges it twice over:
+
+- into the global registry under ``worker.*`` names (task counts,
+  queue-wait / shm-attach / compute latency histograms, per-kernel call
+  counts, task sizes) — deliberately a *separate namespace* from the
+  ``engine.*`` dispatch-site metrics, so the serial==parallel parity of
+  the engine counters is untouched;
+- as ``worker.task`` child :class:`~repro.telemetry.spans.Span` objects
+  under the ``engine.dispatch`` span, reconstructed on the parent's
+  timeline, so a proof's span tree finally shows where the fan-out
+  wall-clock went.
+
+Clock contract: both sides stamp ``time.perf_counter()``, which on the
+fork start method reads the same ``CLOCK_MONOTONIC`` in parent and
+child, so worker timestamps are directly comparable to the parent's
+span clock.  Below profile level the context is ``None``, workers get a
+shared no-op recorder, and the only cost is one ``None`` per pickled
+task payload.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro import telemetry as _tel
+from repro.telemetry.metrics import LATENCY_BUCKETS
+from repro.telemetry.spans import NOOP_SPAN, NoopSpan, Span
+
+#: The picklable per-dispatch context shipped inside every task payload:
+#: ``(trace_id, kernel, level, enqueued_at)``.
+TaskContext = Tuple[int, str, int, float]
+
+#: The picklable stats blob a worker returns with its result:
+#: ``(pid, queue_wait_s, started_at, ended_at, phase_seconds, kernel_counts, size)``.
+StatsBlob = Tuple[int, float, float, float, "dict[str, float]", "dict[str, int]", int]
+
+#: Worker task results travel as ``(result, blob-or-None)``.
+TaskResult = Tuple[Any, Optional[StatsBlob]]
+
+#: Monotonic per-process dispatch counter; trace ids are deterministic
+#: within a run (no entropy — replays produce the same ids).
+_next_trace_id = 0
+
+
+def _new_trace_id() -> int:
+    global _next_trace_id
+    _next_trace_id += 1
+    return _next_trace_id
+
+
+# ----- worker side ---------------------------------------------------------
+
+
+class _PhaseTimer:
+    """``with``-scoped accumulation of one named phase's seconds."""
+
+    __slots__ = ("_recorder", "_phase", "_start")
+
+    def __init__(self, recorder: "TaskRecorder", phase: str) -> None:
+        self._recorder = recorder
+        self._phase = phase
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        elapsed = time.perf_counter() - self._start
+        phases = self._recorder.phases
+        phases[self._phase] = phases.get(self._phase, 0.0) + elapsed
+        return False
+
+
+class TaskRecorder:
+    """The worker-side registry for one task: phase timers and counts.
+
+    Deliberately not the global :class:`~repro.telemetry.metrics.Registry`
+    — a forked worker's global registry is a stale copy of the parent's
+    and merging it back would double-count the dispatch-site metrics.
+    This recorder holds only what the task itself did.
+    """
+
+    __slots__ = ("ctx", "started", "phases", "counts", "size")
+
+    def __init__(self, ctx: TaskContext) -> None:
+        self.ctx = ctx
+        self.started = time.perf_counter()
+        self.phases: dict[str, float] = {}
+        self.counts: dict[str, int] = {}
+        self.size = 0
+
+    def timer(self, phase: str) -> _PhaseTimer:
+        """Time a named phase (``shm_attach``, ``compute``); additive."""
+        return _PhaseTimer(self, phase)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Count a kernel invocation executed inside this task."""
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def set_size(self, n: int) -> None:
+        """Record the task's input size (points, cells, values)."""
+        self.size = n
+
+    def blob(self) -> StatsBlob:
+        """The compact stats tuple piggybacked on the task result."""
+        queue_wait = max(0.0, self.started - self.ctx[3])
+        return (
+            os.getpid(),
+            queue_wait,
+            self.started,
+            time.perf_counter(),
+            dict(self.phases),
+            dict(self.counts),
+            self.size,
+        )
+
+
+class _NoopRecorder:
+    """Shared do-nothing recorder for tasks dispatched below profile level."""
+
+    __slots__ = ()
+
+    def timer(self, phase: str) -> NoopSpan:
+        return NOOP_SPAN
+
+    def count(self, name: str, amount: int = 1) -> None:
+        return None
+
+    def set_size(self, n: int) -> None:
+        return None
+
+    def blob(self) -> None:
+        return None
+
+
+NOOP_RECORDER = _NoopRecorder()
+
+
+def task_begin(ctx: Optional[TaskContext]) -> "TaskRecorder | _NoopRecorder":
+    """Start the worker-side recorder for one task.
+
+    Gating rides on the *context*, not the worker's (forked, possibly
+    stale) global level: a ``None`` context means the parent dispatched
+    below profile level and the shared no-op recorder is returned.
+    """
+    if ctx is None:
+        return NOOP_RECORDER
+    return TaskRecorder(ctx)
+
+
+# ----- parent side ---------------------------------------------------------
+
+
+class Dispatch:
+    """Parent-side handle for one fan-out: span, contexts, and the merge.
+
+    Use as a context manager around the pool call::
+
+        with workers.dispatch("msm_g1", len(tasks)) as dsp:
+            raw = pool.map(worker_fn, dsp.tag(tasks))
+            partials = dsp.collect(raw)
+
+    At trace level the handle opens an ``engine.dispatch`` span under
+    the current (kernel or protocol) span; at profile level it
+    additionally builds the :data:`TaskContext` that :meth:`tag`
+    prepends to every task payload, and :meth:`collect` merges the
+    returned stats blobs into ``worker.*`` metrics and child spans.
+    """
+
+    __slots__ = ("kernel", "n_tasks", "span", "ctx", "trace_id")
+
+    def __init__(self, kernel: str, n_tasks: int) -> None:
+        self.kernel = kernel
+        self.n_tasks = n_tasks
+        self.trace_id = 0
+        self.span: "Span | NoopSpan" = _tel.span(
+            "engine.dispatch", kernel=kernel, tasks=n_tasks
+        )
+        self.ctx: Optional[TaskContext] = None
+
+    def __enter__(self) -> "Dispatch":
+        self.span.__enter__()
+        if _tel.profile_enabled():
+            self.trace_id = _new_trace_id()
+            self.span.set_attr("trace_id", self.trace_id)
+            self.ctx = (self.trace_id, self.kernel, _tel.level(), time.perf_counter())
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.span.__exit__(exc_type, exc, tb)
+        return False
+
+    def tag(self, tasks: Sequence[tuple]) -> List[tuple]:
+        """Prepend the dispatch context to every task payload tuple."""
+        ctx = self.ctx
+        return [(ctx,) + tuple(task) for task in tasks]
+
+    def collect(self, raw: Sequence[TaskResult]) -> List[Any]:
+        """Unzip ``(result, blob)`` pairs, merging every stats blob."""
+        results: List[Any] = []
+        for index, (result, blob) in enumerate(raw):
+            results.append(result)
+            if blob is not None:
+                self._merge(index, blob)
+        return results
+
+    def _merge(self, index: int, blob: StatsBlob) -> None:
+        pid, queue_wait, started, ended, phases, counts, size = blob
+        kernel = self.kernel
+        _tel.counter("worker.tasks", kernel=kernel).inc()
+        _tel.histogram(
+            "worker.queue_wait.seconds", LATENCY_BUCKETS, kernel=kernel
+        ).observe(queue_wait)
+        for phase, seconds in sorted(phases.items()):
+            _tel.histogram(
+                "worker.%s.seconds" % phase, LATENCY_BUCKETS, kernel=kernel
+            ).observe(seconds)
+        for name, amount in sorted(counts.items()):
+            _tel.counter("worker.kernel.calls", kernel=kernel, kind=name).inc(amount)
+        if size:
+            _tel.histogram("worker.task.size", kernel=kernel).observe(size)
+        if isinstance(self.span, Span):
+            child = Span(
+                "worker.task",
+                {
+                    "trace_id": self.trace_id,
+                    "kernel": kernel,
+                    "task": index,
+                    "pid": pid,
+                    "queue_wait_s": queue_wait,
+                    "size": size,
+                    **{"%s_s" % phase: seconds for phase, seconds in sorted(phases.items())},
+                },
+            )
+            # Reconstruct the task on the parent timeline: the span opens
+            # at enqueue (start of queue wait) and closes when the worker
+            # finished, so queue-wait + shm-attach + compute are all
+            # inside it.  perf_counter is CLOCK_MONOTONIC under fork, so
+            # worker stamps line up with the parent's span clock.
+            child.start = started - queue_wait
+            child.end = ended
+            child.parent = self.span
+            self.span.children.append(child)
+
+
+def dispatch(kernel: str, n_tasks: int) -> Dispatch:
+    """A :class:`Dispatch` handle for one parallel kernel fan-out."""
+    return Dispatch(kernel, n_tasks)
+
+
+def worker_coverage(dispatch_span: Span) -> float:
+    """Fraction of a dispatch span's wall-clock its worker spans explain.
+
+    The acceptance metric for trace propagation: the union of the
+    ``worker.task`` children (each spanning queue-wait + shm-attach +
+    compute on the parent timeline) divided by the ``engine.dispatch``
+    parent's duration.  Anything missing is parent-side work the workers
+    cannot see: payload packing, result unpickling and the partial-sum
+    fold.  Returns 0.0 when the span has no worker children.
+    """
+    children = [c for c in dispatch_span.children if c.name == "worker.task"]
+    if not children or not dispatch_span.duration:
+        return 0.0
+    starts = [c.start for c in children if c.start is not None]
+    ends = [c.end for c in children if c.end is not None]
+    if not starts or not ends or dispatch_span.start is None or dispatch_span.end is None:
+        return 0.0
+    covered = min(max(ends), dispatch_span.end) - max(min(starts), dispatch_span.start)
+    return max(0.0, covered) / dispatch_span.duration

@@ -1,0 +1,11 @@
+"""Seeded ENG-001 violation: a kernel wrapper that counts but never times."""
+
+from repro import telemetry as _tel
+
+
+class HalfAccountedEngine:
+    def ntt(self, coeffs: list[int], n: int) -> list[int]:
+        # Counter present, but no telemetry.kernel_timer: the duration
+        # half of the count-and-time contract is missing.
+        _tel.counter("engine.ntt.calls", kind="fft").inc()
+        return list(coeffs)

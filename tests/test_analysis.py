@@ -82,6 +82,7 @@ class TestPerRuleFixtures:
             ("FLD-001", "repro/plonk/fld_violation.py", "literal"),
             ("ENG-001", "repro/kzg/eng_violation.py", "compute engine"),
             ("ENG-001", "repro/plonk/substrate_violation.py", "contiguous-representation"),
+            ("ENG-001", "repro/backend/untimed_kernel.py", "never times itself"),
         ],
     )
     def test_seeded_violation_fires(self, rule_id, fixture, needle):

@@ -1,0 +1,256 @@
+"""The run ledger: schema round-trips, per-run attribution, fault capture.
+
+The fast tests exercise the ledger machinery directly (snapshot
+differencing, cache-rate derivation, writer sequencing, schema
+filtering).  The integration tests then run the real KeySecure exchange
+with ``REPRO_LEDGER`` pointed at a temp file and assert the contract the
+telemetry CLI depends on: exactly one record per exchange, carrying the
+span tree and the per-run metric deltas.  The chaos-marked test closes
+the loop with the fault plane — every injected fault must land in the
+record's ``faults`` list, which is what makes a ledger line a usable
+incident report.
+"""
+
+import json
+
+import pytest
+
+from repro import faults, telemetry
+from repro.chain import Blockchain
+from repro.contracts import KeySecureArbiterContract, PlonkVerifierContract
+from repro.core.exchange import Buyer, KeySecureExchange, Seller, key_negotiation_keys
+from repro.core.tokens import DataAsset
+from repro.faults import FaultPlan
+from repro.telemetry import ledger
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry(monkeypatch):
+    """Isolate each test: reset level/metrics/spans, detach REPRO_LEDGER."""
+    monkeypatch.delenv(ledger.ENV_VAR, raising=False)
+    previous = telemetry.set_level(telemetry.OFF)
+    telemetry.reset_metrics()
+    telemetry.clear_finished()
+    yield
+    telemetry.set_level(previous)
+    telemetry.reset_metrics()
+    telemetry.clear_finished()
+
+
+def _market(snark_ctx):
+    chain = Blockchain()
+    operator = chain.create_account(funded=10**12)
+    verifier = PlonkVerifierContract(key_negotiation_keys(snark_ctx).vk)
+    chain.deploy(verifier, operator)
+    arbiter = KeySecureArbiterContract(verifier)
+    chain.deploy(arbiter, operator)
+    seller_addr = chain.create_account(funded=10**9)
+    buyer_addr = chain.create_account(funded=10**9)
+    return chain, arbiter, seller_addr, buyer_addr
+
+
+def _run_exchange(snark_ctx):
+    chain, arbiter, seller_addr, buyer_addr = _market(snark_ctx)
+    asset = DataAsset.create([42, 84], key=555, nonce=666)
+    asset.uri = "u"
+    seller = Seller(snark_ctx, asset, seller_addr)
+    buyer = Buyer(snark_ctx, asset.public_view(), buyer_addr)
+    protocol = KeySecureExchange(snark_ctx, chain, arbiter)
+    return protocol.run(seller, buyer, price=5000)
+
+
+# ----- snapshot differencing -------------------------------------------------
+
+
+class TestDiffSnapshots:
+    def test_counters_subtract_and_drop_zero_deltas(self):
+        before = {"counters": {"a": 3, "untouched": 7}, "histograms": {}}
+        after = {"counters": {"a": 5, "untouched": 7, "new": 2}, "histograms": {}}
+        delta = ledger.diff_snapshots(before, after)
+        assert delta["counters"] == {"a": 2, "new": 2}
+
+    def test_histograms_rederive_mean_and_quantiles_from_delta(self):
+        telemetry.set_level(telemetry.METRICS)
+        h = telemetry.histogram("lat", bounds=(1.0, 4.0))
+        h.observe(0.5)  # pre-run noise: huge relative to the run itself
+        h.observe(0.5)
+        before = telemetry.snapshot()
+        h.observe(3.0)  # the run's only observation
+        delta = ledger.diff_snapshots(before, telemetry.snapshot())
+        entry = delta["histograms"]["lat"]
+        assert entry["count"] == 1
+        assert entry["sum"] == pytest.approx(3.0)
+        assert entry["mean"] == pytest.approx(3.0)
+        assert entry["buckets"] == {"le_1": 0, "le_4": 1, "inf": 0}
+        # Quantiles come from the delta buckets, not process lifetime.
+        assert 1.0 <= entry["p50"] <= 4.0
+
+    def test_untouched_histogram_is_dropped(self):
+        telemetry.set_level(telemetry.METRICS)
+        telemetry.histogram("idle", bounds=(1.0,)).observe(0.2)
+        before = telemetry.snapshot()
+        delta = ledger.diff_snapshots(before, telemetry.snapshot())
+        assert delta == {"counters": {}, "histograms": {}}
+
+    def test_cache_hit_rates_parse_engine_cache_counters(self):
+        rates = ledger.cache_hit_rates(
+            {
+                "engine.cache.hits{cache=ntt_plan}": 9,
+                "engine.cache.misses{cache=ntt_plan}": 1,
+                "engine.cache.misses{cache=coset_eval}": 4,
+                "engine.ntt.calls{kind=fft}": 100,  # unrelated counter
+            }
+        )
+        assert rates == {"ntt_plan": 0.9, "coset_eval": 0.0}
+
+
+# ----- writer / reader -------------------------------------------------------
+
+
+class TestWriter:
+    def test_schema_round_trip(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        book = ledger.Ledger(path)
+        first = book.append({"name": "demo", "attrs": {"ok": True}})
+        second = book.append({"name": "demo"})
+        assert first["schema"] == ledger.SCHEMA
+        assert first["schema_version"] == ledger.SCHEMA_VERSION
+        assert [first["seq"], second["seq"]] == [0, 1]
+        records = ledger.read(path)
+        assert records == [first, second]
+        # Every line is standalone JSON (the append-only JSONL contract).
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == ledger.SCHEMA for line in lines)
+
+    def test_reader_skips_foreign_schemas(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"schema": "other.tool", "x": 1})
+            + "\n\n"
+            + json.dumps({"schema": ledger.SCHEMA, "schema_version": 1, "name": "keep"})
+            + "\n"
+        )
+        records = ledger.read(str(path))
+        assert [r["name"] for r in records] == ["keep"]
+
+    def test_writer_registry_keeps_sequence_across_begins(self, tmp_path):
+        path = str(tmp_path / "seq.jsonl")
+        ledger.begin("a", path=path).finish()
+        ledger.begin("b", path=path).finish()
+        assert [r["seq"] for r in ledger.read(path)] == [0, 1]
+
+    def test_begin_without_path_is_noop(self):
+        rec = ledger.begin("nothing")
+        assert rec is ledger.NOOP_RECORDER
+        assert rec.finish(success=True) == {}
+
+    def test_env_var_enables_default_path(self, tmp_path, monkeypatch):
+        target = str(tmp_path / "env.jsonl")
+        monkeypatch.setenv(ledger.ENV_VAR, target)
+        assert ledger.default_path() == target
+        assert ledger.enabled()
+        ledger.begin("via-env").finish(ok=1)
+        assert [r["name"] for r in ledger.read(target)] == ["via-env"]
+
+
+class TestRunRecorder:
+    def test_record_carries_deltas_spans_and_env(self, tmp_path):
+        telemetry.set_level(telemetry.TRACE)
+        telemetry.counter("warmup").inc(10)  # pre-run noise
+        rec = ledger.begin("unit.run", path=str(tmp_path / "r.jsonl"))
+        with telemetry.span("unit.root") as root:
+            telemetry.counter("warmup").inc(2)
+            with telemetry.span("unit.child"):
+                pass
+        record = rec.finish(span=root, success=True, gas_used=7)
+        assert record["name"] == "unit.run"
+        assert record["attrs"] == {"success": True, "gas_used": 7}
+        assert record["metrics"]["counters"] == {"warmup": 2}
+        assert {"substrate", "backend", "git_revision", "telemetry_level", "pid"} <= set(
+            record["env"]
+        )
+        names = [s["name"] for s in record["spans"]]
+        assert names == ["unit.root", "unit.child"]
+        assert record["faults"] == []
+
+    def test_non_span_serialises_as_empty_spans(self, tmp_path):
+        rec = ledger.begin("quiet.run", path=str(tmp_path / "r.jsonl"))
+        record = rec.finish(span=telemetry.NOOP_SPAN)
+        assert record["spans"] == []
+
+
+# ----- the real exchange writes exactly one record ---------------------------
+
+
+@pytest.mark.slow
+class TestExchangeIntegration:
+    def test_one_record_per_exchange_under_traced_flow(
+        self, tmp_path, monkeypatch, snark_ctx
+    ):
+        path = str(tmp_path / "exchange.jsonl")
+        monkeypatch.setenv(ledger.ENV_VAR, path)
+        telemetry.set_level(telemetry.TRACE)
+        result = _run_exchange(snark_ctx)
+        assert result.success
+        records = ledger.read(path)
+        assert len(records) == 1
+        (record,) = records
+        assert record["name"] == "exchange.keysecure"
+        assert record["attrs"]["success"] is True
+        assert record["attrs"]["gas_used"] == result.gas_used
+        # The span tree roots at exchange.run and includes both proofs.
+        roots = [s for s in record["spans"] if s["parent"] is None]
+        assert [s["name"] for s in roots] == ["exchange.run"]
+        names = {s["name"] for s in record["spans"]}
+        assert {"exchange.prove", "plonk.prove", "plonk.verify"} <= names
+        # Metric deltas attribute to this run: kernels were exercised.
+        counters = record["metrics"]["counters"]
+        assert counters.get("engine.pairing.calls", 0) >= 1
+        assert any(k.startswith("engine.ntt.calls") for k in counters)
+        assert "engine.kernel.seconds{kernel=pairing_check}" in record["metrics"][
+            "histograms"
+        ]
+        assert record["cache_hit_rates"]  # at least one cache exercised
+        assert record["faults"] == []
+
+    def test_second_exchange_appends_a_second_record(
+        self, tmp_path, monkeypatch, snark_ctx
+    ):
+        path = str(tmp_path / "two.jsonl")
+        monkeypatch.setenv(ledger.ENV_VAR, path)
+        telemetry.set_level(telemetry.METRICS)
+        assert _run_exchange(snark_ctx).success
+        assert _run_exchange(snark_ctx).success
+        records = ledger.read(path)
+        assert [r["seq"] for r in records] == [0, 1]
+        assert [r["name"] for r in records] == ["exchange.keysecure"] * 2
+
+
+# ----- chaos: injected faults land in the record -----------------------------
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+class TestChaosLedger:
+    def test_injected_faults_are_recorded(self, tmp_path, monkeypatch, snark_ctx):
+        path = str(tmp_path / "chaos.jsonl")
+        monkeypatch.setenv(ledger.ENV_VAR, path)
+        telemetry.set_level(telemetry.METRICS)
+        chain, arbiter, seller_addr, buyer_addr = _market(snark_ctx)
+        asset = DataAsset.create([42, 84], key=555, nonce=666)
+        asset.uri = "u"
+        seller = Seller(snark_ctx, asset, seller_addr)
+        buyer = Buyer(snark_ctx, asset.public_view(), buyer_addr)
+        protocol = KeySecureExchange(snark_ctx, chain, arbiter)
+        with faults.use_plan(FaultPlan.profile("chain", seed=20220707)) as injector:
+            protocol.run(seller, buyer, price=5000)
+        records = ledger.read(path)
+        assert len(records) == 1
+        (record,) = records
+        # Exactly the faults the injector logged during the run, in order.
+        recorded = [(f["sequence"], f["site"], f["kind"]) for f in record["faults"]]
+        expected = [(f.sequence, f.site, f.kind) for f in injector.log]
+        assert recorded == expected
+        for fault in record["faults"]:
+            assert {"sequence", "site", "kind", "rule_index"} <= set(fault)
