@@ -17,13 +17,30 @@ paper's.  The claims under test are the *relative* costs: deployment in
 the ~1M range (verifier more expensive than the token contract), minting
 the most expensive method, transfers the cheapest, transformations in
 between.
+
+Below the paper's rows we add the settlement comparison the paper does
+not table: the per-exchange gas of a lone ``submit_key`` (one pairing
+check per exchange) against the amortised share of a k=8
+``submit_key_batch`` (one folded pairing check for the whole batch —
+see ``docs/service.md``).
 """
 
 from conftest import print_table, run_once
 
 from repro.chain import Blockchain
-from repro.contracts import DataTokenContract, PlonkVerifierContract
-from repro.core.exchange import key_negotiation_keys
+from repro.contracts import (
+    DataTokenContract,
+    KeySecureArbiterContract,
+    PlonkVerifierContract,
+)
+from repro.core.exchange import build_key_negotiation_circuit, key_negotiation_keys
+from repro.field.fr import MODULUS as R
+from repro.plonk import prove
+from repro.plonk.circuit import CircuitBuilder
+from repro.primitives.commitment import commit
+from repro.primitives.hashing import field_hash
+
+SETTLEMENT_BATCH = 8
 
 PAPER = {
     "ZKDET contract deployment": 1020954,
@@ -71,6 +88,38 @@ def test_table2_gas(benchmark, snark_ctx):
         ).gas_used
         measured["Token burning"] = chain.transact(alice, token, "burn", t1).gas_used
 
+        # --- settlement: single submit_key vs amortised batch share ---
+        arbiter = KeySecureArbiterContract(verifier)
+        chain.deploy(arbiter, alice)
+        key, k_v = 4242, 5353
+        c, o = commit(key, blinder=717)
+        k_c, h_v = (key + k_v) % R, field_hash(k_v)
+        builder = CircuitBuilder()
+        build_key_negotiation_circuit(builder, k_c, c.value, h_v, key, o, k_v)
+        layout, assignment = builder.compile()
+        proof_bytes = prove(snark_ctx.keys_for(layout).pk, assignment).to_bytes()
+        # One pi_k serves every lock: the statement (k_c, c, h_v) is per
+        # listing, the escrow record is per exchange.
+        eids = [
+            chain.transact(
+                bob, arbiter, "lock_payment", alice, c.value, h_v, value=1000
+            ).return_value
+            for _ in range(1 + SETTLEMENT_BATCH)
+        ]
+        measured["Exchange settlement (single)"] = chain.transact(
+            alice, arbiter, "submit_key", eids[0], k_c, proof_bytes
+        ).gas_used
+        batch = chain.transact(
+            alice,
+            arbiter,
+            "submit_key_batch",
+            tuple((eid, k_c, proof_bytes) for eid in eids[1:]),
+        )
+        assert len(batch.return_value) == SETTLEMENT_BATCH
+        measured["Exchange settlement (batched share)"] = (
+            batch.gas_used // SETTLEMENT_BATCH
+        )
+
     run_once(benchmark, run)
 
     rows = []
@@ -78,6 +127,18 @@ def test_table2_gas(benchmark, snark_ctx):
         got = measured[name]
         ratio = got / paper_gas
         rows.append((name, "{:,}".format(got), "{:,}".format(paper_gas), "%.2fx" % ratio))
+    single = measured["Exchange settlement (single)"]
+    share = measured["Exchange settlement (batched share)"]
+    rows.append(("Exchange settlement (single)", "{:,}".format(single), "-", "-"))
+    rows.append(
+        (
+            "Exchange settlement (batched k=%d, per exchange)" % SETTLEMENT_BATCH,
+            "{:,}".format(share),
+            "-",
+            "-",
+        )
+    )
+    rows.append(("Settlement amortisation", "-", "-", "%.2fx" % (single / share)))
     print_table(
         "Table II - gas consumption of ZKDET contracts",
         ["operation", "measured gas", "paper gas", "ratio"],
@@ -93,3 +154,5 @@ def test_table2_gas(benchmark, snark_ctx):
     # Same order of magnitude as the paper for every row.
     for name, paper_gas in PAPER.items():
         assert paper_gas / 5 < measured[name] < paper_gas * 5, name
+    # Batched settlement must amortise the pairing check substantially.
+    assert share < single * 0.75

@@ -116,6 +116,10 @@ class AnalysisConfig:
         # probabilities are integer PPM by design, but overhead ratios in
         # docstrings/diagnostics may be float-typed.
         "faults/",
+        # The service plane deals in wall-clock deadlines, latency
+        # percentiles and queue budgets — measurement-layer floats, never
+        # field elements.
+        "service/",
     )
     #: The fixed-point boundary: the only modules that may touch floats
     #: while producing field elements, because converting real-valued

@@ -63,8 +63,10 @@ import os
 import threading
 
 from repro import substrate
+from repro import telemetry as _tel
 from repro.backend import shm as _shm
 from repro.backend.engine import Engine, apply_ntt_job
+from repro.field.ntt import Domain
 from repro.curve.g1 import jac_add, jac_batch_normalize
 from repro.curve.g2 import jac2_add
 from repro.curve.msm import msm_g2_jacobian, msm_jacobian
@@ -139,13 +141,47 @@ def _msm_shm_chunk(args: tuple) -> tuple:
     return out, rec.blob()
 
 
+def _attach_twiddle_tables(tw_name: str, n: int) -> None:
+    """Seed the worker's Domain cache from a packed twiddle segment.
+
+    Layout (32-byte scalar cells): ``[omega, omega_inv, n_inv]`` header
+    followed by the ``n/2`` forward and ``n/2`` inverse twiddles.  A
+    no-op when this worker already holds a size-``n`` domain — the first
+    task of each size pays one unpack, every later task is a cache hit,
+    and nothing runs the O(n) ``Domain.__init__`` twiddle loop.
+    """
+    if n in Domain._cache:
+        return
+    buf = _shm.attach_segment(tw_name).buf
+    half = max(n >> 1, 1)
+    omega, omega_inv, n_inv = unpack_scalars(buf, 0, 3)
+    twiddles = unpack_scalars(buf, 3, half)
+    inv_twiddles = unpack_scalars(buf, 3 + half, half)
+    Domain.seed_cache(
+        Domain.from_tables(n, omega, omega_inv, n_inv, twiddles, inv_twiddles)
+    )
+
+
 def _ntt_shm_job(args: tuple) -> tuple:
     """Worker: one NTT over packed cells; result written back to shm."""
-    ctx, mode, in_name, out_name, kind, n, in_start, in_count, out_start, shift = args
+    (
+        ctx,
+        mode,
+        in_name,
+        out_name,
+        tw_name,
+        kind,
+        n,
+        in_start,
+        in_count,
+        out_start,
+        shift,
+    ) = args
     rec = _workers.task_begin(ctx)
     substrate.set_mode(mode)
     with rec.timer("shm_attach"):
         values = unpack_scalars(_shm.attach_segment(in_name).buf, in_start, in_count)
+        _attach_twiddle_tables(tw_name, n)
     rec.set_size(n)
     rec.count(kind)
     with rec.timer("compute"):
@@ -235,6 +271,8 @@ class ParallelEngine(Engine):
         self._pool = None
         #: Pinned packed-point segments: id(owner) -> (owner, segment).
         self._point_segs: dict = {}
+        #: Pinned packed twiddle-table segments: domain size -> segment.
+        self._twiddle_segs: dict = {}
 
     # ------------------------------------------------------------ pool mgmt
 
@@ -250,6 +288,11 @@ class ParallelEngine(Engine):
         for owner_id in list(self._point_segs):
             _, seg = self._point_segs.pop(owner_id)
             _shm.release_segment(seg)
+        self._release_twiddle_segs()
+
+    def _release_twiddle_segs(self) -> None:
+        for n in list(self._twiddle_segs):
+            _shm.release_segment(self._twiddle_segs.pop(n))
 
     def _discard_pool(self, blocking: bool) -> None:
         """Tear down the worker pool.
@@ -298,6 +341,7 @@ class ParallelEngine(Engine):
                 for owner_id in list(self._point_segs):
                     _, seg = self._point_segs.pop(owner_id)
                     _shm.release_segment(seg)
+                self._release_twiddle_segs()
                 raise BackendError(
                     "parallel kernel timed out after %.1fs (worker crash?)"
                     % self.task_timeout
@@ -346,6 +390,32 @@ class ParallelEngine(Engine):
             result = jac_add(result, part)
         return result
 
+    def _twiddle_segment(self, n: int) -> object:
+        """The packed shm image of a size-``n`` domain's twiddle tables.
+
+        Built once per domain size from the parent's (already cached)
+        :class:`~repro.field.ntt.Domain` and pinned for the engine's
+        lifetime like the fixed point tables — workers attach instead of
+        re-running the O(n) twiddle build in every forked process.
+        """
+        seg = self._twiddle_segs.get(n)
+        if _tel.metrics_enabled():
+            _tel.counter(
+                "engine.cache.hits" if seg is not None else "engine.cache.misses",
+                cache="ntt_twiddle_shm",
+            ).inc()
+        if seg is not None:
+            return seg
+        dom = Domain.get(n)
+        twiddles, inv_twiddles = dom.tables()
+        packed = pack_scalars(
+            [dom.omega, dom.omega_inv, dom.n_inv] + twiddles + inv_twiddles
+        )
+        seg = _shm.create_segment(len(packed))
+        seg.buf[: len(packed)] = packed
+        self._twiddle_segs[n] = seg
+        return seg
+
     # -------------------------------------------------------------- kernels
 
     def _use_pool(self, n_items: int, threshold: int) -> bool:
@@ -380,6 +450,7 @@ class ParallelEngine(Engine):
                         mode,
                         in_seg.name,
                         out_seg.name,
+                        self._twiddle_segment(n).name,
                         kind,
                         n,
                         in_start,

@@ -120,6 +120,52 @@ class KeySecureArbiterContract(Contract):
         self.emit("KeyDelivered", exchange_id=exchange_id, k_c=k_c)
 
     @external
+    def submit_key_batch(self, entries: tuple) -> tuple:
+        """Settle many exchanges with one batched verification.
+
+        ``entries`` is a tuple of ``(exchange_id, k_c, proof_bytes)``.
+        Unlike :meth:`submit_key`, the caller may be anyone — a relay
+        (e.g. the marketplace node) that aggregates sellers' submissions:
+        payment always goes to the *stored* seller and pi_k binds k_c to
+        the stored ``(c, h_v)``, so a relay can neither redirect funds
+        nor substitute a key, only spend gas on sellers' behalf.  Entries
+        whose exchange no longer exists (already settled or refunded) are
+        skipped, and members whose proof fails verify are left open —
+        nothing about one entry can revert its batchmates.  Returns the
+        exchange ids actually settled.
+        """
+        pending = []
+        for exchange_id, k_c, proof_bytes in entries:
+            record = self._sload(("exchange", exchange_id))
+            if record is None:
+                continue
+            _buyer, seller, key_commitment, h_v, amount = record
+            pending.append((exchange_id, k_c, proof_bytes, seller, amount, key_commitment, h_v))
+        if not pending:
+            self.emit("BatchSettled", settled=0, requested=len(entries))
+            return ()
+        results = self.call_contract(
+            self._verifier,
+            "verify_batch",
+            tuple(((k_c, c, h_v), pb) for _id, k_c, pb, _s, _a, c, h_v in pending),
+        )
+        settled = []
+        for (exchange_id, k_c, _pb, seller, amount, _c, _h), ok in zip(pending, results):
+            if not ok:
+                continue
+            # Duplicate ids inside one batch: the first occurrence settles,
+            # later ones see the cleared record and are skipped.
+            if self._sload(("exchange", exchange_id)) is None:
+                continue
+            self._sstore(("masked_key", exchange_id), k_c)
+            self._sstore(("exchange", exchange_id), None)
+            self.transfer_out(seller, amount)
+            self.emit("KeyDelivered", exchange_id=exchange_id, k_c=k_c)
+            settled.append(exchange_id)
+        self.emit("BatchSettled", settled=len(settled), requested=len(entries))
+        return tuple(settled)
+
+    @external
     def refund(self, exchange_id: int) -> None:
         """Buyer reclaims escrow before the seller has delivered."""
         record = self._sload(("exchange", exchange_id))

@@ -131,3 +131,20 @@ class ExchangeAbortedError(ProtocolError):
 
 class CommitmentError(ReproError):
     """Commitment open/verify failure in a checked context."""
+
+
+class ServiceError(ReproError):
+    """Marketplace service-plane failure (node, queue, prover pool)."""
+
+
+class QueueFullError(ServiceError):
+    """Admission control rejected a request: the tenant's queue budget
+    (or the node's global bound) is exhausted.  Deliberately *not* a
+    :class:`TransientError` — the node sheds load at the door and the
+    client, not a retry policy inside the node, decides when to re-offer
+    the request."""
+
+
+class SessionError(ServiceError):
+    """A request referenced a session the node does not hold (never
+    opened, expired, or already closed)."""

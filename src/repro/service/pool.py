@@ -1,0 +1,159 @@
+"""Persistent warm prover pool for the service node.
+
+CPU-bound pi_k proving is the one step of an exchange that cannot share
+the node's event loop without stalling every other request, so it is
+dispatched to a pool of long-lived forked worker processes.  The win
+over per-call pools is *cache residency*: the parent warms the pi_k
+circuit keys (and therefore the SRS Jacobian views and fixed-window
+tables inside the engine) **before** forking, so every worker inherits
+the warmed caches by copy-on-write and the first proof of each worker is
+already a warm proof.  Workers prove with a private *serial* engine —
+pool workers are daemonic and may not fork grandchildren, and nesting a
+:class:`~repro.backend.parallel.ParallelEngine` inside a pool worker
+would try exactly that.
+
+The asyncio bridge is callback-based: ``apply_async`` completion fires
+on the pool's result-handler thread, which hops back onto the node's
+event loop via ``call_soon_threadsafe`` to resolve the awaited future.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+from typing import Optional
+
+from repro import telemetry
+from repro.backend.engine import Engine
+from repro.core.exchange import build_key_negotiation_circuit, key_negotiation_keys
+from repro.core.snark import SnarkContext
+from repro.core.tokens import DataAsset
+from repro.errors import ProtocolError, ServiceError
+from repro.field.fr import MODULUS as R
+from repro.plonk.circuit import CircuitBuilder
+from repro.plonk.prover import prove
+from repro.primitives.hashing import field_hash
+from repro.telemetry.metrics import LATENCY_BUCKETS
+
+#: Forked-worker state: populated in the parent immediately before the
+#: pool is created so the fork snapshot carries the warmed context.
+_WORKER_STATE: dict = {}
+
+
+def _prove_pik_job(args: tuple) -> tuple:
+    """Worker: prove one key negotiation; returns ``(k_c, proof_bytes)``.
+
+    Runs entirely against the forked copies of the parent's SnarkContext
+    (circuit keys warm) and a serial engine (kernel caches warm).
+    """
+    key, key_commitment, key_blinder, k_v, h_v = args
+    ctx = _WORKER_STATE["ctx"]
+    engine = _WORKER_STATE["engine"]
+    if field_hash(k_v) != h_v:
+        raise ProtocolError("buyer's h_v does not match the received k_v; aborting")
+    k_c = (key + k_v) % R
+    builder = CircuitBuilder()
+    build_key_negotiation_circuit(
+        builder, k_c, key_commitment, h_v, key, key_blinder, k_v
+    )
+    layout, assignment = builder.compile()
+    keys = ctx.keys_for(layout)
+    pi_k = prove(keys.pk, assignment, engine=engine)
+    return k_c, pi_k.to_bytes()
+
+
+class ProverPool:
+    """A warm, persistent pool of pi_k prover processes."""
+
+    def __init__(self, ctx: SnarkContext, workers: int = 1):
+        if workers <= 0:
+            raise ServiceError("prover pool needs at least one worker")
+        self.workers = workers
+        # Warm everything the workers will inherit: the serial engine the
+        # forked provers use and the pi_k circuit keys on a context bound
+        # to that engine (key objects are engine-independent data, so the
+        # parent's cache transfers directly).
+        engine = Engine()
+        worker_ctx = SnarkContext(ctx.srs, engine=engine)
+        worker_ctx._cache.update(ctx._cache)
+        key_negotiation_keys(worker_ctx)
+        # Mirror any newly derived keys back so the caller's context also
+        # benefits from the warm-up.
+        ctx._cache.update(worker_ctx._cache)
+        _WORKER_STATE["ctx"] = worker_ctx
+        _WORKER_STATE["engine"] = engine
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" not in methods:
+            raise ServiceError(
+                "prover pool requires the fork start method (cache inheritance)"
+            )
+        self._pool = multiprocessing.get_context("fork").Pool(workers)
+        self._closed = False
+
+    async def prove_key_negotiation(
+        self, asset: DataAsset, k_v: int, h_v: int
+    ) -> tuple:
+        """Prove pi_k for ``asset`` masked with ``k_v``; awaitable.
+
+        Returns ``(k_c, proof_bytes)``.  Seller-side fairness check (the
+        locked h_v must match the k_v received off-chain) runs in the
+        worker and surfaces as :class:`ProtocolError`.
+        """
+        if self._closed:
+            raise ServiceError("prover pool is closed")
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+
+        def _done(result):
+            loop.call_soon_threadsafe(_resolve, result, None)
+
+        def _fail(exc):
+            loop.call_soon_threadsafe(_resolve, None, exc)
+
+        def _resolve(result, exc):
+            if fut.cancelled():
+                return
+            if exc is None:
+                fut.set_result(result)
+            else:
+                fut.set_exception(exc)
+
+        started = time.perf_counter()
+        self._pool.apply_async(
+            _prove_pik_job,
+            (
+                (
+                    asset.key,
+                    asset.key_commitment.value,
+                    asset.key_blinder,
+                    k_v,
+                    h_v,
+                ),
+            ),
+            callback=_done,
+            error_callback=_fail,
+        )
+        try:
+            result = await fut
+        finally:
+            if telemetry.metrics_enabled():
+                telemetry.counter("service.pool.jobs").inc()
+                telemetry.histogram(
+                    "service.pool.prove.seconds", LATENCY_BUCKETS
+                ).observe(time.perf_counter() - started)
+        return result
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "ProverPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> Optional[bool]:
+        self.close()
+        return None

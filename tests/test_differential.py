@@ -207,6 +207,53 @@ class TestSubstrateDifferential:
             shm_engine.close()
             pkl_engine.close()
 
+    def test_twiddle_tables_from_shm_bit_identical(self, chaos_seed):
+        """A Domain rebuilt from packed twiddle tables (the shm worker
+        path) is bit-identical to a locally constructed one: same
+        twiddles, same transforms — including the coset variants, which
+        exercise omega_inv and n_inv from the segment header."""
+        from repro.backend import shm as _shm
+        from repro.field.frvec import pack_scalars, unpack_scalars
+
+        rng = _rng(chaos_seed, "twiddle-shm")
+        n = 1 << rng.randint(3, 10)
+        built = Domain(n)
+        twiddles, inv_twiddles = built.tables()
+        # Round-trip through an actual shared-memory segment in the
+        # parent-side layout: [omega, omega_inv, n_inv] + tables.
+        packed = pack_scalars(
+            [built.omega, built.omega_inv, built.n_inv] + twiddles + inv_twiddles
+        )
+        seg = _shm.create_segment(len(packed))
+        try:
+            seg.buf[: len(packed)] = packed
+            half = max(n >> 1, 1)
+            omega, omega_inv, n_inv = unpack_scalars(seg.buf, 0, 3)
+            attached = Domain.from_tables(
+                n,
+                omega,
+                omega_inv,
+                n_inv,
+                unpack_scalars(seg.buf, 3, half),
+                unpack_scalars(seg.buf, 3 + half, half),
+            )
+        finally:
+            _shm.release_segment(seg)
+        assert attached.tables() == built.tables()
+        coeffs = [rng.randrange(R) for _ in range(n)]
+        assert attached.fft(list(coeffs)) == built.fft(list(coeffs))
+        assert attached.ifft(list(coeffs)) == built.ifft(list(coeffs))
+        assert attached.coset_fft(list(coeffs)) == built.coset_fft(list(coeffs))
+        assert attached.coset_ifft(list(coeffs)) == built.coset_ifft(list(coeffs))
+
+    def test_seed_cache_never_displaces_local_domain(self):
+        local = Domain.get(16)
+        rebuilt = Domain.from_tables(
+            16, local.omega, local.omega_inv, local.n_inv, *local.tables()
+        )
+        Domain.seed_cache(rebuilt)
+        assert Domain.get(16) is local
+
     def test_msm_srs_and_fixed_table_kernels_match_msm_jac(self, engines, chaos_seed):
         serial, parallel = engines
         rng = _rng(chaos_seed, "srs-msm")

@@ -1,0 +1,474 @@
+"""Tests for the marketplace service plane.
+
+Fast, unmarked tests cover the queue's admission/fairness semantics and
+the chain-side batch entry points (batched verification, batched
+settlement, poisoned-member isolation).  The node-pipeline tests drive
+real exchanges end to end through the asyncio node with seller-attached
+pi_k bundles (proofs are produced once per module — the node's job here
+is serving, not proving).  The ``chaos``-marked class replays the
+pipeline under the seeded ``exchange`` fault profile and asserts the
+safety envelope: every request terminates in exactly one state, no key
+material without payment, and no stranded escrow after aborts.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import faults
+from repro.core.exchange import Seller
+from repro.core.tokens import DataAsset
+from repro.errors import QueueFullError, ServiceError, SessionError
+from repro.faults import FaultPlan
+from repro.field.fr import MODULUS as R
+from repro.primitives.hashing import field_hash
+from repro.service import (
+    ExchangeRequest,
+    FairQueue,
+    MarketplaceNode,
+    NegotiationBundle,
+    NodeConfig,
+)
+
+PRICE = 5000
+FUNDS = 10**9
+
+
+# ---------------------------------------------------------------------------
+# FairQueue: admission control and round-robin fairness
+# ---------------------------------------------------------------------------
+
+
+class TestFairQueue:
+    def test_global_bound_rejects(self):
+        q = FairQueue(maxsize=2)
+        q.put_nowait("a", 1)
+        q.put_nowait("b", 2)
+        with pytest.raises(QueueFullError):
+            q.put_nowait("c", 3)
+        assert q.qsize() == 2
+
+    def test_per_tenant_budget_rejects(self):
+        q = FairQueue(maxsize=10, per_tenant=2)
+        q.put_nowait("a", 1)
+        q.put_nowait("a", 2)
+        with pytest.raises(QueueFullError):
+            q.put_nowait("a", 3)
+        # Other tenants are unaffected by tenant a's exhausted budget.
+        q.put_nowait("b", 4)
+        assert q.qsize() == 3
+
+    def test_round_robin_interleaves_tenants(self):
+        q = FairQueue(maxsize=16)
+        for i in range(4):
+            q.put_nowait("big", "big-%d" % i)
+        for i in range(2):
+            q.put_nowait("small", "small-%d" % i)
+
+        async def drain():
+            return [await q.get() for _ in range(q.qsize())]
+
+        order = asyncio.run(drain())
+        tenants = [tenant for tenant, _ in order]
+        # The small tenant is served in the first interleavings rather
+        # than waiting behind the big tenant's whole backlog.
+        assert tenants == ["big", "small", "big", "small", "big", "big"]
+        items = [item for tenant, item in order if tenant == "big"]
+        assert items == ["big-%d" % i for i in range(4)]  # FIFO per tenant
+
+    def test_get_waits_for_put(self):
+        q = FairQueue(maxsize=4)
+
+        async def scenario():
+            getter = asyncio.ensure_future(q.get())
+            await asyncio.sleep(0.01)
+            assert not getter.done()
+            q.put_nowait("t", "x")
+            assert await asyncio.wait_for(getter, timeout=1) == ("t", "x")
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Shared fixtures: one asset, a few seller-proven pi_k bundles
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pik_bundles(snark_ctx):
+    """An asset plus three seller-precomputed negotiation bundles."""
+    asset = DataAsset.create([42, 84], key=909, nonce=7)
+    asset.uri = "service-test://asset"
+    seller = Seller(snark_ctx, asset, "offchain-prover")
+    bundles = []
+    for salt in (11, 22, 33):
+        k_v = 10_000 + salt
+        h_v = field_hash(k_v)
+        k_c, pi_k = seller.key_negotiation_message(k_v, h_v)
+        bundles.append(NegotiationBundle(k_v, h_v, k_c, pi_k.to_bytes()))
+    return asset, bundles
+
+
+def _node(snark_ctx, **overrides):
+    defaults = dict(
+        verify_phase1="skip",
+        batch_size=4,
+        batch_delay=0.01,
+        concurrency=2,
+        queue_depth=64,
+        per_tenant_depth=None,
+    )
+    defaults.update(overrides)
+    return MarketplaceNode(snark_ctx, NodeConfig(**defaults))
+
+
+def _requests(session, bundles, count, price=PRICE, tenants=4, **kw):
+    return [
+        ExchangeRequest(
+            session.session_id,
+            tenant="tenant-%d" % (i % tenants),
+            price=price,
+            bundle=bundles[i % len(bundles)],
+            **kw,
+        )
+        for i in range(count)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Chain-side batch entry points
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestBatchSettlementContracts:
+    def _locked(self, snark_ctx, asset, bundles, n):
+        """A node plus n locked exchanges (one per bundle, cycling)."""
+        node = _node(snark_ctx)
+        session = node.open_session(asset, tenant="seller")
+        buyer = node.register_account(funded=FUNDS)
+        locked = []
+        for i in range(n):
+            bundle = bundles[i % len(bundles)]
+            receipt = node.chain.transact(
+                buyer,
+                node.arbiter,
+                "lock_payment",
+                session.seller.address,
+                asset.key_commitment.value,
+                bundle.verification_hash,
+                value=PRICE,
+            )
+            assert receipt.status
+            locked.append((receipt.return_value, bundle))
+        return node, session, buyer, locked
+
+    def test_batch_settles_all_valid_members(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+        node, session, buyer, locked = self._locked(snark_ctx, asset, bundles, 3)
+        before = node.chain.balance_of(session.seller.address)
+        entries = tuple(
+            (eid, b.masked_key, b.proof_bytes) for eid, b in locked
+        )
+        receipt = node.chain.transact(
+            node.operator, node.arbiter, "submit_key_batch", entries
+        )
+        assert receipt.status
+        assert receipt.return_value == tuple(eid for eid, _ in locked)
+        assert node.chain.balance_of(session.seller.address) == before + 3 * PRICE
+        for eid, b in locked:
+            assert node.chain.call_view(node.arbiter, "masked_key", eid) == b.masked_key
+
+    def test_poisoned_member_does_not_poison_batchmates(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+        node, session, buyer, locked = self._locked(snark_ctx, asset, bundles, 3)
+        before_seller = node.chain.balance_of(session.seller.address)
+        before_buyer = node.chain.balance_of(buyer)
+        (e0, b0), (e1, b1), (e2, b2) = locked
+        entries = (
+            (e0, b0.masked_key, b0.proof_bytes),
+            # Well-formed proof, wrong public input: fails the fold and
+            # the per-proof fallback, but must not drag e0/e2 down.
+            (e1, (b1.masked_key + 1) % R, b1.proof_bytes),
+            (e2, b2.masked_key, b2.proof_bytes),
+        )
+        receipt = node.chain.transact(
+            node.operator, node.arbiter, "submit_key_batch", entries
+        )
+        assert receipt.status
+        assert receipt.return_value == (e0, e2)
+        assert node.chain.balance_of(session.seller.address) == before_seller + 2 * PRICE
+        # The poisoned member's exchange stays open: escrow intact and
+        # refundable by its buyer, not stranded.
+        assert node.chain.call_view(node.arbiter, "exchange_info", e1) is not None
+        refund = node.chain.transact(buyer, node.arbiter, "refund", e1)
+        assert refund.status
+        assert node.chain.balance_of(buyer) == before_buyer + PRICE
+
+    def test_malformed_proof_reported_false_without_revert(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+        node, session, buyer, locked = self._locked(snark_ctx, asset, bundles, 2)
+        (e0, b0), (e1, _) = locked
+        entries = (
+            (e0, b0.masked_key, b0.proof_bytes),
+            (e1, 123, b"not a proof"),
+        )
+        receipt = node.chain.transact(
+            node.operator, node.arbiter, "submit_key_batch", entries
+        )
+        assert receipt.status
+        assert receipt.return_value == (e0,)
+
+    def test_duplicate_and_stale_entries_skipped(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+        node, session, buyer, locked = self._locked(snark_ctx, asset, bundles, 1)
+        eid, b = locked[0]
+        before = node.chain.balance_of(session.seller.address)
+        entry = (eid, b.masked_key, b.proof_bytes)
+        receipt = node.chain.transact(
+            node.operator, node.arbiter, "submit_key_batch", (entry, entry)
+        )
+        assert receipt.status
+        assert receipt.return_value == (eid,)  # settled exactly once
+        assert node.chain.balance_of(session.seller.address) == before + PRICE
+        # Re-submitting after settlement is a no-op, not a revert.
+        receipt = node.chain.transact(
+            node.operator, node.arbiter, "submit_key_batch", (entry,)
+        )
+        assert receipt.status
+        assert receipt.return_value == ()
+
+    def test_batch_gas_amortises_the_pairing(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+        node, session, buyer, locked = self._locked(snark_ctx, asset, bundles, 3)
+        single = node.chain.transact(
+            session.seller.address,
+            node.arbiter,
+            "submit_key",
+            locked[0][0],
+            locked[0][1].masked_key,
+            locked[0][1].proof_bytes,
+        )
+        assert single.status
+        rest = tuple((eid, b.masked_key, b.proof_bytes) for eid, b in locked[1:])
+        batched = node.chain.transact(
+            node.operator, node.arbiter, "submit_key_batch", rest
+        )
+        assert batched.status and len(batched.return_value) == 2
+        assert batched.gas_used // len(rest) < single.gas_used
+
+
+# ---------------------------------------------------------------------------
+# Node pipeline
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+class TestNodePipeline:
+    def test_end_to_end_with_bundles(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+
+        async def scenario():
+            node = _node(snark_ctx)
+            session = node.open_session(asset, tenant="seller")
+            seller_before = node.chain.balance_of(session.seller.address)
+            await node.start()
+            try:
+                outcomes = await node.serve(_requests(session, bundles, 6))
+            finally:
+                await node.stop()
+            assert all(o.success for o in outcomes)
+            assert all(o.plaintext == asset.plaintext for o in outcomes)
+            assert {o.exchange_id for o in outcomes} == set(
+                o.exchange_id for o in outcomes
+            )  # distinct ids
+            assert (
+                node.chain.balance_of(session.seller.address)
+                == seller_before + 6 * PRICE
+            )
+            # Settlement really was batched: fewer flushes than members.
+            assert node.batcher.batches_flushed < 6
+
+        asyncio.run(scenario())
+
+    def test_queue_full_requests_shed_at_the_door(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+
+        async def scenario():
+            node = _node(snark_ctx, queue_depth=2, concurrency=1)
+            session = node.open_session(asset, tenant="seller")
+            await node.start()
+            try:
+                # serve() admits synchronously without yielding to the
+                # loop, so exactly queue_depth requests are accepted.
+                outcomes = await node.serve(_requests(session, bundles, 5))
+            finally:
+                await node.stop()
+            rejected = [o for o in outcomes if "admission rejected" in o.reason]
+            succeeded = [o for o in outcomes if o.success]
+            assert len(rejected) == 3
+            assert len(succeeded) == 2
+            assert all(o.gas_used == 0 for o in rejected)
+
+        asyncio.run(scenario())
+
+    def test_per_tenant_budget_protects_other_tenants(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+
+        async def scenario():
+            node = _node(snark_ctx, per_tenant_depth=1, concurrency=1)
+            session = node.open_session(asset, tenant="seller")
+            await node.start()
+            try:
+                flood = _requests(session, bundles, 3, tenants=1)
+                other = _requests(session, bundles, 1, tenants=1)
+                for request in other:
+                    request.tenant = "polite-tenant"
+                outcomes = await node.serve(flood + other)
+            finally:
+                await node.stop()
+            # The flooding tenant loses its overflow; the polite tenant
+            # is untouched by the flood.
+            assert sum("admission rejected" in o.reason for o in outcomes[:3]) == 2
+            assert outcomes[3].success
+
+        asyncio.run(scenario())
+
+    def test_slow_buyer_times_out_without_escrow(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+
+        async def scenario():
+            node = _node(snark_ctx, request_timeout=0.05)
+            session = node.open_session(asset, tenant="seller")
+            buyer = node.register_account(funded=FUNDS)
+            seller_before = node.chain.balance_of(session.seller.address)
+            await node.start()
+            try:
+                slow = ExchangeRequest(
+                    session.session_id,
+                    tenant="slow",
+                    price=PRICE,
+                    bundle=bundles[0],
+                    buyer_address=buyer,
+                    buyer_delay=0.5,
+                )
+                fast = _requests(session, bundles, 2)
+                outcomes = await node.serve([slow] + fast)
+            finally:
+                await node.stop()
+            assert not outcomes[0].success
+            assert "timed out" in outcomes[0].reason
+            assert outcomes[0].exchange_id is None  # expired before any lock
+            assert node.chain.balance_of(buyer) == FUNDS  # nothing escrowed
+            assert all(o.success for o in outcomes[1:])  # node kept serving
+            assert (
+                node.chain.balance_of(session.seller.address)
+                == seller_before + 2 * PRICE
+            )
+
+        asyncio.run(scenario())
+
+    def test_unknown_session_rejected(self, snark_ctx, pik_bundles):
+        asset, bundles = pik_bundles
+
+        async def scenario():
+            node = _node(snark_ctx)
+            await node.start()
+            try:
+                with pytest.raises(SessionError):
+                    node.submit(ExchangeRequest(999, tenant="t", price=PRICE))
+            finally:
+                await node.stop()
+
+        asyncio.run(scenario())
+
+    def test_submit_requires_running_node(self, snark_ctx, pik_bundles):
+        asset, _ = pik_bundles
+
+        async def scenario():
+            node = _node(snark_ctx)
+            session = node.open_session(asset)
+            with pytest.raises(ServiceError):
+                node.submit(ExchangeRequest(session.session_id, tenant="t", price=1))
+
+        asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Chaos: the pipeline under the seeded `exchange` fault profile
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+@pytest.mark.slow
+class TestServiceChaos:
+    @pytest.mark.parametrize("offset", (0, 1, 2))
+    def test_no_stranded_escrow_under_exchange_profile(
+        self, snark_ctx, pik_bundles, chaos_seed, offset
+    ):
+        asset, bundles = pik_bundles
+
+        async def scenario():
+            # concurrency=1 keeps the fault-site visit order sequential.
+            node = _node(snark_ctx, concurrency=1, batch_size=3)
+            session = node.open_session(asset, tenant="seller")
+            seller_addr = session.seller.address
+            seller_before = node.chain.balance_of(seller_addr)
+            buyers = [node.register_account(funded=FUNDS) for _ in range(9)]
+            requests = [
+                ExchangeRequest(
+                    session.session_id,
+                    tenant="tenant-%d" % (i % 3),
+                    price=PRICE,
+                    bundle=bundles[i % len(bundles)],
+                    buyer_address=buyers[i],
+                )
+                for i in range(9)
+            ]
+            await node.start()
+            try:
+                with faults.use_plan(
+                    FaultPlan.profile("exchange", seed=chaos_seed + offset)
+                ):
+                    outcomes = await node.serve(requests)
+            finally:
+                await node.stop()
+            return node, seller_addr, seller_before, buyers, outcomes
+
+        node, seller_addr, seller_before, buyers, outcomes = asyncio.run(scenario())
+
+        successes = 0
+        for i, outcome in enumerate(outcomes):
+            # Exactly one terminal state per request.
+            assert not (outcome.success and outcome.aborted)
+            if outcome.success:
+                successes += 1
+                # Buyer paid exactly the price; key material delivered.
+                assert node.chain.balance_of(buyers[i]) == FUNDS - PRICE
+                masked = node.chain.call_view(
+                    node.arbiter, "masked_key", outcome.exchange_id
+                )
+                assert masked is not None and masked != asset.key
+            else:
+                # Safe failure: the buyer lost nothing — any lock that
+                # happened was refunded before the outcome was reported.
+                assert node.chain.balance_of(buyers[i]) == FUNDS
+                if outcome.exchange_id is not None:
+                    assert (
+                        node.chain.call_view(
+                            node.arbiter, "masked_key", outcome.exchange_id
+                        )
+                        is None
+                    )
+        # Seller is paid once per delivered key, nothing more.
+        assert node.chain.balance_of(seller_addr) == seller_before + successes * PRICE
+        # No stranded escrow anywhere: every lock was settled or refunded.
+        open_escrows = [
+            e
+            for e in node.chain.query_events("PaymentLocked")
+            if node.chain.call_view(
+                node.arbiter, "exchange_info", e.get("exchange_id")
+            )
+            is not None
+        ]
+        assert open_escrows == []

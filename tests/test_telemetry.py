@@ -346,8 +346,9 @@ class TestKernelAccounting:
     def test_parallel_and_serial_report_identical_totals(self, snark_ctx):
         """Kernel metrics are recorded at the dispatch site, so backend
         choice cannot change the reported ``engine.*`` totals (only the
-        process-global ntt_plan cache and the serial-only msm_window
-        table cache may differ between runs).  The parallel backend's
+        process-global ntt_plan cache, the serial-only msm_window table
+        cache and the parallel-only ntt_twiddle_shm segment cache may
+        differ between runs).  The parallel backend's
         extra ``worker.*`` instruments live in their own namespace
         precisely so this parity holds even at profile level — they are
         excluded here and asserted additive-only below.
@@ -364,6 +365,7 @@ class TestKernelAccounting:
                 for k, v in telemetry.registry().counter_values().items()
                 if "ntt_plan" not in k
                 and "msm_window" not in k
+                and "ntt_twiddle" not in k
                 and not k.startswith("worker.")
             }
 
