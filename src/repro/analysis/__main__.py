@@ -23,7 +23,12 @@ from repro.analysis.baseline import (
 )
 from repro.analysis.config import DEFAULT_CONFIG
 from repro.analysis.engine import analyze_paths
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_suppressions,
+    render_text,
+)
 from repro.analysis.rules import ALL_RULES, RULES_BY_ID
 
 
@@ -45,9 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif feeds GitHub code-scanning)",
+    )
+    parser.add_argument(
+        "--report-suppressions",
+        action="store_true",
+        help="print the pragma-suppression debt summary instead of findings",
     )
     parser.add_argument(
         "--output",
@@ -120,11 +130,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         return 0
 
-    report = (
-        render_json(result, args.strict)
-        if args.format == "json"
-        else render_text(result, args.strict)
-    )
+    if args.report_suppressions:
+        report = render_suppressions(result)
+    elif args.format == "json":
+        report = render_json(result, args.strict)
+    elif args.format == "sarif":
+        report = render_sarif(result, args.strict)
+    else:
+        report = render_text(result, args.strict)
     if args.output:
         Path(args.output).parent.mkdir(parents=True, exist_ok=True)
         Path(args.output).write_text(report + "\n")

@@ -50,7 +50,7 @@ def _default_secret_tokens() -> frozenset[str]:
 
 @dataclass(frozen=True)
 class AnalysisConfig:
-    """Repository-specific knobs for the five shipped rules."""
+    """Repository-specific knobs for the shipped rule catalogue."""
 
     # ----- SEC-001 --------------------------------------------------------
     secret_exact: frozenset[str] = field(default_factory=_default_secret_exact)
@@ -182,6 +182,122 @@ class AnalysisConfig:
     )
     #: Methods that squeeze a challenge out of the transcript.
     transcript_challenge_methods: frozenset[str] = frozenset({"challenge"})
+
+    # ----- ASYNC-001 / ASYNC-002 ------------------------------------------
+    #: Module prefixes where coroutines must never block the event loop.
+    async_scopes: tuple[str, ...] = ("service/",)
+    #: Dotted-name prefixes that block the calling thread outright.
+    blocking_call_prefixes: tuple[str, ...] = (
+        "time.sleep",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_output",
+        "subprocess.check_call",
+        "os.system",
+        "os.waitpid",
+        "socket.create_connection",
+        "urllib.request.urlopen",
+        "requests.",
+        "input",
+    )
+    #: Leaf method names that block *when the receiver looks like the
+    #: matching object*: ``apply``/``map``/``join`` on something named
+    #: like a pool, ``acquire`` on something named like a lock.  The
+    #: receiver-token pairing keeps ``dict.get``/``Queue.join`` style
+    #: homonyms out.
+    blocking_leaf_receivers: frozenset[tuple[str, str]] = frozenset(
+        {
+            ("apply", "pool"),
+            ("map", "pool"),
+            ("starmap", "pool"),
+            ("join", "pool"),
+            ("join", "thread"),
+            ("join", "proc"),
+            ("join", "process"),
+            ("acquire", "lock"),
+            ("acquire", "sem"),
+            ("acquire", "semaphore"),
+            ("wait", "event"),
+            ("wait", "barrier"),
+            ("recv", "sock"),
+            ("recv", "conn"),
+        }
+    )
+    #: Constructor names whose instances are *synchronous* locks: holding
+    #: one across an ``await`` (ASYNC-002) deadlocks the loop under
+    #: contention because the waiter never yields.
+    sync_lock_constructors: frozenset[str] = frozenset(
+        {
+            "threading.Lock",
+            "threading.RLock",
+            "threading.Semaphore",
+            "threading.BoundedSemaphore",
+            "threading.Condition",
+            "multiprocessing.Lock",
+            "multiprocessing.RLock",
+            "multiprocessing.Semaphore",
+        }
+    )
+
+    # ----- RES-001 --------------------------------------------------------
+    #: Module prefixes under must-release discipline.
+    resource_scopes: tuple[str, ...] = ("backend/", "service/")
+    #: Acquire call (dotted suffix) -> leaf names that release the binding.
+    #: An acquire whose result does not escape (no attribute/container
+    #: store, return, yield, or hand-off to a non-release call) must reach
+    #: one of its release leaves on every CFG path, exceptional included.
+    resource_acquires: tuple[tuple[str, tuple[str, ...]], ...] = (
+        ("create_segment", ("release_segment",)),
+        ("attach_segment", ("close",)),
+        ("SharedMemory", ("close", "unlink")),
+        ("Pool", ("terminate", "close", "join")),
+        ("acquire_ledger", ("release_ledger",)),
+    )
+
+    # ----- FORK-001 -------------------------------------------------------
+    #: Module prefixes checked for state captured across a fork boundary.
+    fork_scopes: tuple[str, ...] = ("service/", "backend/")
+    #: Dotted suffixes that create a fork-based worker pool.
+    fork_pool_calls: tuple[str, ...] = ("Pool",)
+    #: Dotted-name prefixes that create state which must not exist in the
+    #: parent when a fork pool is spawned: forked children inherit a
+    #: started thread's locks mid-flight, a running loop's selector fd,
+    #: and open sockets, all silently corrupt.
+    fork_hazard_calls: tuple[str, ...] = (
+        "threading.Thread",
+        "threading.Timer",
+        "asyncio.get_event_loop",
+        "asyncio.get_running_loop",
+        "asyncio.new_event_loop",
+        "asyncio.run",
+        "socket.socket",
+        "socket.create_connection",
+    )
+
+    # ----- FLT-002 --------------------------------------------------------
+    #: Module prefixes whose fault-site calls must be wrapped.
+    fault_discipline_scopes: tuple[str, ...] = ("core/", "service/")
+    #: Dotted suffixes registered as fault sites (mirrors faults/plan.py).
+    fault_site_calls: tuple[str, ...] = (
+        "chain.transact",
+        "storage.put",
+        "storage.get",
+        "dht.publish",
+        "dht.lookup",
+        "dht.get",
+        "msg.send",
+        "msg.recv",
+    )
+    #: Identifier tokens that mark a retry-policy receiver (``policy.run``,
+    #: ``self.retry.run``, ``ABORT_POLICY.run``, ``RetryPolicy(...).run``).
+    retry_receiver_tokens: frozenset[str] = frozenset(
+        {"retry", "policy", "retrypolicy", "abort_policy", "default_policy"}
+    )
+    #: Exception leaf-names whose handlers count as explicit abort/refund
+    #: recovery for a naked fault-site call inside a ``try``.
+    abort_handler_tokens: frozenset[str] = frozenset(
+        {"faultinjected", "exchangeaborted", "chainerror", "exception"}
+    )
 
 
 DEFAULT_CONFIG = AnalysisConfig()

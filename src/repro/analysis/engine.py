@@ -1,12 +1,18 @@
-"""The zklint analysis engine: discover files, parse, run rules, filter.
+"""The zklint analysis engine: discover files, parse, build, run, filter.
 
-The pipeline is deliberately boring:
+The pipeline is deliberately boring, now in two phases:
 
 1. collect ``*.py`` files under the given paths (``__pycache__`` skipped),
 2. parse each with stdlib :mod:`ast` (never importing the target code),
-3. run every enabled rule over every module,
-4. drop findings suppressed by a per-line pragma,
-5. split the rest into *new* vs *baselined* against the committed
+3. **phase one** — fold every parsed module into one
+   :class:`~repro.analysis.graph.Project` (import/call graph, symbol
+   resolution, attribute types),
+4. **phase two** — run every enabled rule over every module via
+   :meth:`~repro.analysis.rules.Rule.check_with_project` (per-module
+   rules just ignore the project),
+5. set aside findings suppressed by a per-line pragma (kept on the
+   result for ``--report-suppressions``),
+6. split the rest into *new* vs *baselined* against the committed
    baseline.
 
 Module paths are reported relative to the invocation (``display``) and
@@ -27,6 +33,7 @@ from typing import Iterable, Sequence
 from repro.analysis.baseline import partition
 from repro.analysis.config import DEFAULT_CONFIG, AnalysisConfig
 from repro.analysis.findings import Finding
+from repro.analysis.graph import build_project
 from repro.analysis.pragmas import is_suppressed, line_suppressions
 from repro.analysis.rules import ALL_RULES, Rule
 
@@ -52,6 +59,9 @@ class AnalysisResult:
     baselined: list[Finding]
     errors: list[str]
     files_scanned: int = 0
+    #: Findings silenced by a per-line pragma — the suppression debt the
+    #: ``--report-suppressions`` summary itemises.  Never gates.
+    suppressed: list[Finding] = field(default_factory=list)
 
     @property
     def failed(self) -> bool:
@@ -121,25 +131,35 @@ def analyze_paths(
     """Run the rule suite over ``paths`` and return the filtered result."""
     active_rules = list(ALL_RULES) if rules is None else list(rules)
     files = collect_files(paths)
-    raw: list[Finding] = []
     errors: list[str] = []
+    modules: list[ModuleInfo] = []
     for file_path in files:
         try:
-            module = load_module(file_path)
+            modules.append(load_module(file_path))
         except SyntaxError as exc:
             errors.append("%s: syntax error: %s" % (file_path.as_posix(), exc.msg))
-            continue
         except OSError as exc:
             errors.append("%s: unreadable: %s" % (file_path.as_posix(), exc))
-            continue
+    # Phase one: the whole-program graph over every module that parsed.
+    project = build_project(modules)
+    # Phase two: rules, with pragma partitioning instead of dropping.
+    raw: list[Finding] = []
+    suppressed: list[Finding] = []
+    for module in modules:
         suppressions = line_suppressions(module.source)
         for rule in active_rules:
-            for finding in rule.check(module, config):
+            for finding in rule.check_with_project(module, config, project):
                 if is_suppressed(finding.rule, finding.line, suppressions):
+                    suppressed.append(finding)
                     continue
                 raw.append(finding)
     raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     new, old = partition(raw, baseline or set())
     return AnalysisResult(
-        findings=new, baselined=old, errors=errors, files_scanned=len(files)
+        findings=new,
+        baselined=old,
+        errors=errors,
+        files_scanned=len(files),
+        suppressed=suppressed,
     )

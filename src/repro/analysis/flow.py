@@ -1,0 +1,399 @@
+"""CFG-lite: a per-function path model for the zklint rule pack.
+
+Phase-two rules that argue about *all paths* — RES-001's "every acquire
+is released on every path, including exceptional ones" — need more than
+lexical AST walks.  This module builds a small statement-level control
+flow graph per function:
+
+- one node per simple statement (plus synthetic ENTRY/EXIT),
+- branch edges for ``if``/``while``/``for`` (loops get a back edge and
+  a fall-through exit edge),
+- ``try``/``except``/``finally`` lowered with **exception edges**: any
+  statement that contains a call *may raise*, adding an edge to the
+  innermost matching handler or ``finally`` block, or straight to EXIT
+  when unprotected,
+- ``return``/``raise``/``break``/``continue`` wired to their targets
+  (through enclosing ``finally`` blocks, overapproximately: a finally
+  body is entered once and then forwards to every pending exit).
+
+On top of the graph two queries ship:
+
+- :meth:`FlowGraph.dominates` — classic iterative dominator dataflow,
+  "is A on every path from ENTRY to B?";
+- :meth:`FlowGraph.any_path_avoids` — "is there a path from ``start``
+  to EXIT that never touches ``avoid``?", the leak query: if a path
+  from the acquire's successors reaches EXIT without crossing a
+  release, the resource can leak.
+
+The model is an *overapproximation of paths* (every real path exists in
+the graph; the graph may contain infeasible ones), which is the safe
+direction for must-release proofs: RES-001 can report a leak that a
+branch condition actually prevents, but never miss one the graph
+represents.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+@dataclass
+class FlowNode:
+    """One CFG node; ``stmt`` is None for synthetic ENTRY/EXIT nodes."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    label: str
+    succs: set[int] = field(default_factory=set)
+    preds: set[int] = field(default_factory=set)
+    #: The successor taken when this statement itself raises (None when
+    #: it cannot).  Kept separate so "start from the acquire's *normal*
+    #: successors" queries can exclude the acquire's own failure path.
+    exc_succ: Optional[int] = None
+
+    @property
+    def line(self) -> int:
+        return 0 if self.stmt is None else self.stmt.lineno
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Whether a statement can raise mid-execution.
+
+    Conservative: any statement containing a call (or an explicit
+    ``raise``/``assert``) may raise.  Attribute access and arithmetic
+    can raise too, but flagging every statement would drown the finally
+    modelling in noise; calls are where resource-rule hazards live.
+    """
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Await, ast.Yield, ast.YieldFrom)):
+            return True
+    return False
+
+
+@dataclass
+class _Frame:
+    """Lowering context: where abrupt exits inside this region go."""
+
+    #: Node index exceptions propagate to (handler head / finally head /
+    #: EXIT).
+    except_target: int
+    break_target: Optional[int] = None
+    continue_target: Optional[int] = None
+    #: Node index ``return`` forwards to (finally head, else EXIT).
+    return_target: Optional[int] = None
+
+
+class FlowGraph:
+    """Statement-level CFG for one function body."""
+
+    def __init__(self, func: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func = func
+        self.nodes: list[FlowNode] = []
+        self.entry = self._new(None, "ENTRY")
+        self.exit = self._new(None, "EXIT")
+        self._by_stmt: dict[int, int] = {}
+        self._build()
+        self._dominators: Optional[list[set[int]]] = None
+
+    # ----- construction ---------------------------------------------------
+
+    def _new(self, stmt: Optional[ast.stmt], label: str) -> int:
+        node = FlowNode(index=len(self.nodes), stmt=stmt, label=label)
+        self.nodes.append(node)
+        return node.index
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.nodes[src].succs.add(dst)
+        self.nodes[dst].preds.add(src)
+
+    def _build(self) -> None:
+        frame = _Frame(except_target=self.exit, return_target=self.exit)
+        tail = self._lower_body(self.func.body, self.entry, frame)
+        if tail is not None:
+            self._edge(tail, self.exit)
+
+    def _lower_body(
+        self, body: Sequence[ast.stmt], pred: Optional[int], frame: _Frame
+    ) -> Optional[int]:
+        """Lower a statement list; returns the fall-through node or None."""
+        current = pred
+        for stmt in body:
+            if current is None:
+                # Unreachable code after return/raise/break: still build
+                # nodes so queries about them don't KeyError, but leave
+                # them disconnected from ENTRY.
+                current = self._lower_stmt(stmt, None, frame)
+            else:
+                current = self._lower_stmt(stmt, current, frame)
+        return current
+
+    def _lower_stmt(
+        self, stmt: ast.stmt, pred: Optional[int], frame: _Frame
+    ) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._lower_if(stmt, pred, frame)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._lower_loop(stmt, pred, frame)
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, pred, frame)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._lower_with(stmt, pred, frame)
+        node = self._new(stmt, type(stmt).__name__)
+        self._by_stmt[id(stmt)] = node
+        if pred is not None:
+            self._edge(pred, node)
+        if _may_raise(stmt) and not isinstance(stmt, (ast.Return, ast.Raise)):
+            self._edge(node, frame.except_target)
+            self.nodes[node].exc_succ = frame.except_target
+        if isinstance(stmt, ast.Return):
+            target = frame.return_target if frame.return_target is not None else self.exit
+            self._edge(node, target)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._edge(node, frame.except_target)
+            return None
+        if isinstance(stmt, ast.Break):
+            if frame.break_target is not None:
+                self._edge(node, frame.break_target)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if frame.continue_target is not None:
+                self._edge(node, frame.continue_target)
+            return None
+        return node
+
+    def _lower_if(self, stmt: ast.If, pred: Optional[int], frame: _Frame) -> Optional[int]:
+        head = self._new(stmt, "If")
+        self._by_stmt[id(stmt)] = head
+        if pred is not None:
+            self._edge(pred, head)
+        if _may_raise(stmt.test):  # type: ignore[arg-type]
+            self._edge(head, frame.except_target)
+        then_tail = self._lower_body(stmt.body, head, frame)
+        if stmt.orelse:
+            else_tail = self._lower_body(stmt.orelse, head, frame)
+        else:
+            else_tail = head  # false branch falls through
+        join: Optional[int] = None
+        for tail in (then_tail, else_tail):
+            if tail is None:
+                continue
+            if join is None:
+                join = self._new(None, "IfJoin")
+            self._edge(tail, join)
+        return join
+
+    def _lower_loop(
+        self,
+        stmt: ast.While | ast.For | ast.AsyncFor,
+        pred: Optional[int],
+        frame: _Frame,
+    ) -> Optional[int]:
+        head = self._new(stmt, type(stmt).__name__)
+        self._by_stmt[id(stmt)] = head
+        if pred is not None:
+            self._edge(pred, head)
+        after = self._new(None, "LoopExit")
+        # The loop may execute zero times (or the iterator may raise).
+        self._edge(head, after)
+        if _may_raise(stmt):
+            self._edge(head, frame.except_target)
+        inner = _Frame(
+            except_target=frame.except_target,
+            break_target=after,
+            continue_target=head,
+            return_target=frame.return_target,
+        )
+        body_tail = self._lower_body(stmt.body, head, inner)
+        if body_tail is not None:
+            self._edge(body_tail, head)  # back edge
+        if stmt.orelse:
+            else_tail = self._lower_body(stmt.orelse, head, frame)
+            if else_tail is not None:
+                self._edge(else_tail, after)
+        return after
+
+    def _lower_with(
+        self, stmt: ast.With | ast.AsyncWith, pred: Optional[int], frame: _Frame
+    ) -> Optional[int]:
+        # A `with` head both runs __enter__ (may raise) and guarantees
+        # __exit__ on all inner paths; for the path queries the head node
+        # doubles as the context-manager marker RES-001 looks for.
+        head = self._new(stmt, type(stmt).__name__)
+        self._by_stmt[id(stmt)] = head
+        if pred is not None:
+            self._edge(pred, head)
+        self._edge(head, frame.except_target)
+        return self._lower_body(stmt.body, head, frame)
+
+    def _lower_try(self, stmt: ast.Try, pred: Optional[int], frame: _Frame) -> Optional[int]:
+        head = self._new(stmt, "Try")
+        self._by_stmt[id(stmt)] = head
+        if pred is not None:
+            self._edge(pred, head)
+        exits: list[int] = []
+
+        if stmt.finalbody:
+            # The finally body is lowered once; every abrupt or normal
+            # exit of the protected region funnels through its head and
+            # its tail forwards to every pending continuation — an
+            # overapproximation (a `return` path and the fall-through
+            # path share one finally instance) that preserves "finally
+            # is on every path".
+            fin_head = self._new(None, "FinallyHead")
+            fin_frame = _Frame(
+                except_target=frame.except_target,
+                break_target=frame.break_target,
+                continue_target=frame.continue_target,
+                return_target=frame.return_target,
+            )
+            fin_tail = self._lower_body(stmt.finalbody, fin_head, fin_frame)
+            inner_except = fin_head
+            inner_frame = _Frame(
+                except_target=fin_head,
+                break_target=fin_head if frame.break_target is not None else None,
+                continue_target=fin_head if frame.continue_target is not None else None,
+                return_target=fin_head,
+            )
+        else:
+            fin_head = fin_tail = None
+            inner_except = frame.except_target
+            inner_frame = frame
+
+        handler_heads: list[int] = []
+        if stmt.handlers:
+            # Exceptions in the try body go to the handlers first; an
+            # unmatched exception still escapes to inner_except, modelled
+            # by the handler head forwarding there.
+            dispatch = self._new(None, "ExceptDispatch")
+            body_frame = _Frame(
+                except_target=dispatch,
+                break_target=inner_frame.break_target,
+                continue_target=inner_frame.continue_target,
+                return_target=inner_frame.return_target,
+            )
+            self._edge(dispatch, inner_except)  # no handler matches
+        else:
+            dispatch = None
+            body_frame = inner_frame
+
+        body_tail = self._lower_body(stmt.body, head, body_frame)
+
+        for handler in stmt.handlers:
+            h_head = self._new(handler, "ExceptHandler")  # type: ignore[arg-type]
+            self._by_stmt[id(handler)] = h_head
+            assert dispatch is not None
+            self._edge(dispatch, h_head)
+            handler_heads.append(h_head)
+            h_tail = self._lower_body(handler.body, h_head, inner_frame)
+            if h_tail is not None:
+                exits.append(h_tail)
+
+        if stmt.orelse:
+            else_tail = self._lower_body(stmt.orelse, body_tail, body_frame)
+            if else_tail is not None:
+                exits.append(else_tail)
+        elif body_tail is not None:
+            exits.append(body_tail)
+
+        if fin_head is not None:
+            for tail in exits:
+                self._edge(tail, fin_head)
+            if fin_tail is None:
+                return None
+            # The finally tail forwards to all pending continuations:
+            # the enclosing exception path plus normal fall-through.
+            self._edge(fin_tail, frame.except_target)
+            if frame.return_target is not None:
+                self._edge(fin_tail, frame.return_target)
+            return fin_tail
+        if not exits:
+            return None
+        if len(exits) == 1:
+            return exits[0]
+        join = self._new(None, "TryJoin")
+        for tail in exits:
+            self._edge(tail, join)
+        return join
+
+    # ----- queries --------------------------------------------------------
+
+    def node_for(self, stmt: ast.stmt) -> Optional[int]:
+        """CFG node index for a statement lowered into this graph."""
+        return self._by_stmt.get(id(stmt))
+
+    def normal_succs(self, index: int) -> set[int]:
+        """Successors excluding the node's own exception edge."""
+        node = self.nodes[index]
+        if node.exc_succ is None:
+            return set(node.succs)
+        return node.succs - {node.exc_succ}
+
+    def reachable(self, start: int) -> set[int]:
+        """Nodes reachable from ``start`` (inclusive)."""
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            for succ in self.nodes[frontier.pop()].succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return seen
+
+    def any_path_avoids(self, start: int, avoid: set[int]) -> bool:
+        """Is there a path ``start`` → EXIT that never enters ``avoid``?
+
+        ``start`` itself is exempt (asking "after this acquire, can we
+        reach EXIT without releasing?").  Nodes in ``avoid`` are treated
+        as absorbing — traversal stops there.
+        """
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for succ in self.nodes[current].succs:
+                if succ in avoid or succ in seen:
+                    continue
+                if succ == self.exit:
+                    return True
+                seen.add(succ)
+                frontier.append(succ)
+        return False
+
+    def _compute_dominators(self) -> list[set[int]]:
+        n = len(self.nodes)
+        all_nodes = set(range(n))
+        dom: list[set[int]] = [all_nodes.copy() for _ in range(n)]
+        dom[self.entry] = {self.entry}
+        order = [i for i in self.reachable(self.entry) if i != self.entry]
+        changed = True
+        while changed:
+            changed = False
+            for i in order:
+                preds = list(self.nodes[i].preds)
+                if preds:
+                    new: set[int] = all_nodes.copy()
+                    for p in preds:
+                        new &= dom[p]
+                else:
+                    new = set()
+                new |= {i}
+                if new != dom[i]:
+                    dom[i] = new
+                    changed = True
+        return dom
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True when every path ENTRY → ``b`` passes through ``a``."""
+        if self._dominators is None:
+            self._dominators = self._compute_dominators()
+        return a in self._dominators[b]
+
+
+def build_flow(func: ast.FunctionDef | ast.AsyncFunctionDef) -> FlowGraph:
+    """Build the CFG for one function (nested defs are *not* inlined)."""
+    return FlowGraph(func)

@@ -1,0 +1,534 @@
+"""The zklint project graph: imports, symbols, types and calls.
+
+Phase one of the two-phase analyser (see :mod:`repro.analysis.engine`):
+every parsed module is folded into one :class:`Project` before any rule
+runs, so rules can ask *whole-program* questions a per-file pass cannot
+answer — "which function does ``self.pool.close()`` resolve to?",
+"who calls ``ProverPool.prove_key_negotiation``?", "does this helper
+block when called from a coroutine?".
+
+Resolution is deliberately conservative and purely syntactic (stdlib
+``ast`` only; the analysed code is never imported):
+
+- **module names** come from the package-relative path
+  (``service/node.py`` → ``repro.service.node``), so a test fixture at
+  ``tests/fixtures/zklint/repro/service/x.py`` resolves like real code;
+- **aliases** track ``import a.b as c`` / ``from a.b import c as d``
+  (including relative imports) to fully-qualified dotted names;
+- **types** are inferred from three unambiguous shapes only: parameter
+  annotations (``def f(buyer: Buyer)``), plain constructor assignments
+  (``x = ClassName(...)``) and attribute constructor assignments or
+  annotations inside a class (``self.pool = ProverPool(...)``,
+  ``self.pool: Optional[ProverPool]``);
+- anything else resolves to ``None`` and rules must degrade gracefully.
+
+A call edge exists only when the callee resolves to a function *defined
+in the analysed tree*; stdlib and third-party calls are kept as raw
+dotted names on :class:`FunctionNode.calls` for rules that match on
+name shape instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, TYPE_CHECKING, TypeVar
+
+from repro.analysis.astutil import dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.engine import ModuleInfo
+
+T = TypeVar("T")
+
+#: The package every analysed tree is rooted at (``module_rel`` strips
+#: everything up to the last ``repro/`` path component).
+ROOT_PACKAGE = "repro"
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: The raw dotted callee (``self.pool.close``), or ``None`` for
+    #: dynamic callees (``fns[i]()``).
+    dotted: Optional[str]
+    #: Fully-qualified name of the resolved project function, if any.
+    target: Optional[str]
+    #: True when the call is directly awaited (``await x.f()``).
+    awaited: bool = False
+
+
+@dataclass
+class FunctionNode:
+    """A function or method defined somewhere in the analysed tree."""
+
+    qname: str
+    name: str
+    module: "ModuleGraphNode"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: Optional[str] = None
+    is_async: bool = False
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def params(self) -> list[str]:
+        """Positional parameter names, ``self``/``cls`` excluded."""
+        args = self.node.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        if self.cls is not None and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names
+
+
+@dataclass
+class ClassNode:
+    """A class defined in the analysed tree."""
+
+    qname: str
+    name: str
+    module: "ModuleGraphNode"
+    node: ast.ClassDef
+    #: Method name -> qualified function name.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: Base class names, resolved to project class qnames where possible.
+    bases: list[str] = field(default_factory=list)
+    #: ``self.<attr>`` -> project class qname, from constructor
+    #: assignments and annotations.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleGraphNode:
+    """One module's slice of the project graph."""
+
+    info: "ModuleInfo"
+    name: str
+    #: Local alias -> fully-qualified dotted target.
+    aliases: dict[str, str] = field(default_factory=dict)
+    #: Dotted names of every module this module imports.
+    imports: set[str] = field(default_factory=set)
+    functions: dict[str, str] = field(default_factory=dict)
+    classes: dict[str, ClassNode] = field(default_factory=dict)
+
+
+def module_name_for(rel: str) -> str:
+    """Dotted module name for a package-relative path.
+
+    ``service/node.py`` → ``repro.service.node``;
+    ``service/__init__.py`` → ``repro.service``; ``__init__.py`` →
+    ``repro``.
+    """
+    parts = rel.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([ROOT_PACKAGE] + [p for p in parts if p])
+
+
+class Project:
+    """The whole-program view rules query during phase two."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleGraphNode] = {}
+        self.modules_by_rel: dict[str, ModuleGraphNode] = {}
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self._callers: dict[str, set[str]] = {}
+        self._memo: dict[object, object] = {}
+
+    # ----- generic memo space (rules cache derived facts here) ------------
+
+    def memo(self, key: object, compute: Callable[[], T]) -> T:
+        """Per-project memoisation for rule-derived facts."""
+        if key not in self._memo:
+            self._memo[key] = compute()
+        return self._memo[key]  # type: ignore[return-value]
+
+    # ----- graph queries --------------------------------------------------
+
+    def function(self, qname: str) -> Optional[FunctionNode]:
+        return self.functions.get(qname)
+
+    def callees(self, qname: str) -> set[str]:
+        """Resolved project functions called by ``qname``."""
+        func = self.functions.get(qname)
+        if func is None:
+            return set()
+        return {c.target for c in func.calls if c.target is not None}
+
+    def callers(self, qname: str) -> set[str]:
+        """Project functions whose bodies call ``qname``."""
+        return set(self._callers.get(qname, set()))
+
+    def reachable_from(self, qname: str) -> set[str]:
+        """Transitive closure of :meth:`callees` (``qname`` excluded)."""
+        seen: set[str] = set()
+        frontier = [qname]
+        while frontier:
+            current = frontier.pop()
+            for callee in self.callees(current):
+                if callee not in seen:
+                    seen.add(callee)
+                    frontier.append(callee)
+        seen.discard(qname)
+        return seen
+
+    def importers(self, module_name: str) -> set[str]:
+        """Modules that import ``module_name`` (direct edges only)."""
+        return {
+            mod.name
+            for mod in self.modules.values()
+            if module_name in mod.imports
+        }
+
+    # ----- resolution -----------------------------------------------------
+
+    def resolve_class(self, module: ModuleGraphNode, name: str) -> Optional[ClassNode]:
+        """Resolve a (possibly dotted or aliased) name to a project class."""
+        if name in module.classes:
+            return module.classes[name]
+        target = self._expand_alias(module, name)
+        if target is None:
+            return None
+        return self.classes.get(target)
+
+    def _expand_alias(self, module: ModuleGraphNode, dotted: str) -> Optional[str]:
+        """Fully-qualify ``dotted`` through the module's import aliases."""
+        head, _, rest = dotted.partition(".")
+        target = module.aliases.get(head)
+        if target is None:
+            return None
+        return target + "." + rest if rest else target
+
+    def resolve_call(
+        self,
+        module: ModuleGraphNode,
+        dotted: str,
+        func: Optional[FunctionNode] = None,
+    ) -> Optional[FunctionNode]:
+        """Best-effort resolution of a dotted callee to a project function.
+
+        Handles, in order: local functions, ``self.method``,
+        ``self.attr.method`` (through inferred attribute types),
+        ``typed_local.method`` (through parameter annotations and
+        constructor assignments) and ``alias.path.function``.
+        """
+        parts = dotted.split(".")
+        cls = self._enclosing_class(func)
+        # Plain local name: module function or (rarely) a class.
+        if len(parts) == 1:
+            qname = module.functions.get(parts[0])
+            if qname is not None:
+                return self.functions.get(qname)
+            return self._resolve_aliased(module, dotted)
+        if parts[0] == "self" and cls is not None:
+            if len(parts) == 2:
+                return self._method(cls, parts[1])
+            if len(parts) == 3:
+                attr_cls = self._attr_class(cls, parts[1])
+                if attr_cls is not None:
+                    return self._method(attr_cls, parts[2])
+            return None
+        if len(parts) == 2 and func is not None:
+            local_cls = self._local_type(module, func, parts[0])
+            if local_cls is not None:
+                return self._method(local_cls, parts[1])
+        return self._resolve_aliased(module, dotted)
+
+    def _resolve_aliased(
+        self, module: ModuleGraphNode, dotted: str
+    ) -> Optional[FunctionNode]:
+        target = self._expand_alias(module, dotted)
+        if target is None:
+            return None
+        if target in self.functions:
+            return self.functions[target]
+        # ``alias.func`` where alias names a module: look the function up
+        # in that module's symbol table (covers ``Class.method`` too).
+        mod_name, _, local = target.rpartition(".")
+        mod = self.modules.get(mod_name)
+        if mod is not None and local in mod.functions:
+            return self.functions.get(mod.functions[local])
+        # ``alias.Class.method``.
+        parts = target.split(".")
+        if len(parts) >= 3:
+            mod = self.modules.get(".".join(parts[:-2]))
+            if mod is not None:
+                cls = mod.classes.get(parts[-2])
+                if cls is not None:
+                    return self._method(cls, parts[-1])
+        return None
+
+    def _enclosing_class(self, func: Optional[FunctionNode]) -> Optional[ClassNode]:
+        if func is None or func.cls is None:
+            return None
+        return func.module.classes.get(func.cls)
+
+    def _method(self, cls: ClassNode, name: str) -> Optional[FunctionNode]:
+        """Look a method up in ``cls``, then one level of project bases."""
+        qname = cls.methods.get(name)
+        if qname is not None:
+            return self.functions.get(qname)
+        for base in cls.bases:
+            base_cls = self.classes.get(base)
+            if base_cls is not None and name in base_cls.methods:
+                return self.functions.get(base_cls.methods[name])
+        return None
+
+    def _attr_class(self, cls: ClassNode, attr: str) -> Optional[ClassNode]:
+        qname = cls.attr_types.get(attr)
+        if qname is None:
+            for base in cls.bases:
+                base_cls = self.classes.get(base)
+                if base_cls is not None and attr in base_cls.attr_types:
+                    qname = base_cls.attr_types[attr]
+                    break
+        return None if qname is None else self.classes.get(qname)
+
+    def _local_type(
+        self, module: ModuleGraphNode, func: FunctionNode, name: str
+    ) -> Optional[ClassNode]:
+        """Type of a local variable from annotation or ``x = Cls(...)``."""
+        types = self.memo(("local_types", func.qname), lambda: _local_types(self, func))
+        qname = types.get(name)
+        return None if qname is None else self.classes.get(qname)
+
+
+def _annotation_class(
+    project: Project, module: ModuleGraphNode, annotation: Optional[ast.expr]
+) -> Optional[str]:
+    """Extract the first project class named inside an annotation."""
+    if annotation is None:
+        return None
+    for node in ast.walk(annotation):
+        name: Optional[str] = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value
+        if name is None:
+            continue
+        resolved = project.resolve_class(module, name)
+        if resolved is not None:
+            return resolved.qname
+    return None
+
+
+def _local_types(project: Project, func: FunctionNode) -> dict[str, str]:
+    """Local-name -> project-class map for one function body."""
+    module = func.module
+    out: dict[str, str] = {}
+    args = func.node.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        cls = _annotation_class(project, module, arg.annotation)
+        if cls is not None:
+            out[arg.arg] = cls
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = dotted_name(node.value.func)
+            if callee is None:
+                continue
+            cls = project.resolve_class(module, callee)
+            if cls is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out[target.id] = cls.qname
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            cls_name = _annotation_class(project, module, node.annotation)
+            if cls_name is not None:
+                out[node.target.id] = cls_name
+    return out
+
+
+# ----------------------------------------------------------------- builder
+
+
+def _collect_aliases(module: ModuleGraphNode) -> None:
+    """Populate alias and import tables from the module's import nodes."""
+    package = module.name.rpartition(".")[0]
+    for node in ast.walk(module.info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module.aliases[local] = target
+                module.imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                # Relative import: resolve against this module's package.
+                prefix_parts = module.name.split(".")
+                cut = node.level
+                if not module.info.rel.endswith("__init__.py"):
+                    cut += 0
+                prefix_parts = prefix_parts[: len(prefix_parts) - node.level]
+                base = ".".join(prefix_parts + ([node.module] if node.module else []))
+            if not base:
+                continue
+            module.imports.add(base)
+            for alias in node.names:
+                local = alias.asname or alias.name
+                module.aliases[local] = base + "." + alias.name
+    # The module's own package is implicitly importable context.
+    if package:
+        module.aliases.setdefault("__package__", package)
+
+
+def _is_awaited(parents: dict[int, ast.AST], call: ast.Call) -> bool:
+    parent = parents.get(id(call))
+    return isinstance(parent, ast.Await)
+
+
+def _register_function(
+    project: Project,
+    module: ModuleGraphNode,
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: Optional[ClassNode],
+) -> None:
+    local = node.name if cls is None else "%s.%s" % (cls.name, node.name)
+    qname = "%s.%s" % (module.name, local)
+    func = FunctionNode(
+        qname=qname,
+        name=node.name,
+        module=module,
+        node=node,
+        cls=None if cls is None else cls.name,
+        is_async=isinstance(node, ast.AsyncFunctionDef),
+    )
+    project.functions[qname] = func
+    module.functions[local] = qname
+    if cls is None:
+        # Plain-name resolution (``helper()``) needs the bare name too.
+        module.functions.setdefault(node.name, qname)
+    else:
+        cls.methods[node.name] = qname
+
+
+def _collect_symbols(project: Project, module: ModuleGraphNode) -> None:
+    """Register top-level functions, classes and their methods."""
+    for node in module.info.tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _register_function(project, module, node, None)
+        elif isinstance(node, ast.ClassDef):
+            cls_qname = "%s.%s" % (module.name, node.name)
+            cls = ClassNode(
+                qname=cls_qname, name=node.name, module=module, node=node
+            )
+            module.classes[node.name] = cls
+            project.classes[cls_qname] = cls
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _register_function(project, module, item, cls)
+
+
+def _resolve_bases_and_attrs(project: Project, module: ModuleGraphNode) -> None:
+    for cls in module.classes.values():
+        for base in cls.node.bases:
+            name = dotted_name(base)
+            if name is None:
+                continue
+            resolved = project.resolve_class(module, name)
+            cls.bases.append(resolved.qname if resolved is not None else name)
+        for item in cls.node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(item):
+                if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                    callee = dotted_name(node.value.func)
+                    if callee is None:
+                        continue
+                    attr_cls = project.resolve_class(module, callee)
+                    if attr_cls is None:
+                        continue
+                    for target in node.targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            cls.attr_types[target.attr] = attr_cls.qname
+                elif isinstance(node, ast.AnnAssign):
+                    target = node.target
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attr_name = _annotation_class(project, module, node.annotation)
+                        if attr_name is not None:
+                            cls.attr_types[target.attr] = attr_name
+
+
+def _function_body_calls(
+    func: FunctionNode,
+) -> Iterator[tuple[ast.Call, dict[int, ast.AST]]]:
+    """Calls belonging to ``func``'s body, nested defs excluded.
+
+    Lambdas stay in — they execute in the enclosing function's dynamic
+    context for every rule that cares (blocking, retries, taint).
+    """
+    parents: dict[int, ast.AST] = {}
+
+    def visit(node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            yield from visit(child)
+
+    for call in visit(func.node):
+        yield call, parents
+
+
+def _collect_calls(project: Project, module: ModuleGraphNode) -> None:
+    for local in module.functions.values():
+        func = project.functions[local]
+        if func.module is not module or func.calls:
+            continue
+        for call, parents in _function_body_calls(func):
+            dotted = dotted_name(call.func)
+            target: Optional[str] = None
+            if dotted is not None:
+                resolved = project.resolve_call(module, dotted, func)
+                if resolved is not None:
+                    target = resolved.qname
+            func.calls.append(
+                CallSite(
+                    node=call,
+                    dotted=dotted,
+                    target=target,
+                    awaited=_is_awaited(parents, call),
+                )
+            )
+            if target is not None:
+                project._callers.setdefault(target, set()).add(func.qname)
+
+
+def build_project(modules: list["ModuleInfo"]) -> Project:
+    """Fold parsed modules into one :class:`Project` (two passes)."""
+    project = Project()
+    graph_nodes: list[ModuleGraphNode] = []
+    for info in modules:
+        node = ModuleGraphNode(info=info, name=module_name_for(info.rel))
+        project.modules[node.name] = node
+        project.modules_by_rel[info.rel] = node
+        graph_nodes.append(node)
+    # Pass 1: aliases and symbols (resolution needs the full table).
+    for node in graph_nodes:
+        _collect_aliases(node)
+    for node in graph_nodes:
+        _collect_symbols(project, node)
+    # Pass 2: bases, attribute types, then call edges.
+    for node in graph_nodes:
+        _resolve_bases_and_attrs(project, node)
+    for node in graph_nodes:
+        _collect_calls(project, node)
+    return project

@@ -1,0 +1,180 @@
+"""FLT-002: fault-site calls on driver paths must be recoverable.
+
+PR 5 registered every unreliable boundary — ``chain.transact``,
+``storage.put/get``, ``dht.*``, ``msg.*`` — as a fault site the
+injection plane can fail deterministically, and gave the exchange
+drivers a recovery vocabulary: wrap the call in a
+:class:`~repro.faults.retry.RetryPolicy` (``policy.run(lambda: ...)``)
+or catch the failure in an explicit abort/refund handler.  The
+conservation invariant (no stranded escrow) only holds if *every*
+driver-path fault site uses one of the two; a naked ``chain.transact``
+that raises mid-exchange strands the escrow in exactly the way the
+chaos suite hunts for.
+
+This rule closes the loop statically.  A call whose dotted name ends in
+a registered fault-site suffix (``self.chain.transact`` matches
+``chain.transact``), in a ``core/``/``service/`` module, is compliant
+when any of:
+
+- it sits inside a ``lambda`` or local ``def`` that is passed to a
+  ``.run(...)`` method on a retry-ish receiver (identifier tokens
+  ``retry``/``policy``/``ABORT_POLICY``/… or a direct
+  ``RetryPolicy(...).run`` call);
+- it sits inside a ``try`` whose handlers name a fault/abort exception
+  (``FaultInjected``, ``ExchangeAborted``, ``ChainError``, or a broad
+  ``Exception``) — the abort/refund path;
+- the enclosing function *is* the retry machinery itself (``faults/``
+  modules are out of scope by construction).
+
+Everything else is a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.rules import Rule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ModuleInfo
+    from repro.analysis.graph import Project
+
+
+def _site_suffix(dotted: str, config: "AnalysisConfig") -> Optional[str]:
+    """The registered fault-site suffix this callee matches, if any."""
+    for site in config.fault_site_calls:
+        if dotted == site or dotted.endswith("." + site):
+            return site
+        # `dht.*`-style families: `site` may itself be a prefix family
+        # like `dht.publish`; exact/suffix match above is enough because
+        # the config enumerates the leaves.
+    return None
+
+
+def _identifier_tokens(name: str) -> set[str]:
+    return {t for t in name.lower().replace(".", "_").split("_") if t}
+
+
+class _Parented(ast.NodeVisitor):
+    """One pass recording parent links (scopes included)."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.parents: dict[int, ast.AST] = {}
+        stack: list[ast.AST] = [tree]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                self.parents[id(child)] = node
+                stack.append(child)
+
+    def chain(self, node: ast.AST) -> Iterator[ast.AST]:
+        current: Optional[ast.AST] = self.parents.get(id(node))
+        while current is not None:
+            yield current
+            current = self.parents.get(id(current))
+
+
+class FaultSiteDiscipline(Rule):
+    """FLT-002: registered fault sites need RetryPolicy or abort handling."""
+
+    rule_id = "FLT-002"
+    title = "Fault-site call without retry policy or abort handler"
+
+    def check_with_project(
+        self, module: "ModuleInfo", config: "AnalysisConfig", project: "Project"
+    ) -> Iterator[Finding]:
+        if not any(module.rel.startswith(s) for s in config.fault_discipline_scopes):
+            return
+        parents = _Parented(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is None:
+                continue
+            site = _site_suffix(dotted, config)
+            if site is None:
+                continue
+            if self._is_wrapped(node, parents, config):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                node.col_offset,
+                "fault site '%s' called without a RetryPolicy wrapper or "
+                "abort/refund handler — a mid-exchange failure here "
+                "strands escrow" % site,
+            )
+
+    # ----- compliance predicates ------------------------------------------
+
+    def _is_wrapped(
+        self, call: ast.Call, parents: _Parented, config: "AnalysisConfig"
+    ) -> bool:
+        passed_through_callable = False
+        for ancestor in parents.chain(call):
+            if isinstance(ancestor, ast.Lambda):
+                passed_through_callable = True
+                continue
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # A nested def handed to policy.run(...) — keep climbing
+                # to find who receives it; a top-level function boundary
+                # without a wrapper below means the site is naked.
+                passed_through_callable = True
+                continue
+            if isinstance(ancestor, ast.Call) and passed_through_callable:
+                if self._is_retry_run(ancestor, config):
+                    return True
+            if isinstance(ancestor, ast.Try) and not passed_through_callable:
+                if self._has_abort_handler(ancestor, call, config):
+                    return True
+        return False
+
+    def _is_retry_run(self, call: ast.Call, config: "AnalysisConfig") -> bool:
+        dotted = dotted_name(call.func)
+        if dotted is not None:
+            leaf = dotted.rpartition(".")[2]
+            if leaf != "run":
+                return False
+            receiver = dotted.rpartition(".")[0]
+            if _identifier_tokens(receiver) & config.retry_receiver_tokens:
+                return True
+            return False
+        # `RetryPolicy(...).run(lambda: ...)`: the receiver is a Call, so
+        # dotted_name fails; match the attribute leaf + constructor name.
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr == "run":
+            inner = func.value
+            if isinstance(inner, ast.Call):
+                ctor = dotted_name(inner.func)
+                if ctor is not None and (
+                    _identifier_tokens(ctor) & config.retry_receiver_tokens
+                ):
+                    return True
+        return False
+
+    def _has_abort_handler(
+        self, try_stmt: ast.Try, call: ast.Call, config: "AnalysisConfig"
+    ) -> bool:
+        # The call must be in the protected body (not in a handler or
+        # the finally block, where a second failure has no recovery).
+        in_body = any(
+            any(n is call for n in ast.walk(stmt)) for stmt in try_stmt.body
+        )
+        if not in_body:
+            return False
+        for handler in try_stmt.handlers:
+            if handler.type is None:
+                return True  # bare except
+            for name_node in ast.walk(handler.type):
+                name = dotted_name(name_node)
+                if name is None:
+                    continue
+                leaf = name.rpartition(".")[2].lower()
+                if leaf in config.abort_handler_tokens:
+                    return True
+        return False

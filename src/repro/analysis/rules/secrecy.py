@@ -14,12 +14,22 @@ expression reaching one of the sinks below is a finding:
 - ``telemetry.span(..., attr=secret)`` / ``sp.set_attr(s)`` / ``set_attrs``,
 - ``print(secret, ...)``,
 - ``json.dump(s)`` payloads (the benchmark emission path).
+
+With the project graph (zklint v2) taint additionally propagates **one
+call level**: for every call that resolves to a function defined in the
+tree, the callee's parameters are classified as *leaky* when the
+parameter value reaches a sink inside the callee (memoised per
+project).  Passing a secret-named argument into a leaky position is
+then a finding at the call site — catching the
+``fail(diag)``-forwards-to-``raise`` shape a per-module pass cannot
+see.  Parameters that are themselves secret-named are excluded (the
+intraprocedural pass already reports inside the callee).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.analysis.astutil import assigned_names, dotted_name, lexical_nodes
 from repro.analysis.findings import Finding
@@ -28,6 +38,7 @@ from repro.analysis.rules import Rule
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.config import AnalysisConfig
     from repro.analysis.engine import ModuleInfo
+    from repro.analysis.graph import FunctionNode, Project
 
 _ATTR_SINKS = frozenset({"set_attr", "set_attrs"})
 
@@ -80,15 +91,23 @@ class SecretLeakage(Rule):
         tainted: set[str],
         config: "AnalysisConfig",
         through_calls: bool = True,
+        use_lexicon: bool = True,
     ) -> list[str]:
-        """Secret identifiers whose *values* flow out of ``expr``."""
+        """Secret identifiers whose *values* flow out of ``expr``.
+
+        With ``use_lexicon=False`` only the explicit taint set matches —
+        the mode the interprocedural leaky-parameter computation uses to
+        track an arbitrary (non-secret-named) parameter.
+        """
         found: list[str] = []
         for node in _walk_value_flow(expr, through_calls):
             if isinstance(node, ast.Name):
-                if node.id in tainted or self._is_secret_identifier(node.id, config):
+                if node.id in tainted or (
+                    use_lexicon and self._is_secret_identifier(node.id, config)
+                ):
                     found.append(node.id)
             elif isinstance(node, ast.Attribute):
-                if self._is_secret_identifier(node.attr, config):
+                if use_lexicon and self._is_secret_identifier(node.attr, config):
                     found.append(dotted_name(node) or node.attr)
         return found
 
@@ -194,3 +213,118 @@ class SecretLeakage(Rule):
         for expr in exprs:
             names.extend(self._secret_names(expr, tainted, config))
         return names
+
+    # ----- interprocedural (one call level through the project graph) -----
+
+    def check_with_project(
+        self, module: "ModuleInfo", config: "AnalysisConfig", project: "Project"
+    ) -> Iterator[Finding]:
+        yield from self.check(module, config)
+        graph_module = project.modules_by_rel.get(module.rel)
+        if graph_module is None:
+            return
+        for qname in set(graph_module.functions.values()):
+            caller = project.functions[qname]
+            if caller.module is not graph_module:
+                continue
+            for site in caller.calls:
+                if site.target is None:
+                    continue
+                callee = project.functions.get(site.target)
+                if callee is None:
+                    continue
+                leaky = self._leaky_params(callee, config, project)
+                if not leaky:
+                    continue
+                for param, arg in self._bind_args(site.node, callee):
+                    sink = leaky.get(param)
+                    if sink is None:
+                        continue
+                    names = self._secret_names(arg, set(), config, through_calls=False)
+                    if names:
+                        yield self._leak(
+                            module,
+                            site.node,
+                            names,
+                            "%s via parameter '%s' of '%s'"
+                            % (sink, param, callee.qname),
+                        )
+
+    def _bind_args(
+        self, call: ast.Call, callee: "FunctionNode"
+    ) -> Iterator[tuple[str, ast.AST]]:
+        """Pair call arguments with the callee's parameter names."""
+        params = callee.params
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                break
+            if index < len(params):
+                yield params[index], arg
+        for kw in call.keywords:
+            if kw.arg is not None:
+                yield kw.arg, kw.value
+
+    def _leaky_params(
+        self, callee: "FunctionNode", config: "AnalysisConfig", project: "Project"
+    ) -> dict[str, str]:
+        """Parameters of ``callee`` that reach a sink when tainted.
+
+        Memoised on the project; secret-named parameters are excluded —
+        those already fire intraprocedurally inside the callee.
+        """
+
+        def compute() -> dict[str, str]:
+            out: dict[str, str] = {}
+            for param in callee.params:
+                if self._is_secret_identifier(param, config):
+                    continue
+                sink = self._taint_reaches_sink(callee.node, {param}, config)
+                if sink is not None:
+                    out[param] = sink
+            return out
+
+        return project.memo(("sec_leaky", callee.qname), compute)
+
+    def _taint_reaches_sink(
+        self,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        tainted: set[str],
+        config: "AnalysisConfig",
+    ) -> Optional[str]:
+        """First sink the taint set reaches inside ``func``, if any."""
+        live = set(tainted)
+
+        def flows(expr: ast.AST, through_calls: bool = True) -> bool:
+            return bool(
+                self._secret_names(
+                    expr, live, config, through_calls=through_calls, use_lexicon=False
+                )
+            )
+
+        for node in lexical_nodes(func):
+            if isinstance(node, ast.Assign):
+                if flows(node.value, through_calls=False):
+                    for target in node.targets:
+                        live.update(assigned_names(target))
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                args: list[ast.AST] = (
+                    list(exc.args) + [kw.value for kw in exc.keywords]
+                    if isinstance(exc, ast.Call)
+                    else [exc]
+                )
+                if any(flows(a) for a in args):
+                    return "an exception message"
+            elif isinstance(node, ast.Call):
+                callee = dotted_name(node.func)
+                leaf = callee.split(".")[-1] if callee else ""
+                values = list(node.args) + [kw.value for kw in node.keywords]
+                if leaf == "print" and any(flows(v) for v in values):
+                    return "print output"
+                if leaf in _ATTR_SINKS and any(flows(v) for v in values):
+                    return "a telemetry span attribute"
+                if callee in ("json.dump", "json.dumps") and any(
+                    flows(v) for v in values
+                ):
+                    return "a JSON payload"
+        return None

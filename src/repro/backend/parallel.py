@@ -434,43 +434,48 @@ class ParallelEngine(Engine):
         # write transforms into a second segment at per-job offsets.
         in_cells = sum(len(job[2]) for job in jobs)
         out_cells = sum(job[1] for job in jobs)
+        # Nested try/finally: if the second create_segment raises, the
+        # first must still be released (a flat `finally` after both
+        # acquires leaves `in_seg` stranded — RES-001).
         in_seg = _shm.create_segment(in_cells * _CELL)
-        out_seg = _shm.create_segment(out_cells * _CELL)
         try:
-            mode = substrate.mode()
-            tasks = []
-            in_start = out_start = 0
-            pos = 0
-            for kind, n, values, shift in jobs:
-                packed = pack_scalars(values)
-                in_seg.buf[pos : pos + len(packed)] = packed
-                pos += len(packed)
-                tasks.append(
-                    (
-                        mode,
-                        in_seg.name,
-                        out_seg.name,
-                        self._twiddle_segment(n).name,
-                        kind,
-                        n,
-                        in_start,
-                        len(values),
-                        out_start,
-                        shift,
+            out_seg = _shm.create_segment(out_cells * _CELL)
+            try:
+                mode = substrate.mode()
+                tasks = []
+                in_start = out_start = 0
+                pos = 0
+                for kind, n, values, shift in jobs:
+                    packed = pack_scalars(values)
+                    in_seg.buf[pos : pos + len(packed)] = packed
+                    pos += len(packed)
+                    tasks.append(
+                        (
+                            mode,
+                            in_seg.name,
+                            out_seg.name,
+                            self._twiddle_segment(n).name,
+                            kind,
+                            n,
+                            in_start,
+                            len(values),
+                            out_start,
+                            shift,
+                        )
                     )
-                )
-                in_start += len(values)
-                out_start += n
-            self._run_tasks(_ntt_shm_job, tasks, "ntt")
-            out = []
-            start = 0
-            for _, n, _, _ in jobs:
-                out.append(unpack_scalars(out_seg.buf, start, n))
-                start += n
-            return out
+                    in_start += len(values)
+                    out_start += n
+                self._run_tasks(_ntt_shm_job, tasks, "ntt")
+                out = []
+                start = 0
+                for _, n, _, _ in jobs:
+                    out.append(unpack_scalars(out_seg.buf, start, n))
+                    start += n
+                return out
+            finally:
+                _shm.release_segment(out_seg)
         finally:
             _shm.release_segment(in_seg)
-            _shm.release_segment(out_seg)
 
     def _msm_jac(self, points: list[tuple], scalars: list[int]) -> tuple:
         if not self._use_pool(len(points), self.min_msm_points):
@@ -564,19 +569,23 @@ class ParallelEngine(Engine):
             return out
         n = len(values)
         packed = pack_scalars(values)
+        # Nested like _ntt_batch: in_seg must not leak when the second
+        # create_segment raises.
         in_seg = _shm.create_segment(len(packed))
-        out_seg = _shm.create_segment(n * _CELL)
         try:
-            in_seg.buf[: len(packed)] = packed
-            tasks = [
-                (in_seg.name, out_seg.name, start, count)
-                for start, count in _spans(n, self.workers)
-            ]
-            self._run_tasks(_inverse_shm_chunk, tasks, "inverse")
-            return unpack_scalars(out_seg.buf, 0, n)
+            out_seg = _shm.create_segment(n * _CELL)
+            try:
+                in_seg.buf[: len(packed)] = packed
+                tasks = [
+                    (in_seg.name, out_seg.name, start, count)
+                    for start, count in _spans(n, self.workers)
+                ]
+                self._run_tasks(_inverse_shm_chunk, tasks, "inverse")
+                return unpack_scalars(out_seg.buf, 0, n)
+            finally:
+                _shm.release_segment(out_seg)
         finally:
             _shm.release_segment(in_seg)
-            _shm.release_segment(out_seg)
 
 
 #: Placeholder cell for points at infinity in the parent-side packer.

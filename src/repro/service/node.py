@@ -163,7 +163,7 @@ class MarketplaceNode:
         config: Optional[NodeConfig] = None,
         retry: Optional[RetryPolicy] = None,
         initial_funds: int = 10**12,
-    ):
+    ) -> None:
         self.ctx = ctx
         self.config = config or NodeConfig()
         self.retry = retry if retry is not None else RetryPolicy()
@@ -269,7 +269,11 @@ class MarketplaceNode:
         await asyncio.gather(*self._workers, return_exceptions=True)
         self._workers = []
         if self.pool is not None:
-            self.pool.close()
+            # Pool.close() joins the forked workers — a blocking call
+            # that would stall every other session on the loop (zklint
+            # ASYNC-001); park it on the default executor instead.
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.pool.close)
 
     # ----- request intake -------------------------------------------------
 
@@ -446,11 +450,13 @@ class MarketplaceNode:
             True, "ok", gas, exchange_id, plaintext=plaintext
         )
 
-    async def _await_buyer(self, request: ExchangeRequest, buyer: Buyer):
+    async def _await_buyer(
+        self, request: ExchangeRequest, buyer: Buyer
+    ) -> tuple[int, int]:
         """The buyer's off-chain (k_v, h_v) delivery, under the node's
         wall-clock timeout and the ``exchange.msg.key`` fault site."""
 
-        async def _reply():
+        async def _reply() -> tuple[int, int]:
             if request.buyer_delay > 0:
                 await asyncio.sleep(request.buyer_delay)
             self.retry.run(

@@ -22,7 +22,8 @@ from __future__ import annotations
 import asyncio
 import multiprocessing
 import time
-from typing import Optional
+from types import TracebackType
+from typing import Any, Optional
 
 from repro import telemetry
 from repro.backend.engine import Engine
@@ -38,7 +39,7 @@ from repro.telemetry.metrics import LATENCY_BUCKETS
 
 #: Forked-worker state: populated in the parent immediately before the
 #: pool is created so the fork snapshot carries the warmed context.
-_WORKER_STATE: dict = {}
+_WORKER_STATE: dict[str, Any] = {}
 
 
 def _prove_pik_job(args: tuple) -> tuple:
@@ -66,7 +67,7 @@ def _prove_pik_job(args: tuple) -> tuple:
 class ProverPool:
     """A warm, persistent pool of pi_k prover processes."""
 
-    def __init__(self, ctx: SnarkContext, workers: int = 1):
+    def __init__(self, ctx: SnarkContext, workers: int = 1) -> None:
         if workers <= 0:
             raise ServiceError("prover pool needs at least one worker")
         self.workers = workers
@@ -105,13 +106,13 @@ class ProverPool:
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
 
-        def _done(result):
+        def _done(result: tuple) -> None:
             loop.call_soon_threadsafe(_resolve, result, None)
 
-        def _fail(exc):
+        def _fail(exc: BaseException) -> None:
             loop.call_soon_threadsafe(_resolve, None, exc)
 
-        def _resolve(result, exc):
+        def _resolve(result: Optional[tuple], exc: Optional[BaseException]) -> None:
             if fut.cancelled():
                 return
             if exc is None:
@@ -135,7 +136,7 @@ class ProverPool:
             error_callback=_fail,
         )
         try:
-            result = await fut
+            result: tuple = await fut
         finally:
             if telemetry.metrics_enabled():
                 telemetry.counter("service.pool.jobs").inc()
@@ -154,6 +155,11 @@ class ProverPool:
     def __enter__(self) -> "ProverPool":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> Optional[bool]:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> Optional[bool]:
         self.close()
         return None

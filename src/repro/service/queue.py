@@ -31,7 +31,7 @@ from repro.errors import QueueFullError
 class FairQueue:
     """Bounded per-tenant queue; round-robin between tenants on get."""
 
-    def __init__(self, maxsize: int, per_tenant: Optional[int] = None):
+    def __init__(self, maxsize: int, per_tenant: Optional[int] = None) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
         if per_tenant is not None and per_tenant <= 0:

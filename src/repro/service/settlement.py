@@ -28,6 +28,8 @@ import asyncio
 from typing import List, Optional, Tuple
 
 from repro import telemetry
+from repro.chain import Blockchain
+from repro.contracts import KeySecureArbiterContract
 from repro.faults.retry import RetryPolicy
 
 
@@ -36,13 +38,13 @@ class SettlementBatcher:
 
     def __init__(
         self,
-        chain,
-        arbiter,
+        chain: Blockchain,
+        arbiter: KeySecureArbiterContract,
         relay_address: str,
         batch_size: int = 8,
         max_delay: float = 0.02,
         retry: Optional[RetryPolicy] = None,
-    ):
+    ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.chain = chain

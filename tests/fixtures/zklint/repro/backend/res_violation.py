@@ -1,0 +1,11 @@
+"""Seeded RES-001 violation: a segment acquired with no release path."""
+
+from repro.backend import shm as _shm
+
+
+def scratch_sum(payload: bytes) -> int:
+    seg = _shm.create_segment(len(payload))
+    seg.buf[: len(payload)] = payload
+    # No try/finally and no release: any exception above — or the normal
+    # return below — strands the kernel-backed segment until reboot.
+    return sum(seg.buf)

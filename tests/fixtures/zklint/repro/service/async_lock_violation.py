@@ -1,0 +1,15 @@
+"""Seeded ASYNC-002 violation: awaiting while holding a sync lock."""
+
+import asyncio
+import threading
+
+
+class Batcher:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    async def flush(self) -> None:
+        with self._lock:
+            # Suspends while the thread lock is held: any other thread
+            # (or loop callback) touching the lock deadlocks the loop.
+            await asyncio.sleep(0)

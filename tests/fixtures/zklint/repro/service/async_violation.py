@@ -1,0 +1,9 @@
+"""Seeded ASYNC-001 violation: a blocking sleep inside a coroutine."""
+
+import time
+
+
+class Node:
+    async def settle(self, delay: float) -> None:
+        # Blocks the whole event loop; every other session stalls.
+        time.sleep(delay)

@@ -1,0 +1,15 @@
+"""Seeded FLT-002 violation: a naked fault-site call on a driver path."""
+
+
+class Settler:
+    def __init__(self, chain: object, arbiter: object, operator: str) -> None:
+        self.chain = chain
+        self.arbiter = arbiter
+        self.operator = operator
+
+    def settle(self, exchange_id: int, k_c: int, proof: bytes) -> object:
+        # chain.transact is a registered fault site: unwrapped, a
+        # mid-exchange failure here strands the buyer's escrow.
+        return self.chain.transact(
+            self.arbiter, "submit_key", self.operator, exchange_id, k_c, proof
+        )

@@ -1,0 +1,12 @@
+"""Seeded FORK-001 violation: a thread started before the pool forks."""
+
+import multiprocessing
+import threading
+
+
+class WarmPool:
+    def __init__(self, workers: int) -> None:
+        self._heartbeat = threading.Thread(target=lambda: None, daemon=True)
+        self._heartbeat.start()
+        # Fork children inherit the heartbeat thread's locks mid-flight.
+        self._pool = multiprocessing.get_context("fork").Pool(workers)

@@ -2,10 +2,15 @@
 
 Both acceptance directions from the issue are asserted here: the PR-head
 source tree is clean under ``--strict``, and the fixture tree at
-``tests/fixtures/zklint`` (one seeded violation per rule) fails with
-every rule represented.
+``tests/fixtures/zklint`` (at least one seeded violation per rule) fails
+with every rule represented.  The whole-program core gets direct unit
+coverage too: call-graph resolution (``analysis/graph.py``), CFG
+reachability/dominance (``analysis/flow.py``), and the RES-001
+"deleted ``finally`` release" regression on a copy of the real
+shared-memory dispatch code.
 """
 
+import ast
 import json
 import shutil
 import subprocess
@@ -18,12 +23,18 @@ from repro.analysis import (
     ALL_RULES,
     DEFAULT_CONFIG,
     analyze_paths,
+    build_flow,
+    build_project,
     load_baseline,
     render_json,
+    render_sarif,
+    render_suppressions,
     render_text,
     write_baseline,
 )
 from repro.analysis.__main__ import main as zklint_main
+from repro.analysis.engine import load_module
+from repro.analysis.graph import module_name_for
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
@@ -39,6 +50,23 @@ def _analyze_snippet(tmp_path, rel, source):
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(source)
     return analyze_paths([tmp_path], DEFAULT_CONFIG, baseline=set())
+
+
+def _build_project(tmp_path, files):
+    """Materialise ``{rel: source}`` under ``repro/`` and build the graph."""
+    modules = []
+    for rel, source in files.items():
+        target = tmp_path / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+        modules.append(load_module(target))
+    return build_project(modules)
+
+
+def _flow(source):
+    """Build a FlowGraph for the first function in ``source``."""
+    func = ast.parse(source).body[0]
+    return build_flow(func), func
 
 
 class TestAcceptance:
@@ -83,6 +111,11 @@ class TestPerRuleFixtures:
             ("ENG-001", "repro/kzg/eng_violation.py", "compute engine"),
             ("ENG-001", "repro/plonk/substrate_violation.py", "contiguous-representation"),
             ("ENG-001", "repro/backend/untimed_kernel.py", "never times itself"),
+            ("ASYNC-001", "repro/service/async_violation.py", "blocks the calling thread"),
+            ("ASYNC-002", "repro/service/async_lock_violation.py", "holding a sync lock"),
+            ("RES-001", "repro/backend/res_violation.py", "not released on all paths"),
+            ("FORK-001", "repro/service/fork_violation.py", "fork children inherit"),
+            ("FLT-002", "repro/service/flt_violation.py", "RetryPolicy"),
         ],
     )
     def test_seeded_violation_fires(self, rule_id, fixture, needle):
@@ -154,6 +187,268 @@ class TestRuleBehaviour:
         )
         assert not result.findings
 
+    def test_sec001_interprocedural_flags_leaky_helper(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "core/leaky.py",
+            "def _explain(diag: object) -> None:\n"
+            "    raise ValueError('context: %s' % (diag,))\n"
+            "\n\n"
+            "def check(witness: int) -> None:\n"
+            "    _explain(witness)\n",
+        )
+        assert [f.rule for f in result.findings] == ["SEC-001"]
+        assert any(
+            "witness" in f.message and "_explain" in f.message
+            for f in result.findings
+        )
+
+    def test_sec001_interprocedural_ignores_non_secret_args(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "core/leaky.py",
+            "def _explain(diag: object) -> None:\n"
+            "    raise ValueError('context: %s' % (diag,))\n"
+            "\n\n"
+            "def check(code: int) -> None:\n"
+            "    _explain(code)\n",
+        )
+        assert not result.findings
+
+    def test_async001_allows_awaited_executor_offload(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "service/good_async.py",
+            "import asyncio\n"
+            "\n\n"
+            "class Node:\n"
+            "    async def stop(self, pool) -> None:\n"
+            "        loop = asyncio.get_running_loop()\n"
+            "        await loop.run_in_executor(None, pool.close)\n"
+            "\n"
+            "    async def submit(self, pool, work) -> None:\n"
+            "        pool.apply_async(work)\n",
+        )
+        assert not result.findings
+
+    def test_async002_allows_async_lock_and_awaitless_sync_lock(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "service/good_locks.py",
+            "import asyncio\n"
+            "import threading\n"
+            "\n\n"
+            "class Batcher:\n"
+            "    def __init__(self) -> None:\n"
+            "        self._alock = asyncio.Lock()\n"
+            "        self._slock = threading.Lock()\n"
+            "\n"
+            "    async def flush(self) -> None:\n"
+            "        async with self._alock:\n"
+            "            await asyncio.sleep(0)\n"
+            "        with self._slock:\n"
+            "            self.count = 1\n",
+        )
+        assert not result.findings
+
+    def test_res001_allows_finally_and_with_releases(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "backend/good_res.py",
+            "from repro.backend import shm as _shm\n"
+            "\n\n"
+            "def roundtrip(n: int) -> int:\n"
+            "    seg = _shm.create_segment(n)\n"
+            "    try:\n"
+            "        return len(seg.buf)\n"
+            "    finally:\n"
+            "        _shm.release_segment(seg)\n"
+            "\n\n"
+            "def scoped(n: int) -> None:\n"
+            "    seg = _shm.create_segment(n)\n"
+            "    with seg:\n"
+            "        pass\n",
+        )
+        assert not result.findings
+
+    def test_fork001_allows_hazards_created_after_the_fork(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "service/good_fork.py",
+            "import multiprocessing\n"
+            "import threading\n"
+            "\n\n"
+            "class ColdPool:\n"
+            "    def __init__(self, workers: int) -> None:\n"
+            "        self._pool = multiprocessing.get_context('fork').Pool(workers)\n"
+            "        self._hb = threading.Thread(target=lambda: None, daemon=True)\n",
+        )
+        assert not result.findings
+
+    def test_flt002_allows_retry_run_and_abort_handlers(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "service/good_faults.py",
+            "class Settler:\n"
+            "    def __init__(self, chain, policy) -> None:\n"
+            "        self.chain = chain\n"
+            "        self.policy = policy\n"
+            "\n"
+            "    def settle(self, xid: int) -> object:\n"
+            "        return self.policy.run(lambda: self.chain.transact('submit', xid))\n"
+            "\n"
+            "    def settle_guarded(self, xid: int) -> object:\n"
+            "        try:\n"
+            "            return self.chain.transact('submit', xid)\n"
+            "        except Exception:\n"
+            "            return self.chain.refund(xid)\n",
+        )
+        assert not result.findings
+
+
+class TestProjectGraph:
+    def test_module_name_for_maps_rel_paths_to_dotted_names(self):
+        assert module_name_for("service/node.py") == "repro.service.node"
+        assert module_name_for("field/__init__.py") == "repro.field"
+
+    def test_resolves_self_attr_method_calls_across_modules(self, tmp_path):
+        project = _build_project(
+            tmp_path,
+            {
+                "service/pool.py": (
+                    "class ProverPool:\n"
+                    "    def close(self) -> None:\n"
+                    "        pass\n"
+                ),
+                "service/node.py": (
+                    "from repro.service.pool import ProverPool\n"
+                    "\n\n"
+                    "class Node:\n"
+                    "    def __init__(self) -> None:\n"
+                    "        self.pool = ProverPool()\n"
+                    "\n"
+                    "    def stop(self) -> None:\n"
+                    "        self.pool.close()\n"
+                ),
+            },
+        )
+        stop = project.function("repro.service.node.Node.stop")
+        assert stop is not None
+        assert "repro.service.pool.ProverPool.close" in {
+            c.target for c in stop.calls
+        }
+        assert "repro.service.node.Node.stop" in project.callers(
+            "repro.service.pool.ProverPool.close"
+        )
+
+    def test_resolves_bare_name_imports_and_callees(self, tmp_path):
+        project = _build_project(
+            tmp_path,
+            {
+                "util.py": "def helper() -> int:\n    return 1\n",
+                "service/caller.py": (
+                    "from repro.util import helper\n"
+                    "\n\n"
+                    "def run() -> int:\n"
+                    "    return helper()\n"
+                ),
+            },
+        )
+        assert project.callees("repro.service.caller.run") == {"repro.util.helper"}
+        assert project.importers("repro.util") == {"repro.service.caller"}
+
+
+class TestFlowGraph:
+    def test_dominance_of_straight_line_over_branch(self):
+        graph, func = _flow(
+            "def f(x):\n"
+            "    a = setup()\n"
+            "    if x:\n"
+            "        b = branch()\n"
+            "    c = teardown()\n"
+        )
+        node_a = graph.node_for(func.body[0])
+        node_b = graph.node_for(func.body[1].body[0])
+        node_c = graph.node_for(func.body[2])
+        assert graph.dominates(node_a, node_c)
+        assert not graph.dominates(node_b, node_c)
+
+    def test_loop_body_falls_through_to_successor(self):
+        graph, func = _flow(
+            "def f(items):\n"
+            "    for item in items:\n"
+            "        work(item)\n"
+            "    done()\n"
+        )
+        body = graph.node_for(func.body[0].body[0])
+        after = graph.node_for(func.body[1])
+        assert after in graph.reachable(body)
+
+    def test_any_path_avoids_sees_exception_escape(self):
+        # Without try/finally the may-raise call has an exception edge
+        # straight to EXIT, so a path that skips the release exists.
+        graph, func = _flow(
+            "def f():\n"
+            "    seg = acquire()\n"
+            "    work(seg)\n"
+            "    release(seg)\n"
+        )
+        acquire = graph.node_for(func.body[0])
+        release = graph.node_for(func.body[2])
+        assert any(
+            graph.any_path_avoids(succ, {release})
+            for succ in graph.normal_succs(acquire)
+        )
+
+    def test_any_path_avoids_respects_finally(self):
+        graph, func = _flow(
+            "def f():\n"
+            "    seg = acquire()\n"
+            "    try:\n"
+            "        work(seg)\n"
+            "    finally:\n"
+            "        release(seg)\n"
+        )
+        acquire = graph.node_for(func.body[0])
+        release = graph.node_for(func.body[1].finalbody[0])
+        assert all(
+            not graph.any_path_avoids(succ, {release})
+            for succ in graph.normal_succs(acquire)
+        )
+
+
+class TestResourceReleaseOnRealCode:
+    """RES-001 acceptance: a deleted ``finally`` release must be caught.
+
+    Runs against a copy of the real shared-memory dispatch module, so the
+    rule is proven on production-shaped code, not just toy fixtures.
+    """
+
+    def test_deleting_a_finally_release_is_caught(self, tmp_path):
+        source = (SRC / "repro" / "backend" / "parallel.py").read_text()
+        target = tmp_path / "repro" / "backend" / "parallel.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(source)
+        clean = analyze_paths([tmp_path], DEFAULT_CONFIG, baseline=set())
+        assert not [f for f in clean.findings if f.rule == "RES-001"]
+
+        # Neuter the first `finally: _shm.release_segment(out_seg)` the
+        # same way a careless refactor would.
+        lines = source.splitlines()
+        idx = next(
+            i
+            for i, line in enumerate(lines)
+            if "_shm.release_segment(out_seg)" in line
+        )
+        indent = len(lines[idx]) - len(lines[idx].lstrip())
+        lines[idx] = " " * indent + "pass"
+        target.write_text("\n".join(lines) + "\n")
+
+        broken = analyze_paths([tmp_path], DEFAULT_CONFIG, baseline=set())
+        res_findings = [f for f in broken.findings if f.rule == "RES-001"]
+        assert res_findings
+        assert any("out_seg" in f.message for f in res_findings)
+
 
 class TestPragmas:
     def test_pragma_suppresses_single_line(self, tmp_path):
@@ -219,6 +514,57 @@ class TestReporters:
             assert finding.rule in text
         assert "file(s) scanned" in text
 
+    def test_sarif_report_schema(self):
+        result = analyze_paths([FIXTURES], DEFAULT_CONFIG, baseline=set())
+        payload = json.loads(render_sarif(result, strict=True))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert {rule["id"] for rule in rules} == ALL_RULE_IDS
+        assert len(run["results"]) == len(result.findings)
+        for entry in run["results"]:
+            location = entry["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] >= 1
+            assert entry["partialFingerprints"]["zklintFingerprint/v1"]
+            assert entry["baselineState"] == "new"
+        assert run["invocations"][0]["executionSuccessful"] is True
+
+    def test_sarif_marks_baselined_unchanged(self, tmp_path):
+        first = analyze_paths([FIXTURES], DEFAULT_CONFIG, baseline=set())
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, first.findings)
+        second = analyze_paths(
+            [FIXTURES], DEFAULT_CONFIG, baseline=load_baseline(baseline_path)
+        )
+        payload = json.loads(render_sarif(second, strict=True))
+        states = {r["baselineState"] for r in payload["runs"][0]["results"]}
+        assert states == {"unchanged"}
+
+    def test_suppressed_findings_are_tracked_and_reported(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path,
+            "plonk/pragma_case.py",
+            "def check(witness: int) -> None:\n"
+            "    raise ValueError(f'bad {witness}')  # zklint: disable=SEC-001\n",
+        )
+        assert not result.findings
+        assert [f.rule for f in result.suppressed] == ["SEC-001"]
+        report = render_suppressions(result)
+        assert "SEC-001" in report
+        assert "1 finding(s) silenced" in report
+        sarif = json.loads(render_sarif(result, strict=True))
+        suppressed = [
+            r for r in sarif["runs"][0]["results"] if r.get("suppressions")
+        ]
+        assert len(suppressed) == 1
+        assert suppressed[0]["suppressions"][0]["kind"] == "inSource"
+
+    def test_suppressions_report_on_clean_result(self, tmp_path):
+        result = _analyze_snippet(
+            tmp_path, "costmodel/ok.py", "def f() -> int:\n    return 1\n"
+        )
+        assert "0 finding(s) silenced" in render_suppressions(result)
+
     def test_cli_writes_json_output_file(self, tmp_path):
         out = tmp_path / "report.json"
         exit_code = zklint_main(
@@ -256,6 +602,31 @@ class TestCli:
         )
         assert {f.rule for f in only.findings} == {"FLD-001"}
 
+    def test_cli_writes_sarif_output_file(self, tmp_path):
+        out = tmp_path / "report.sarif"
+        exit_code = zklint_main(
+            [
+                "--no-baseline",
+                "--format",
+                "sarif",
+                "--output",
+                str(out),
+                str(FIXTURES),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["version"] == "2.1.0"
+        assert payload["runs"][0]["results"]
+
+    def test_cli_report_suppressions(self, capsys):
+        exit_code = zklint_main(
+            ["--no-baseline", "--report-suppressions", str(SRC)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "suppression debt" in out
+
     def test_unknown_rule_is_usage_error(self):
         with pytest.raises(SystemExit) as excinfo:
             zklint_main(["--rules", "NOPE-9", str(FIXTURES)])
@@ -267,6 +638,16 @@ class TestCli:
         bad.write_text("def broken(:\n")
         result = analyze_paths([tmp_path], DEFAULT_CONFIG, baseline=set())
         assert result.errors and result.failed
+
+
+class TestDocstringCatalogue:
+    def test_package_docstring_lists_every_rule(self):
+        # Guards against the catalogue drifting from ALL_RULES (the
+        # docstring once said "five rules ship" after the tenth landed).
+        import repro.analysis
+
+        for rule_id in ALL_RULE_IDS:
+            assert rule_id in (repro.analysis.__doc__ or "")
 
 
 class TestMypyStrictSubset:
