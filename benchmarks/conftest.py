@@ -23,7 +23,7 @@ import time
 
 import pytest
 
-from repro import telemetry
+from repro import faults, telemetry
 from repro.core.snark import SnarkContext
 from repro.telemetry import ledger as _ledger
 
@@ -82,6 +82,15 @@ def _emit_json(title: str, headers: list, rows: list) -> None:
         "backend": os.environ.get("REPRO_BACKEND", "serial"),
         "telemetry_level": telemetry.level_name(),
     }
+    # Stamp the active fault schedule so a soak/chaos result is
+    # replayable from the artifact alone: profile + seed pin the whole
+    # injected-failure sequence (see repro/faults/plan.py).
+    injector = faults.active()
+    payload["fault_profile"] = injector.plan.name if injector is not None else "off"
+    payload["fault_seed"] = injector.plan.seed if injector is not None else None
+    chaos_seed = os.environ.get("REPRO_CHAOS_SEED", "").strip()
+    if chaos_seed:
+        payload["chaos_seed"] = chaos_seed
     if telemetry.metrics_enabled():
         payload["telemetry"] = telemetry.snapshot()
     path = os.path.join(out_dir, "BENCH_%s.json" % _slugify(title))

@@ -120,6 +120,10 @@ class AnalysisConfig:
         # percentiles and queue budgets — measurement-layer floats, never
         # field elements.
         "service/",
+        # The load simulator reports tx/s and latency percentiles —
+        # measurement-layer floats; its *decisions* (traffic draws,
+        # fees, lane routing) are all-integer for exact replay.
+        "loadsim/",
     )
     #: The fixed-point boundary: the only modules that may touch floats
     #: while producing field elements, because converting real-valued

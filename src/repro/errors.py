@@ -71,6 +71,14 @@ class TxDroppedError(ChainError, TransientError):
     """A submitted transaction was never mined (mempool drop); resubmit."""
 
 
+class MempoolFullError(ChainError):
+    """The fee-ordered mempool is at capacity and the offered fee does not
+    beat the current floor.  Deliberately *not* a :class:`TransientError`:
+    blind resubmission at the same fee can never succeed — the client must
+    either raise its fee or back off, a decision no retry policy inside
+    the chain can make for it (mirrors :class:`QueueFullError`)."""
+
+
 class TxRevertedError(ChainError, TransientError):
     """A transaction was mined but reverted for a transient reason
     (injected revert); the failed receipt is on chain, resubmission may

@@ -66,6 +66,22 @@ def set_plan(plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
     return previous
 
 
+def install(injector: Optional[FaultInjector]) -> Optional[FaultInjector]:
+    """Install a pre-built injector (or ``None``), returning the previous.
+
+    :func:`set_plan` always constructs a *fresh* injector, which is right
+    for tests but wrong for two callers: restoring an ambient injector
+    you displaced (its budgets and log must survive), and fault-epoch
+    rotation in the load simulator, where each epoch installs an
+    injector built from a derived seed and the original must come back
+    intact afterwards.
+    """
+    global _active
+    previous = _active
+    _active = injector
+    return previous
+
+
 @contextmanager
 def use_plan(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultInjector]]:
     """Scoped fault plane: installs ``plan``, yields its injector, and
@@ -141,6 +157,7 @@ __all__ = [
     "draw",
     "enabled",
     "filter_bytes",
+    "install",
     "set_plan",
     "unavailable",
     "use_plan",

@@ -166,4 +166,18 @@ PROFILES: dict[str, tuple[FaultRule, ...]] = {
         FaultRule("exchange.msg.*", "loss", _pct(15), max_faults=2),
         FaultRule("exchange.msg.*", "stall", _pct(10), max_faults=1, delay_us=150_000),
     ),
+    # Population-scale soak: *unbounded* budgets at low per-consultation
+    # rates.  The bounded-budget profiles above exhaust after a handful
+    # of firings — useless over 10^5 operations — so the load simulator
+    # needs rules that keep firing for the whole run.  Termination is the
+    # simulator's job, not the plan's: clients bound their own retries
+    # and the drain phase runs with faults uninstalled (docs/loadsim.md).
+    "soak": (
+        FaultRule("storage.get", "loss", _pct(2)),
+        FaultRule("dht.node.*", "loss", _pct(3)),
+        FaultRule("chain.transact", "drop", _pct(3)),
+        FaultRule("chain.transact", "revert", _pct(1)),
+        FaultRule("chain.events", "stall", _pct(2), delay_us=50_000),
+        FaultRule("exchange.msg.*", "loss", _pct(2)),
+    ),
 }

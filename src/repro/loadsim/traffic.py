@@ -1,0 +1,122 @@
+"""The traffic-mix DSL: what a population of 10^4-10^6 users *does*.
+
+A :class:`TrafficMix` is three integer weights over the operation kinds
+the marketplace serves:
+
+- ``mint`` — a seller stores a dataset on the DHT and mints its token;
+- ``trade`` — a buyer escrows payment for a token and the exchange runs
+  to settlement (or refund) through the hash-locked arbiter;
+- ``audit`` — a regulator walks provenance: event-index queries over the
+  token's ``Minted``/``Transfer`` history plus a DHT content fetch.
+
+Mixes come from the named presets below or from the spec string DSL
+``"mint=2,trade=6,audit=2"`` (``TrafficMix.parse``); weights are
+integers so a mix is exactly representable and exactly replayable.
+
+All draws are SHA-256 over ``(seed, tag, sequence)`` — the same
+no-``random``-module discipline as :mod:`repro.faults.plan` — so the
+operation stream is a pure function of ``(seed, mix, population)``.
+User selection is *skewed* by default via the integer product-of-uniforms
+trick: multiply two uniform draws and renormalise, which concentrates
+mass near index 0 (a triangular popularity distribution: a few hot
+accounts, a long cold tail) without any floats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Operation kinds, in weight order.
+OPS = ("mint", "trade", "audit")
+
+
+def sim_draw(seed: int, tag: str, sequence: int, bound: int) -> int:
+    """Deterministic uniform draw in ``[0, bound)``."""
+    if bound <= 0:
+        raise ReproError("draw bound must be positive")
+    payload = b"zkdet-loadsim:%d:%s:%d" % (seed, tag.encode(), sequence)
+    value = int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+    return value % bound
+
+
+def skewed_draw(seed: int, tag: str, sequence: int, bound: int) -> int:
+    """Popularity-skewed draw in ``[0, bound)`` (mass near 0).
+
+    The product of two uniforms in ``[0, bound)`` divided by ``bound``
+    is triangular-ish toward 0 — hot items get traded and audited far
+    more often than the tail, which is what stresses the event index's
+    posting lists realistically.
+    """
+    a = sim_draw(seed, tag + ".a", sequence, bound)
+    b = sim_draw(seed, tag + ".b", sequence, bound)
+    return (a * b) // bound
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Integer operation weights; ``draw_op`` turns them into a stream."""
+
+    name: str
+    mint: int
+    trade: int
+    audit: int
+
+    def __post_init__(self) -> None:
+        if min(self.mint, self.trade, self.audit) < 0:
+            raise ReproError("traffic weights must be non-negative")
+        if self.mint + self.trade + self.audit == 0:
+            raise ReproError("a traffic mix needs at least one positive weight")
+        if self.trade and not self.mint:
+            raise ReproError("a mix that trades must also mint (nothing to trade otherwise)")
+
+    @property
+    def total(self) -> int:
+        return self.mint + self.trade + self.audit
+
+    def draw_op(self, seed: int, sequence: int) -> str:
+        """The ``sequence``-th operation kind under this mix and seed."""
+        point = sim_draw(seed, "op." + self.name, sequence, self.total)
+        if point < self.mint:
+            return "mint"
+        if point < self.mint + self.trade:
+            return "trade"
+        return "audit"
+
+    def spec(self) -> str:
+        """The DSL string this mix round-trips through ``parse``."""
+        return "mint=%d,trade=%d,audit=%d" % (self.mint, self.trade, self.audit)
+
+    @staticmethod
+    def parse(text: str) -> "TrafficMix":
+        """A mix from a preset name or a ``"mint=2,trade=6,audit=2"`` spec."""
+        name = text.strip().lower()
+        if name in MIXES:
+            return MIXES[name]
+        weights = {"mint": 0, "trade": 0, "audit": 0}
+        for part in name.split(","):
+            op_name, sep, weight_text = part.partition("=")
+            op_name = op_name.strip()
+            if not sep or op_name not in weights:
+                raise ReproError(
+                    "bad traffic mix %r (want a preset out of %s, or 'mint=N,trade=N,audit=N')"
+                    % (text, ", ".join(sorted(MIXES)))
+                )
+            try:
+                weights[op_name] = int(weight_text, 0)
+            except ValueError:
+                raise ReproError("traffic weight %r is not an integer" % weight_text) from None
+        return TrafficMix("custom", weights["mint"], weights["trade"], weights["audit"])
+
+
+#: Named presets.  ``mixed`` is the default soak workload; the heavy
+#: variants isolate one subsystem (mint -> DHT+mint path, trade ->
+#: mempool+escrow, audit -> event index+provenance reads).
+MIXES: dict[str, TrafficMix] = {
+    "mixed": TrafficMix("mixed", 3, 4, 3),
+    "mint_heavy": TrafficMix("mint_heavy", 6, 3, 1),
+    "trade_heavy": TrafficMix("trade_heavy", 2, 6, 2),
+    "audit_heavy": TrafficMix("audit_heavy", 2, 2, 6),
+}

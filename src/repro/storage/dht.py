@@ -6,6 +6,15 @@ content digest; lookups walk greedily closer per hop; nodes can join and
 leave with automatic re-replication.  Used to show that dataset
 availability survives churn — the availability assumption the ZKDET
 protocols rely on.
+
+Churn handling is *incremental*: a join or leave touches only the blobs
+whose top-k placement actually changes (O(catalog) comparisons, O(moved)
+copies), not a full wipe-and-replace of every replica.  The network also
+keeps a content catalog (what exists) separate from the placement map
+(who holds it), and :meth:`DHTNetwork.repair` re-derives the exact
+top-k placement from the catalog — the anti-entropy pass that heals
+replicas lost to injected faults, and the oracle the incremental paths
+are tested against (after faultless churn, repair changes nothing).
 """
 
 from __future__ import annotations
@@ -48,6 +57,12 @@ class DHTNetwork:
         self.nodes: dict[str, DHTNode] = {}
         for name in node_names:
             self.nodes[name] = DHTNode(name)
+        #: Everything ever stored (uri -> bytes): the directory layer,
+        #: assumed durable — repair re-replicates from it.
+        self._catalog: dict[str, bytes] = {}
+        #: uri -> names of nodes currently holding a replica (mirror of
+        #: the per-node blob maps, kept in lockstep).
+        self._placement: dict[str, set[str]] = {}
 
     def _closest(self, key: int, count: int) -> list[DHTNode]:
         ranked = sorted(self.nodes.values(), key=lambda n: n.node_id ^ key)
@@ -67,11 +82,13 @@ class DHTNetwork:
             if faults.unavailable("dht.node.put"):
                 continue  # this replica write was lost in transit
             node.blobs[uri] = bytes(data)
+            self._placement.setdefault(uri, set()).add(node.name)
             stored += 1
         if stored == 0:
             raise StorageUnavailableError(
                 "no replica of %s could be written; all target nodes unreachable" % uri
             )
+        self._catalog[uri] = bytes(data)
         return uri
 
     def get(self, uri: str) -> bytes:
@@ -111,33 +128,96 @@ class DHTNetwork:
     def replica_count(self, uri: str) -> int:
         return sum(1 for n in self.nodes.values() if uri in n.blobs)
 
+    # ----- churn ------------------------------------------------------------------
+
+    def _store(self, node: DHTNode, uri: str, data: bytes) -> None:
+        node.blobs[uri] = data
+        self._placement.setdefault(uri, set()).add(node.name)
+
+    def _drop(self, node: DHTNode, uri: str) -> None:
+        node.blobs.pop(uri, None)
+        holders = self._placement.get(uri)
+        if holders is not None:
+            holders.discard(node.name)
+
     def join(self, name: str) -> None:
-        """Add a node and migrate content it should now host."""
+        """Add a node, migrating only the blobs it should now host.
+
+        For each catalogued blob: if the network is under-replicated the
+        new node takes a copy outright; otherwise it takes over only if
+        it is XOR-closer than the farthest current holder, which then
+        drops its replica.  Migration writes go over the network and can
+        be lost under a fault plan (site ``dht.node.put``) — a lost copy
+        leaves the old holder in place, and :meth:`repair` heals the
+        placement later.
+        """
         if name in self.nodes:
             raise StorageError("node %s already present" % name)
         node = DHTNode(name)
         self.nodes[name] = node
-        # Re-place every blob under the new topology.
-        self._rebalance()
+        for uri, data in self._catalog.items():
+            key = _content_id(uri)
+            holders = self._placement.setdefault(uri, set())
+            evictee = None
+            if len(holders) >= self.replication:
+                farthest = max(holders, key=lambda h: _node_id(h) ^ key)
+                if (_node_id(farthest) ^ key) <= (node.node_id ^ key):
+                    continue  # new node is not in this blob's top-k
+                evictee = farthest
+            if faults.unavailable("dht.node.put"):
+                continue  # migration copy lost; old placement stands
+            self._store(node, uri, data)
+            if evictee is not None and evictee in self.nodes:
+                self._drop(self.nodes[evictee], uri)
 
     def leave(self, name: str) -> None:
-        """Remove a node; surviving replicas are re-replicated."""
+        """Remove a node, handing each of its replicas to the closest
+        remaining non-holder.
+
+        Only the departing node's blobs move; everything else keeps its
+        placement (its top-k among the survivors is unchanged).  Handoff
+        writes can be lost under a fault plan (site ``dht.node.put``),
+        leaving a blob under-replicated until :meth:`repair`.
+        """
         if name not in self.nodes:
             raise StorageError("node %s not present" % name)
         if len(self.nodes) == 1:
             raise StorageError("cannot remove the last node")
         departing = self.nodes.pop(name)
-        self._rebalance(extra_blobs=departing.blobs)
-
-    def _rebalance(self, extra_blobs: dict | None = None) -> None:
-        all_blobs: dict[str, bytes] = {}
-        for node in self.nodes.values():
-            all_blobs.update(node.blobs)
-        if extra_blobs:
-            all_blobs.update(extra_blobs)
-        for node in self.nodes.values():
-            node.blobs.clear()
-        for uri, data in all_blobs.items():
+        for uri, data in departing.blobs.items():
             key = _content_id(uri)
-            for node in self._closest(key, self.replication):
-                node.blobs[uri] = data
+            holders = self._placement.setdefault(uri, set())
+            holders.discard(name)
+            heirs = [n for n in self._closest(key, len(self.nodes)) if n.name not in holders]
+            if not heirs:
+                continue  # every survivor already holds a replica
+            if faults.unavailable("dht.node.put"):
+                continue  # handoff lost; blob stays under-replicated
+            self._store(heirs[0], uri, data)
+
+    def repair(self) -> tuple[int, int]:
+        """Anti-entropy: force every catalogued blob onto exactly its
+        top-k closest nodes, re-replicating from the catalog.
+
+        Returns ``(added, removed)`` replica counts.  This is the exact
+        placement the incremental churn paths maintain when no faults
+        fire — so after faultless churn repair reports ``(0, 0)`` — and
+        the recovery path that heals replicas lost to injected faults.
+        Repair itself is an operator-plane pass and does not consult the
+        fault plane.
+        """
+        added = removed = 0
+        for uri, data in self._catalog.items():
+            key = _content_id(uri)
+            target = {n.name for n in self._closest(key, self.replication)}
+            holders = self._placement.setdefault(uri, set())
+            for name in sorted(target - holders):
+                self._store(self.nodes[name], uri, data)
+                added += 1
+            for name in sorted(holders - target):
+                if name in self.nodes:
+                    self._drop(self.nodes[name], uri)
+                else:
+                    holders.discard(name)
+                removed += 1
+        return added, removed

@@ -45,6 +45,26 @@ def chaos_seed(request):
     return seed
 
 
+@pytest.fixture
+def soak_params(request):
+    """The (seed, mix, fault profile) triple for a soak simulation.
+
+    Reads ``REPRO_SOAK_SEED`` / ``REPRO_SOAK_MIX`` / ``REPRO_FAULTS``
+    (profile part; defaults to ``all``), so the CI soak job steers the
+    run through the environment.  A failing soak test gets the triple —
+    as a ready-to-paste ``python -m repro.loadsim`` command — appended
+    to its report for one-command replay.
+    """
+    raw_seed = os.environ.get("REPRO_SOAK_SEED", "")
+    seed = int(raw_seed, 0) if raw_seed.strip() else _DEFAULT_CHAOS_SEED
+    mix = os.environ.get("REPRO_SOAK_MIX", "").strip() or "mixed"
+    raw_faults = os.environ.get("REPRO_FAULTS", "").strip()
+    profile = (raw_faults.partition(":")[0] or "all") if raw_faults else "all"
+    params = {"seed": seed, "mix": mix, "profile": profile}
+    request.node._repro_soak_params = params
+    return params
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     outcome = yield
@@ -55,6 +75,18 @@ def pytest_runtest_makereport(item, call):
             (
                 "chaos replay",
                 "REPRO_CHAOS_SEED=%d reproduces this failure (same node id)" % seed,
+            )
+        )
+    soak = getattr(item, "_repro_soak_params", None)
+    if soak is not None and report.when == "call" and report.failed:
+        report.sections.append(
+            (
+                "soak replay",
+                "failing triple: seed=%d mix=%s profile=%s\n"
+                "PYTHONPATH=src python -m repro.loadsim --seed %d --mix '%s' "
+                "--faults %s:%d"
+                % (soak["seed"], soak["mix"], soak["profile"],
+                   soak["seed"], soak["mix"], soak["profile"], soak["seed"]),
             )
         )
 

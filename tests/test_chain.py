@@ -1,11 +1,14 @@
-"""Tests for the blockchain substrate: gas metering, atomicity, blocks."""
+"""Tests for the blockchain substrate: gas metering, atomicity, blocks,
+the fee-ordered mempool, and parallel block lanes."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
-from repro.chain import Blockchain, Contract, external, view
+from repro.chain import Blockchain, Contract, Mempool, external, view
 from repro.chain.blockchain import encode_calldata
 from repro.chain.gas import DEFAULT_SCHEDULE
-from repro.errors import ChainError, ContractError
+from repro.errors import ChainError, ContractError, MempoolFullError
 
 
 class Counter(Contract):
@@ -197,6 +200,146 @@ class TestBlocks:
 
         chain.blocks[1] = Block(1, "f" * 64, chain.blocks[1].tx_hashes)
         assert not chain.verify_chain()
+
+
+class TestMempool:
+    def test_fee_order_fifo_among_ties(self, deployed):
+        chain, sender, contract = deployed
+        chain.submit(sender, contract, "increment", 1, fee=5)
+        chain.submit(sender, contract, "increment", 2, fee=9)
+        chain.submit(sender, contract, "increment", 3, fee=5)
+        order = [tx.args[0] for tx in (chain.mempool.pop(), chain.mempool.pop(), chain.mempool.pop())]
+        assert order == [2, 1, 3]  # highest fee first, then admission order
+
+    def test_capacity_evicts_cheapest_latest(self, deployed):
+        chain, sender, contract = deployed
+        pool = chain.mempool
+        pool.capacity = 3
+        for i, offered in enumerate((4, 2, 7)):
+            chain.submit(sender, contract, "increment", i, fee=offered)
+        # Below/at the floor: rejected, nothing evicted.
+        with pytest.raises(MempoolFullError):
+            chain.submit(sender, contract, "increment", 99, fee=2)
+        assert pool.rejected == 1 and len(pool) == 3
+        # Beats the floor: the cheapest resident (fee 2) is evicted.
+        chain.submit(sender, contract, "increment", 3, fee=3)
+        assert pool.evicted == 1
+        assert [tx.args[0] for tx in pool.drain_order()] == [2, 0, 3]
+        assert [tx.args[0] for tx in pool.drain_evicted()] == [1]
+
+    def test_eviction_tie_breaks_against_latest_arrival(self):
+        pool = Mempool(capacity=2)
+        first = pool.add("0xa", object(), "m", fee=1)
+        second = pool.add("0xb", object(), "m", fee=1)
+        pool.add("0xc", object(), "m", fee=2)
+        evicted = pool.drain_evicted()
+        assert evicted == [second] and pool.fee_floor() == 1
+        assert first.seq in [tx.seq for tx in pool.drain_order()]
+
+    def test_undeployed_contract_rejected_at_submit(self, chain):
+        sender = chain.create_account()
+        with pytest.raises(ChainError):
+            chain.submit(sender, Counter(), "increment")
+
+    def test_mine_round_executes_and_seals(self, deployed):
+        chain, sender, contract = deployed
+        for i in range(5):
+            chain.submit(sender, contract, "increment", 1, fee=i)
+        round_ = chain.mine_round(max_txs_per_lane=3)
+        assert len(round_.executed) == 3 and len(chain.mempool) == 2
+        assert chain.call_view(contract, "count") == 3
+        assert len(round_.blocks) == 1 and round_.blocks[0].number == 1
+        # Held-back transactions keep their priority for the next round.
+        round2 = chain.mine_round(max_txs_per_lane=3)
+        assert len(round2.executed) == 2 and not chain.mempool
+        assert chain.verify_chain()
+
+
+class TestLanes:
+    def test_lanes_shard_sealing_but_share_state(self):
+        chain = Blockchain(lanes=4)
+        contract = Counter()
+        deployer = chain.create_account(funded=10**9)
+        chain.deploy(contract, deployer)
+        senders = [chain.create_account(funded=10**9) for _ in range(8)]
+        assert {chain.lane_of(s) for s in senders} > {0}  # really sharded
+        for sender in senders:
+            chain.transact(sender, contract, "increment", 1)
+        blocks = chain.seal_round()
+        assert sorted({b.lane for b in blocks}) == sorted({chain.lane_of(s) for s in senders} | {chain.lane_of(deployer)})
+        assert chain.call_view(contract, "count") == 8  # one world state
+        assert chain.verify_chain()
+        for receipt in chain.receipts:
+            assert receipt.lane == chain.lane_of(receipt.sender)
+            assert receipt.block_number is not None
+
+    def test_single_lane_matches_seed_semantics(self, deployed):
+        chain, sender, contract = deployed
+        assert chain.lanes == 1 and chain.lane_of(sender) == 0
+        chain.transact(sender, contract, "increment")
+        block = chain.seal_block()
+        assert block.lane == 0 and block.number == 1
+
+    def test_per_lane_tampering_detected(self):
+        chain = Blockchain(lanes=2)
+        contract = Counter()
+        deployer = chain.create_account(funded=10**9)
+        chain.deploy(contract, deployer)
+        chain.transact(deployer, contract, "increment")
+        chain.seal_round()
+        from repro.chain.blockchain import Block
+
+        victim = next(i for i, b in enumerate(chain.blocks) if b.number == 1)
+        bad = chain.blocks[victim]
+        chain.blocks[victim] = Block(1, "f" * 64, bad.tx_hashes, bad.lane)
+        assert not chain.verify_chain()
+
+    def test_total_balance_tracks_funding(self):
+        chain = Blockchain(lanes=3)
+        for amount in (5, 10, 20):
+            chain.create_account(funded=amount)
+        assert chain.total_balance() == 35
+
+    @given(
+        plan=st.lists(
+            st.tuples(st.integers(0, 7), st.integers(1, 6), st.booleans()),
+            min_size=1,
+            max_size=40,
+        ),
+        lanes=st.sampled_from([2, 3, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_event_index_matches_linear_oracle_across_lanes(self, plan, lanes):
+        """The O(1) EventIndex must agree with the receipt-scan oracle on
+        event streams produced by multi-lane, mempool-reordered mining:
+        fees shuffle execution order, lanes shuffle sealing order, and
+        the two query paths must still agree on every filter."""
+        chain = Blockchain(lanes=lanes, mempool_capacity=64)
+        contract, other = Counter(), Counter()
+        deployer = chain.create_account(funded=10**9)
+        chain.deploy(contract, deployer)
+        chain.deploy(other, deployer)
+        senders = [chain.create_account(funded=10**9) for _ in range(8)]
+        for sender_index, offered_fee, use_other in plan:
+            target = other if use_other else contract
+            chain.submit(senders[sender_index], target, "increment", 1, fee=offered_fee)
+            if len(chain.mempool) >= 6:
+                chain.mine_round(max_txs_per_lane=2)
+        while chain.mempool:
+            chain.mine_round(max_txs_per_lane=2)
+        queries = [
+            {},
+            {"name": "Incremented"},
+            {"name": "NoSuchEvent"},
+            {"address": contract},
+            {"address": other},
+            {"name": "Incremented", "address": other},
+            {"name": "Incremented", "value": 2},
+            {"name": "Incremented", "where": lambda e: e.get("value") % 2 == 1},
+        ]
+        for kwargs in queries:
+            assert chain.query_events(**kwargs) == chain.query_events_linear(**kwargs), kwargs
+        assert chain.verify_chain()
 
 
 class TestCalldata:

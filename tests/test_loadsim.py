@@ -1,0 +1,179 @@
+"""System-level suite for the population-scale load simulator.
+
+Tier-1 runs the small, fast configurations: every traffic mix completes
+cleanly, replays are bit-identical from (seed, mix, profile), faults are
+absorbed without conservation drift, and the invariant checker actually
+fires when the ledger is tampered with (a checker that cannot fail is
+not a check).  The ``soak`` marker gates the 10^4-user configuration CI
+runs out-of-band; ``-m soak`` selects it and the ``soak_params`` fixture
+steers (seed, mix, profile) through the environment so a red run prints
+a one-command replay line.
+"""
+
+import pytest
+
+from repro.loadsim import (
+    MIXES,
+    LoadSimulator,
+    SimConfig,
+    TrafficMix,
+    run_sim,
+    sim_draw,
+    skewed_draw,
+)
+
+#: Small-but-real: enough operations that every op kind, the mempool
+#: backpressure path, churn, and multi-lane sealing all actually fire.
+_SMOKE = dict(users=200, ops=400, lanes=2, dht_nodes=8, churn_every=100, ops_per_round=48)
+
+
+class TestTrafficMix:
+    def test_presets_are_normalised_and_named(self):
+        for name, mix in MIXES.items():
+            assert mix.name == name
+            assert mix.mint + mix.trade + mix.audit > 0
+        assert TrafficMix.parse("trade_heavy") is MIXES["trade_heavy"]
+
+    def test_custom_spec_round_trips(self):
+        mix = TrafficMix.parse("mint=5,trade=0,audit=1")
+        assert (mix.mint, mix.trade, mix.audit) == (5, 0, 1)
+        assert TrafficMix.parse(mix.spec()).spec() == mix.spec()
+
+    def test_bad_specs_rejected(self):
+        for bad in ("nope", "mint=0,trade=0,audit=0", "mint=0,trade=5,audit=0", "mint=x"):
+            with pytest.raises(Exception):
+                TrafficMix.parse(bad)
+
+    def test_draw_op_is_seed_deterministic_and_mix_faithful(self):
+        mix = MIXES["mint_heavy"]
+        ops = [mix.draw_op(99, i) for i in range(3000)]
+        assert ops == [mix.draw_op(99, i) for i in range(3000)]
+        counts = {kind: ops.count(kind) for kind in ("mint", "trade", "audit")}
+        # 6:3:1 weights — generous tolerance, zero flake (fixed seed).
+        assert counts["mint"] > counts["trade"] > counts["audit"] > 0
+
+    def test_draws_are_integer_and_bounded(self):
+        for i in range(200):
+            value = sim_draw(7, "t", i, 10)
+            assert isinstance(value, int) and 0 <= value < 10
+            skew = skewed_draw(7, "s", i, 1000)
+            assert isinstance(skew, int) and 0 <= skew < 1000
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("mix", sorted(MIXES))
+    def test_every_mix_completes_cleanly(self, mix):
+        report = run_sim(mix=mix, **_SMOKE)
+        assert report.violations == []
+        assert report.mined > 0 and report.blocks > 0
+        assert report.digest and len(report.digest) == 64
+        if MIXES[mix].audit:
+            assert report.audits > 0
+
+    def test_replay_is_bit_identical(self):
+        first = run_sim(seed=31337, **_SMOKE)
+        second = run_sim(seed=31337, **_SMOKE)
+        assert first.digest == second.digest
+        assert first.mined == second.mined
+        assert first.trades_completed == second.trades_completed
+        # A different seed must actually steer the run somewhere else.
+        assert run_sim(seed=31338, **_SMOKE).digest != first.digest
+
+    def test_faults_absorbed_without_conservation_drift(self):
+        report = run_sim(fault_profile="soak", seed=4242, **_SMOKE)
+        assert report.violations == []
+        assert report.faults_injected > 0
+        # The fault plane must not invent or destroy funds.
+        assert report.dropped + report.reverted >= 0
+        # Replays under faults are deterministic too.
+        again = run_sim(fault_profile="soak", seed=4242, **_SMOKE)
+        assert again.digest == report.digest
+
+    def test_lane_count_changes_sealing_not_semantics(self):
+        narrow = run_sim(seed=777, **{**_SMOKE, "lanes": 1})
+        wide = run_sim(seed=777, **{**_SMOKE, "lanes": 4})
+        assert narrow.violations == [] and wide.violations == []
+        # Same op stream and mining cadence; more lanes seal more blocks.
+        assert narrow.rounds == wide.rounds
+        assert wide.blocks > narrow.blocks
+
+    def test_report_artifact_schema(self):
+        report = run_sim(users=50, ops=60, lanes=2, dht_nodes=6, churn_every=0)
+        payload = report.to_dict()
+        assert payload["schema"] == "repro.loadsim.report/1"
+        for column in ("tx_per_sec", "audit_p50_us", "audit_p99_us", "digest",
+                       "fault_profile", "fault_seed", "violations"):
+            assert column in payload
+        assert payload["violations"] == []
+
+    def test_mempool_backpressure_sheds_or_defers_not_corrupts(self):
+        report = run_sim(seed=11, mempool_capacity=24, ops_per_round=200,
+                         **{k: v for k, v in _SMOKE.items() if k != "ops_per_round"})
+        assert report.violations == []
+        # A 24-slot pool under 200-op bursts must exercise eviction.
+        assert report.mempool_evicted + report.mempool_rejected + report.shed > 0
+
+
+class TestInvariantChecker:
+    """The checker must catch real corruption, not just bless clean runs."""
+
+    def _finished_sim(self):
+        sim = LoadSimulator(SimConfig(users=60, ops=80, lanes=2, dht_nodes=6,
+                                      churn_every=0, ops_per_round=32))
+        report = sim.run()
+        assert report.violations == []
+        return sim
+
+    def test_detects_minted_funds(self):
+        sim = self._finished_sim()
+        victim = sim.population.account(0)
+        sim.chain._balances[victim] += 12345  # counterfeit money
+        sim.checker.check_round()
+        assert any("conservation" in v for v in sim.checker.violations)
+
+    def test_detects_destroyed_funds(self):
+        sim = self._finished_sim()
+        victim = sim.population.account(0)
+        sim.chain._balances[victim] -= 1
+        sim.checker.check_round()
+        assert sim.checker.violations
+
+    def test_detects_stolen_token(self):
+        sim = self._finished_sim()
+        if not sim._tokens:
+            pytest.skip("run minted no tokens")
+        token_id = sorted(sim._tokens)[0]
+        thief = sim.population.account(1)
+        sim.token._storage[("owner", token_id)] = thief
+        sim.checker.check_final()
+        assert any("owner" in v for v in sim.checker.violations)
+
+
+@pytest.mark.soak
+class TestSoak:
+    """The 10^4-user acceptance configuration (CI's soak job).
+
+    Deselected from tier-1 by addopts; run with ``-m soak``.  The
+    environment steers the (seed, mix, profile) triple via the
+    ``soak_params`` fixture, and a failure prints the replay command.
+    """
+
+    def test_population_scale_soak(self, soak_params):
+        report = run_sim(
+            users=10_000,
+            ops=4_000,
+            mix=soak_params["mix"],
+            seed=soak_params["seed"],
+            fault_profile=soak_params["profile"],
+            lanes=4,
+        )
+        assert report.violations == [], report.violations[:10]
+        assert report.mined > 1_000
+        assert report.trades_completed > 0
+        assert report.audit_p99_us >= report.audit_p50_us > 0
+
+    def test_soak_replay_digest_stable(self, soak_params):
+        small = dict(users=10_000, ops=1_000, mix=soak_params["mix"],
+                     seed=soak_params["seed"], fault_profile=soak_params["profile"],
+                     lanes=4)
+        assert run_sim(**small).digest == run_sim(**small).digest

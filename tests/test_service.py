@@ -14,6 +14,8 @@ material without payment, and no stranded escrow after aborts.
 import asyncio
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import faults
 from repro.core.exchange import Seller
@@ -75,6 +77,48 @@ class TestFairQueue:
         assert tenants == ["big", "small", "big", "small", "big", "big"]
         items = [item for tenant, item in order if tenant == "big"]
         assert items == ["big-%d" % i for i in range(4)]  # FIFO per tenant
+
+    @given(
+        backlogs=st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]),
+            st.integers(min_value=1, max_value=24),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_robin_never_lags_fair_share(self, backlogs):
+        """After any prefix of k dequeues, a tenant with enough backlog
+        has been served at least ``floor(k / tenants)`` times — round
+        robin never lets anyone lag the fair share by more than one
+        cycle of the ring, no matter the arrival pattern."""
+        queue = FairQueue(maxsize=1024)
+        for tenant in sorted(backlogs):
+            for i in range(backlogs[tenant]):
+                queue.put_nowait(tenant, (tenant, i))
+        total = sum(backlogs.values())
+        tenants = len(backlogs)
+
+        async def drain():
+            served = {t: 0 for t in backlogs}
+            last_index = {t: -1 for t in backlogs}
+            for k in range(1, total + 1):
+                tenant, (t2, index) = await queue.get()
+                assert tenant == t2
+                assert index == last_index[tenant] + 1  # FIFO within a tenant
+                last_index[tenant] = index
+                served[tenant] += 1
+                # Ring cycles only get shorter as tenants drain, so k
+                # serves always complete >= k // tenants full cycles,
+                # and every cycle serves each still-backlogged tenant.
+                fair = k // tenants
+                for t in backlogs:
+                    assert served[t] >= min(backlogs[t], fair), (
+                        "tenant %s lagged fair share after %d serves: %r" % (t, k, served)
+                    )
+            return served
+
+        assert asyncio.run(drain()) == backlogs
 
     def test_get_waits_for_put(self):
         q = FairQueue(maxsize=4)

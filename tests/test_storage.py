@@ -1,8 +1,12 @@
 """Tests for the content-addressed store and the DHT simulation."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro import faults
 from repro.errors import StorageError
+from repro.faults import FaultPlan, FaultRule
 from repro.storage import ContentStore, DHTNetwork
 
 
@@ -93,3 +97,55 @@ class TestDHT:
         net = DHTNetwork(["a", "b"])
         with pytest.raises(StorageError):
             net.get("0" * 64)
+
+
+class TestDHTChurn:
+    """Incremental join/leave against the :meth:`repair` top-k oracle."""
+
+    @given(
+        churn=st.lists(st.integers(0, 9), min_size=1, max_size=24),
+        blobs=st.integers(min_value=1, max_value=30),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_faultless_incremental_churn_matches_repair_oracle(self, churn, blobs):
+        """After any faultless churn sequence, the incremental placement
+        is *exactly* the top-k placement — repair finds nothing to do —
+        and every blob keeps its full replica count throughout."""
+        net = DHTNetwork(["n%d" % i for i in range(6)], replication=3)
+        uris = [net.put(b"blob-%d" % i) for i in range(blobs)]
+        joined = 0
+        for step, choice in enumerate(churn):
+            names = sorted(net.nodes)
+            if choice % 2 == 0 or len(names) <= net.replication:
+                joined += 1
+                net.join("j%d" % joined)
+            else:
+                net.leave(names[choice % len(names)])
+            for uri in uris:
+                assert net.replica_count(uri) == 3, "step %d" % step
+        assert net.repair() == (0, 0)
+        for uri in uris:
+            assert net.get(uri) == b"blob-%d" % uris.index(uri)
+
+    def test_repair_heals_replicas_lost_to_faults(self):
+        net = DHTNetwork(["n%d" % i for i in range(8)], replication=3)
+        uris = [net.put(b"v%d" % i) for i in range(10)]
+        # Churn under a fault plan that loses every migration write: each
+        # leave sheds one replica of everything the departing node held.
+        lossy = FaultPlan(seed=5, rules=(FaultRule("dht.node.put", "loss", faults.PPM),))
+        with faults.use_plan(lossy):
+            victims = [n.name for n in net.nodes.values() if uris[0] in n.blobs]
+            net.leave(victims[0])
+        assert net.replica_count(uris[0]) == 2  # under-replicated
+        added, removed = net.repair()
+        assert added >= 1 and removed == 0
+        for uri in uris:
+            assert net.replica_count(uri) == 3
+        assert net.repair() == (0, 0)  # idempotent once converged
+
+    def test_catalog_preserves_content_identity(self):
+        net = DHTNetwork(["a", "b", "c", "d"], replication=2)
+        uri = net.put(b"payload")
+        net.put(b"payload")  # idempotent: same uri, same placement
+        assert net.replica_count(uri) == 2
+        assert net.repair() == (0, 0)
